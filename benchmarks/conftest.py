@@ -1,0 +1,48 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's artifacts and prints the
+same rows/series the paper reports, then asserts the qualitative shape
+(who wins, roughly by how much, where crossovers fall).  Timings come
+from pytest-benchmark; each experiment is executed once per benchmark
+(``pedantic`` with one round) because the workloads are deterministic
+and far too heavy for statistical repetition.
+
+Scaling knobs (environment):
+
+* ``REPRO_FULL=1``     — paper-scale grids (slow; hours for everything);
+* ``REPRO_BENCH_LEN``  — trace length in references (default 40 000);
+* ``REPRO_BENCH_TRACES`` — comma-separated trace subset (default four of
+  the eight, two per family).
+
+The experiment layer memoizes its sweeps per settings object, so
+benchmarks that share a grid (fig3_2/3_3/3_4/table3, or the fig5 family)
+pay for it once per session.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.common import ExperimentSettings
+
+DEFAULT_TRACES = "mu3,mu10,rd2n4,rd1n5"
+
+
+def bench_settings() -> ExperimentSettings:
+    length = int(os.environ.get("REPRO_BENCH_LEN", "40000"))
+    names = tuple(
+        os.environ.get("REPRO_BENCH_TRACES", DEFAULT_TRACES).split(",")
+    )
+    return ExperimentSettings(trace_length=length, trace_names=names)
+
+
+@pytest.fixture(scope="session")
+def settings() -> ExperimentSettings:
+    return bench_settings()
+
+
+def run_once(benchmark, fn, *args):
+    """Run ``fn`` exactly once under pytest-benchmark's timer."""
+    return benchmark.pedantic(fn, args=args, iterations=1, rounds=1)

@@ -1,0 +1,59 @@
+"""Ablation: the two-phase fastpath vs the reference engine.
+
+The paper amortized exploration cost through macro-expansion; our
+equivalent is the functional-pass + replay split.  This bench measures
+the speedup that justifies the added machinery and re-checks exact
+agreement on the bench workload.  The win grows with the number of
+timing variations priced per organization — a full speed-size sweep
+replays each pass ~16 times.
+"""
+
+import time
+
+from repro.sim.config import baseline_config
+from repro.sim.engine import simulate
+from repro.sim.fastpath import assemble_stats, functional_pass, replay
+from repro.trace.suite import build_trace
+from repro.units import KB
+
+from conftest import run_once
+
+CYCLE_TIMES = [20.0, 28.0, 40.0, 56.0, 60.0, 80.0]
+
+
+def test_fastpath_speedup_and_equality(benchmark, settings):
+    trace = build_trace(
+        settings.trace_names[0], length=settings.trace_length,
+        seed=settings.seed,
+    )
+    config = baseline_config(cache_size_bytes=16 * KB)
+
+    def engine_sweep():
+        return [
+            simulate(config.with_cycle_ns(t), trace).cycles
+            for t in CYCLE_TIMES
+        ]
+
+    def fast_sweep():
+        stream = functional_pass(config, trace)
+        return [
+            assemble_stats(
+                stream, replay(stream, config.memory, t), t
+            ).cycles
+            for t in CYCLE_TIMES
+        ]
+
+    t0 = time.perf_counter()
+    engine_cycles = engine_sweep()
+    engine_elapsed = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    fast_cycles = run_once(benchmark, fast_sweep)
+    fast_elapsed = time.perf_counter() - t0
+
+    assert fast_cycles == engine_cycles, "fastpath must be cycle-exact"
+    speedup = engine_elapsed / max(fast_elapsed, 1e-9)
+    print(f"\nfastpath ablation: engine {engine_elapsed:.2f}s, "
+          f"fastpath {fast_elapsed:.2f}s for {len(CYCLE_TIMES)} clocks "
+          f"-> {speedup:.1f}x")
+    assert speedup > 1.5

@@ -1,0 +1,56 @@
+"""Ablation: virtual caches vs physical caches with a TLB.
+
+The paper simulates virtual caches (PID in the tag) and lets translation
+sit anywhere below; §4 notes the physical alternative constrains the
+organization (only page-offset bits may index the cache during parallel
+translation).  This bench quantifies what the virtual choice buys: the
+cost of physical-mode page walks at several TLB sizes, plus the §4
+organization constraint for the base system.
+"""
+
+from repro.core.metrics import geometric_mean
+from repro.sim.config import TranslationSpec, baseline_config
+from repro.sim.engine import simulate
+from repro.trace.suite import build_suite
+from repro.units import KB
+from repro.vm.paging import min_assoc_for_physical_cache
+
+from conftest import run_once
+
+TLB_SIZES = [16, 64, 256]
+
+
+def test_translation_cost(benchmark, settings):
+    suite = build_suite(
+        length=min(settings.trace_length, 25_000),
+        names=settings.trace_names[:2], seed=settings.seed,
+    )
+    base = baseline_config(cache_size_bytes=8 * KB)
+
+    def sweep():
+        results = {"virtual": geometric_mean(
+            simulate(base, t).execution_time_ns for t in suite.values()
+        )}
+        for entries in TLB_SIZES:
+            config = base.with_translation(
+                TranslationSpec(tlb_entries=entries)
+            )
+            results[entries] = geometric_mean(
+                simulate(config, t).execution_time_ns
+                for t in suite.values()
+            )
+        return results
+
+    results = run_once(benchmark, sweep)
+    print("\ntranslation ablation (8KB caches):")
+    print(f"  virtual (paper's choice): {results['virtual']:.3e} ns")
+    for entries in TLB_SIZES:
+        overhead = results[entries] / results["virtual"] - 1
+        print(f"  physical, {entries:>3}-entry TLB: {results[entries]:.3e} ns "
+              f"({100 * overhead:+.1f}%)")
+    # Physical mode pays for walks; bigger TLBs pay less.
+    assert results[16] >= results[64] >= results[256]
+    assert results[256] >= results["virtual"]
+    # §4's constraint: a physically-indexed 64KB cache with 4KB pages
+    # needs 16 ways (the IBM 3033 configuration).
+    assert min_assoc_for_physical_cache(64 * KB, 4 * KB) == 16

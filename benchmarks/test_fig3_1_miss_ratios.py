@@ -1,0 +1,31 @@
+"""Bench: regenerate Figure 3-1 (miss and traffic ratios vs size)."""
+
+import numpy as np
+
+from repro.experiments.registry import run_experiment
+
+from conftest import run_once
+
+
+def test_fig3_1(benchmark, settings):
+    result = run_once(benchmark, run_experiment, "fig3_1", settings)
+    print()
+    print(result)
+    miss = np.array(result.data["read_miss_ratio"])
+    # Larger caches are better, with diminishing improvements.
+    assert (np.diff(miss) < 0).all()
+    assert -np.diff(miss)[-1] < -np.diff(miss)[0]
+    # The two write-traffic curves are ordered: counting every word of
+    # a dirty victim exceeds counting only the dirty words.
+    full = np.array(result.data["write_traffic_ratio_full"])
+    dirty = np.array(result.data["write_traffic_ratio_dirty"])
+    assert (full >= dirty).all()
+    # RISC traces show lower miss rates than VAX traces, and the
+    # instruction-side gap is the larger one (paper: 29-46% vs 11.5-18%).
+    family = result.data["family"]
+    if len(family) == 2:
+        assert family["risc"]["load_miss_ratio"] < family["vax"]["load_miss_ratio"]
+        assert (
+            family["risc"]["ifetch_miss_ratio"]
+            < family["vax"]["ifetch_miss_ratio"]
+        )

@@ -1,0 +1,26 @@
+"""Bench: regenerate Figure 3-2 (cycle counts vs size and cycle time)."""
+
+import numpy as np
+
+from repro.experiments.registry import run_experiment
+
+from conftest import run_once
+
+
+def test_fig3_2(benchmark, settings):
+    result = run_once(benchmark, run_experiment, "fig3_2", settings)
+    print()
+    print(result)
+    counts = np.array(result.data["normalized_cycles"])
+    # Cycle counts fall as the clock slows (the paper's "illusion of
+    # improved performance") and as caches grow.
+    assert (np.diff(counts, axis=1) <= 1e-9).all()
+    assert (np.diff(counts, axis=0) <= 1e-9).all()
+    # The spread across the experiment exceeds the spread at the
+    # smallest cache (paper: 3.2x vs 1.5x).
+    assert result.data["spread_total"] > result.data["spread_smallest"] > 1.1
+    # Quantization: the read penalty steps 8 -> 9 cycles at the 56 ns
+    # boundary.
+    penalties = result.data["read_penalties"]
+    if 56.0 in penalties and 60.0 in penalties:
+        assert penalties[56.0] == 9 and penalties[60.0] == 8

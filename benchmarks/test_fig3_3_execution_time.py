@@ -1,0 +1,23 @@
+"""Bench: regenerate Figure 3-3 (execution time vs size and clock)."""
+
+import numpy as np
+
+from repro.experiments.registry import run_experiment
+
+from conftest import run_once
+
+
+def test_fig3_3(benchmark, settings):
+    result = run_once(benchmark, run_experiment, "fig3_3", settings)
+    print()
+    print(result)
+    exec_norm = np.array(result.data["normalized_execution"])
+    # Performance depends on both axes: execution time falls with size
+    # at a fixed clock and rises with the clock at a fixed large size.
+    assert (np.diff(exec_norm, axis=0) < 0).all()
+    assert (np.diff(exec_norm[-1, :]) > 0).all()
+    # "With small caches, incremental changes in the cache size have a
+    # greater effect than changes in the cycle time, while at the larger
+    # cache sizes the reverse is true."
+    assert result.data["size_gain_small"] > result.data["size_gain_large"]
+    assert result.data["size_gain_large"] < result.data["cycle_gain"]

@@ -1,0 +1,24 @@
+"""Bench: regenerate Figure 4-1 (miss ratio vs size and set size)."""
+
+import numpy as np
+
+from repro.experiments.registry import run_experiment
+
+from conftest import run_once
+
+
+def test_fig4_1(benchmark, settings):
+    result = run_once(benchmark, run_experiment, "fig4_1", settings)
+    print()
+    print(result)
+    by_assoc = result.data["miss_by_assoc"]
+    one_way = np.array(by_assoc[1])
+    two_way = np.array(by_assoc[2])
+    # Two-way beats direct mapped on average across the size axis.
+    assert two_way.mean() < one_way.mean()
+    # Gains above set size two are smaller than the 1 -> 2 step.
+    if 4 in by_assoc:
+        four_way = np.array(by_assoc[4])
+        step_12 = (one_way - two_way).mean()
+        step_24 = (two_way - four_way).mean()
+        assert step_24 < step_12

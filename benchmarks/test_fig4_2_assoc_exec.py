@@ -1,0 +1,20 @@
+"""Bench: regenerate Figure 4-2 (execution time vs size, set size, clock)."""
+
+import numpy as np
+
+from repro.experiments.registry import run_experiment
+
+from conftest import run_once
+
+
+def test_fig4_2(benchmark, settings):
+    result = run_once(benchmark, run_experiment, "fig4_2", settings)
+    print()
+    print(result)
+    # Equal-clock improvement from associativity is larger for small
+    # caches than for large ones ("for large caches, the improvement is
+    # much less significant").
+    assert result.data["small_improvement"] > result.data["large_improvement"]
+    improvement = np.array(result.data["improvement_2way"])
+    # And the large-cache improvement is small in absolute terms.
+    assert improvement[-1, :].mean() < 0.05

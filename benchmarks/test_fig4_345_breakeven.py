@@ -1,0 +1,25 @@
+"""Bench: regenerate Figures 4-3/4/5 (break-even cycle-time maps)."""
+
+
+from repro.core.associativity import AS_MUX_SELECT_NS
+from repro.experiments.registry import run_experiment
+
+from conftest import run_once
+
+
+def test_fig4_345(benchmark, settings):
+    result = run_once(benchmark, run_experiment, "fig4_345", settings)
+    print()
+    print(result)
+    summaries = result.data["summaries"]
+    # "The numbers are almost uniformly small": nowhere does the
+    # break-even reach the 11 ns select-to-data-out time of the AS
+    # multiplexor — TTL discrete caches should stay direct mapped.
+    for assoc, summary in summaries.items():
+        assert summary["max_breakeven_ns"] < AS_MUX_SELECT_NS
+    # The 2-way and 4-way maps differ by little (paper: at most 2.4 ns).
+    if 2 in summaries and 4 in summaries:
+        gap = abs(
+            summaries[4]["max_breakeven_ns"] - summaries[2]["max_breakeven_ns"]
+        )
+        assert gap < 5.0

@@ -1,0 +1,25 @@
+"""Bench: regenerate Figure 5-1 (block size vs miss ratio / exec time)."""
+
+import numpy as np
+
+from repro.experiments.registry import run_experiment
+
+from conftest import run_once
+
+
+def test_fig5_1(benchmark, settings):
+    result = run_once(benchmark, run_experiment, "fig5_1", settings)
+    print()
+    print(result)
+    # The instruction stream has greater spatial locality, so its
+    # miss-optimal block is at least as large as the data side's.
+    assert result.data["miss_optimal_ifetch"] >= result.data["miss_optimal_data"] \
+        or result.data["miss_optimal_ifetch"] == max(result.data["block_sizes"])
+    # "The block size that optimizes system performance is significantly
+    # smaller than that which minimizes the miss rate."
+    assert result.data["performance_optimal"] < result.data["miss_optimal_data"]
+    # The execution curve is U-shaped around its minimum.
+    exec_norm = np.array(result.data["execution_norm"])
+    k = int(np.argmin(exec_norm))
+    assert (np.diff(exec_norm[: k + 1]) <= 1e-9).all()
+    assert (np.diff(exec_norm[k:]) >= -1e-9).all()

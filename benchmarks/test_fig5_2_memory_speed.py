@@ -1,0 +1,25 @@
+"""Bench: regenerate Figure 5-2 (exec time vs block size and memory)."""
+
+from repro.experiments.registry import run_experiment
+
+from conftest import run_once
+
+
+def test_fig5_2(benchmark, settings):
+    result = run_once(benchmark, run_experiment, "fig5_2", settings)
+    print()
+    print(result)
+    # "Assuming a reasonable choice of block size, the execution time
+    # only doubles across the entire range of memory systems" — small
+    # impact compared with the speed/size axes.
+    assert 1.2 < result.data["memory_range_spread"] < 3.0
+    # Slower memories are never faster, block size held at each
+    # memory's own best.
+    def parse(key):
+        latency, rate = key.split("cyc@")
+        return int(latency), float(rate)
+
+    best = {parse(k): v for k, v in result.data["best_exec"].items()}
+    fastest_memory = (min(l for l, _r in best), max(r for _l, r in best))
+    slowest_memory = (max(l for l, _r in best), min(r for _l, r in best))
+    assert best[slowest_memory] >= best[fastest_memory]

@@ -1,0 +1,23 @@
+"""Bench: regenerate Figure 5-4 (optimal block size vs la x tr)."""
+
+import numpy as np
+
+from repro.experiments.registry import run_experiment
+
+from conftest import run_once
+
+
+def test_fig5_4(benchmark, settings):
+    result = run_once(benchmark, run_experiment, "fig5_4", settings)
+    print()
+    print(result)
+    points = result.data["points"]
+    products = np.log2([p["product"] for p in points])
+    optima = np.log2([p["optimal_block_words"] for p in points])
+    # The optima collapse onto a rising function of the product (the
+    # first-order law): strong rank correlation.
+    assert np.corrcoef(products, optima)[0, 1] > 0.8
+    # The balance-line crossover: small products sit above BS = la*tr,
+    # large ones below.
+    assert points[0]["optimal_block_words"] > points[0]["balance_block_words"]
+    assert points[-1]["optimal_block_words"] < points[-1]["balance_block_words"]

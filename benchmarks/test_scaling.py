@@ -1,0 +1,15 @@
+"""Bench: §6's technology-scaling invariance."""
+
+from repro.experiments.registry import run_experiment
+
+from conftest import run_once
+
+
+def test_scaling(benchmark, settings):
+    result = run_once(benchmark, run_experiment, "scaling", settings)
+    print()
+    print(result)
+    # Even scaling: fractional slopes invariant (within interpolation
+    # noise); CPU-only scaling: slopes grow.
+    assert result.data["even_scaling_max_deviation"] < 0.10
+    assert result.data["cpu_only_mean_growth"] > 1.2

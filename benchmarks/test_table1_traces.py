@@ -1,0 +1,19 @@
+"""Bench: regenerate Table 1 (trace descriptions)."""
+
+from repro.experiments.registry import run_experiment
+
+from conftest import run_once
+
+
+def test_table1(benchmark, settings):
+    result = run_once(benchmark, run_experiment, "table1", settings)
+    print()
+    print(result)
+    stats = result.data["stats"]
+    assert len(stats) == len(settings.trace_names)
+    # Table 1 structure: every trace multiprogrammed, non-trivial
+    # footprints, warm boundaries set.
+    for name, row in stats.items():
+        assert row["processes"] >= 3
+        assert row["unique_kwords"] > 1.0
+        assert row["warm_boundary"] > 0

@@ -1,0 +1,15 @@
+"""Bench: regenerate Table 2 (memory access cycle counts) — exact."""
+
+from repro.experiments.registry import run_experiment
+
+from conftest import run_once
+
+
+def test_table2(benchmark, settings):
+    result = run_once(benchmark, run_experiment, "table2", settings)
+    print()
+    print(result)
+    # This artifact reproduces the paper cell for cell.
+    assert result.data["mismatches"] == []
+    assert result.data["computed"][20.0] == (14, 10, 6)
+    assert result.data["computed"][60.0] == (8, 7, 2)

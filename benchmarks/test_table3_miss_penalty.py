@@ -1,0 +1,30 @@
+"""Bench: regenerate Table 3 (memory performance vs miss penalty)."""
+
+from repro.experiments.registry import run_experiment
+
+from conftest import run_once
+
+
+def test_table3(benchmark, settings):
+    result = run_once(benchmark, run_experiment, "table3", settings)
+    print()
+    print(result)
+    slopes = result.data["cpr_slopes"]
+    sizes = sorted(int(k) for k in slopes)
+    # "For small caches, with their high miss ratios, the cycles per
+    # reference is a strong function of the miss penalty": the
+    # sensitivity falls monotonically with cache size.
+    values = [slopes[str(s)] for s in sizes]
+    assert values == sorted(values, reverse=True)
+    # Cycles/reference rises with the penalty within every size class.
+    cells = result.data["cells"]
+    by_size = {}
+    for key, row in cells.items():
+        size, penalty = key.split("@")
+        by_size.setdefault(size, []).append(
+            (int(penalty), row["cycles_per_reference"])
+        )
+    for rows in by_size.values():
+        rows.sort()
+        cprs = [c for _p, c in rows]
+        assert cprs == sorted(cprs)

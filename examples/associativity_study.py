@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Should this cache be set associative?  The §4 break-even method.
+
+For a TTL-component machine, adding set associativity costs cycle time
+(a multiplexor in the data path, wider RAMs, heavier loading).  The
+paper's method prices the miss-ratio benefit in nanoseconds of cycle
+time and compares it against the component costs: a 6 ns data delay or
+an 11 ns select delay for an Advanced-Schottky multiplexor.
+"""
+
+from repro import build_suite, run_associativity_sweeps
+from repro.core.associativity import (
+    AS_MUX_DATA_NS,
+    AS_MUX_SELECT_NS,
+    breakeven_map,
+    smooth_column,
+    summarize_breakeven,
+)
+from repro.core.report import cycle_labels, format_grid, size_labels
+from repro.units import KB
+
+
+def main() -> None:
+    traces = build_suite(length=120_000, names=["mu3", "mu10", "rd2n4", "rd1n5"])
+    sizes_each = [2 * KB, 8 * KB, 32 * KB, 128 * KB]
+    cycles = [20.0, 28.0, 40.0, 56.0, 60.0, 80.0]
+    print("sweeping associativities 1/2/4 over the design space...")
+    grids = run_associativity_sweeps(
+        traces, sizes_each, cycles, assocs=(1, 2, 4)
+    )
+    dm = smooth_column(grids[1])  # footnote 9's 56ns smoothing
+    for assoc in (2, 4):
+        sa = smooth_column(grids[assoc])
+        bmap = breakeven_map(dm, sa)
+        print()
+        print(format_grid(
+            size_labels(dm.total_sizes), cycle_labels(dm.cycle_times_ns),
+            bmap, corner="TotalL1",
+            title=f"{assoc}-way break-even cycle-time slack (ns)",
+            precision=2,
+        ))
+        summary = summarize_breakeven(dm, sa, assoc)
+        verdict = (
+            "might pay off in an integrated design"
+            if summary.worthwhile_vs_as_mux
+            else "does not pay for discrete TTL parts"
+        )
+        print(f"{assoc}-way: max slack {summary.max_breakeven_ns:.1f}ns at "
+              f"{summary.max_at_total_size // 1024}KB total; vs the "
+              f"{AS_MUX_DATA_NS:g}ns AS mux data delay it {verdict} "
+              f"(select delay {AS_MUX_SELECT_NS:g}ns is out of reach).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Choose a block size for a given memory and backplane: §5's method.
+
+The cache miss penalty is la + BS/tr; bigger blocks buy miss ratio but
+pay transfer time.  This example sweeps block size against several
+memory latencies and bus widths, fits the paper's parabola to find each
+memory's performance-optimal block, and verifies the first-order law
+that the optimum depends only on the la x tr product.
+"""
+
+from repro import build_suite
+from repro.core.blocksize import (
+    optimal_block_size_words,
+    product_law_points,
+)
+from repro.core.report import format_series, format_table
+from repro.core.sweep import run_blocksize_sweep
+
+
+def main() -> None:
+    traces = build_suite(length=120_000, names=["mu3", "rd2n4", "rd1n3"])
+    print("sweeping block sizes x memory speeds...")
+    curves = run_blocksize_sweep(
+        traces,
+        block_sizes_words=[2, 4, 8, 16, 32, 64],
+        latencies_ns=[100.0, 260.0, 420.0],
+        transfer_rates=[4.0, 1.0, 0.25],
+    )
+
+    rows = []
+    for (latency, rate), curve in sorted(curves.items()):
+        norm = curve.execution_ns / curve.execution_ns.min()
+        rows.append([
+            f"{latency}cyc", f"{rate:g}W/c",
+            *[f"{v:.3f}" for v in norm],
+            f"{optimal_block_size_words(curve):.1f}W",
+        ])
+    print()
+    print(format_table(
+        ["Latency", "Bus"] + [f"{b}W" for b in (2, 4, 8, 16, 32, 64)]
+        + ["Optimal"],
+        rows,
+        title="Execution time vs block size (each row normalized to its best)",
+    ))
+
+    points = product_law_points(curves)
+    print()
+    print(format_series(
+        [f"{p.speed_product:g}" for p in points],
+        [f"{p.optimal_block_words:.1f}" for p in points],
+        "la*tr", "optimal block (W)",
+        title="The product law: optimum vs latency x transfer rate",
+    ))
+    print("\nReading: the optimum rises with la*tr and is independent of "
+          "la and tr separately; for the central design space it stays "
+          "near 4-8 words — much smaller than the miss-ratio optimum.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""The paper's §2 front end: specification files plus variations.
+
+"The macro expansion phase begins with pointers to a system
+specification file and two or three variation files."  This example
+saves the base system as JSON, applies variation overlays (set size,
+cycle time, memory latency — the paper's own examples), and simulates
+each variant, all without touching Python configuration code.
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro import baseline_config, build_trace
+from repro.sim.fastpath import fast_simulate
+from repro.sim.specfiles import load_spec, save_spec
+
+
+def main() -> None:
+    trace = build_trace("savec", length=80_000)
+    workdir = Path(tempfile.mkdtemp(prefix="repro-spec-"))
+    base_path = workdir / "base_system.json"
+    save_spec(baseline_config(), base_path)
+    print(f"specification written to {base_path}")
+
+    variations = {
+        "base system": [],
+        "two-way set associative": [
+            {"l1.d_geometry.assoc": 2, "l1.i_geometry.assoc": 2}
+        ],
+        "56ns clock (the quantization trap)": [{"cycle_ns": 56.0}],
+        "slow memory board (420ns)": [
+            {"memory.latency_ns": 420.0, "memory.write_op_ns": 420.0,
+             "memory.recovery_ns": 420.0}
+        ],
+        "two-way AND slow memory": [
+            {"l1.d_geometry.assoc": 2, "l1.i_geometry.assoc": 2},
+            {"memory.latency_ns": 420.0, "memory.write_op_ns": 420.0,
+             "memory.recovery_ns": 420.0},
+        ],
+    }
+    print(f"\n{'variant':<36} {'miss':>7} {'exec (ms)':>10}")
+    for label, overlays in variations.items():
+        # Variations can also live in files; inline dicts behave the
+        # same way and later overlays win.
+        files = []
+        for k, overlay in enumerate(overlays):
+            path = workdir / f"{label.replace(' ', '_')}_{k}.json"
+            path.write_text(json.dumps(overlay))
+            files.append(path)
+        config = load_spec(base_path, files)
+        stats = fast_simulate(config, trace)
+        print(f"{label:<36} {stats.read_miss_ratio:>7.4f} "
+              f"{stats.execution_time_ns / 1e6:>10.3f}")
+    print(f"\nvariation files kept under {workdir}")
+
+
+if __name__ == "__main__":
+    main()

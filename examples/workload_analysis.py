@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Analyze a workload's cache behaviour: 3C misses and per-process view.
+
+Beyond reproducing the paper's figures, the library answers the
+questions a designer asks about a *specific* workload: where do the
+misses come from (compulsory / capacity / conflict), which processes pay
+the multiprogramming tax, and how do the curves look — all without a
+plotting stack.
+"""
+
+from repro import build_trace
+from repro.analysis import (
+    conflict_removed_by_assoc,
+    process_table,
+    profile_processes,
+)
+from repro.core.charts import ascii_chart, sparkline
+from repro.sim.config import baseline_config
+from repro.sim.fastpath import fast_simulate
+from repro.units import KB
+
+
+def main() -> None:
+    trace = build_trace("mu10", length=100_000)
+    print(f"workload: {trace.name}, {len(trace)} refs, "
+          f"{trace.n_processes} processes\n")
+
+    # 1. Where do the misses come from?  (3C decomposition)
+    print("3C decomposition at 8KB per cache, by set size:")
+    for assoc, b in conflict_removed_by_assoc(
+        trace, size_bytes=8 * KB, assocs=(1, 2, 4)
+    ).items():
+        print(f"  {assoc}-way: miss {b.miss_ratio:.4f} = "
+              f"{b.compulsory} compulsory + {b.capacity} capacity + "
+              f"{b.conflict} conflict "
+              f"(conflict share {100 * b.conflict_share:.0f}%)")
+    print("  -> associativity can only remove the conflict share.\n")
+
+    # 2. Who pays the multiprogramming tax?
+    config = baseline_config(cache_size_bytes=4 * KB)
+    profiles = profile_processes(trace, config)
+    print(process_table(profiles))
+    worst = max(profiles, key=lambda p: p.multiprogramming_tax)
+    print(f"  -> process {worst.pid} loses most to the mix "
+          f"(+{100 * worst.multiprogramming_tax:.1f}% miss ratio).\n")
+
+    # 3. The size curve, drawn.
+    sizes = [2 * KB, 4 * KB, 8 * KB, 16 * KB, 32 * KB, 64 * KB, 128 * KB]
+    misses = []
+    for size in sizes:
+        stats = fast_simulate(baseline_config(cache_size_bytes=size), trace)
+        misses.append(stats.read_miss_ratio)
+    print(ascii_chart(
+        {"read miss": list(zip([2 * s for s in sizes], misses))},
+        width=56, height=10, log_x=True,
+        title="Miss ratio vs total L1 size",
+        x_label="bytes", y_label="miss ratio",
+    ))
+    print(f"\ntrend: {sparkline(misses)}")
+
+
+if __name__ == "__main__":
+    main()

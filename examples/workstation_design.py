@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Design a high-performance workstation's L1: the §3 methodology.
+
+Walks the paper's speed–size tradeoff end to end on the synthetic trace
+suite: sweep (cache size x cycle time), draw lines of equal performance,
+read off the ns-per-doubling slopes, and answer the engineer's question
+from §3 — given a RAM ladder where the next-size-up part is 10 ns
+slower, which (size, clock) should the machine use?
+"""
+
+from repro import build_suite, run_speed_size_sweep
+from repro.core.equal_performance import (
+    iso_performance_lines,
+    preferred_size_range,
+    slope_map,
+)
+from repro.core.report import cycle_labels, format_grid, size_labels
+from repro.units import KB
+
+
+def main() -> None:
+    traces = build_suite(length=120_000, names=["mu3", "savec", "rd2n4", "rd1n3"])
+    sizes_each = [2 * KB, 8 * KB, 32 * KB, 128 * KB, 512 * KB]
+    cycles = [20.0, 28.0, 40.0, 56.0, 60.0, 80.0]
+    print("sweeping", len(sizes_each), "sizes x", len(cycles), "clocks over",
+          len(traces), "traces...")
+    grid = run_speed_size_sweep(traces, sizes_each, cycles)
+
+    print()
+    print(format_grid(
+        size_labels(grid.total_sizes), cycle_labels(grid.cycle_times_ns),
+        grid.normalized(), corner="TotalL1",
+        title="Execution time (normalized to the best design point)",
+    ))
+    print()
+    print(format_grid(
+        size_labels(grid.total_sizes), cycle_labels(grid.cycle_times_ns),
+        slope_map(grid), corner="TotalL1",
+        title="Equal-performance slope: ns of cycle time per size doubling",
+        precision=2,
+    ))
+
+    print("\nlines of equal performance:")
+    for line in iso_performance_lines(grid, n_levels=5):
+        points = ", ".join(f"({s // 1024}KB, {c:.0f}ns)" for s, c in line.points)
+        print(f"  {line.level:.1f}x: {points or '(unattainable)'}")
+
+    grow, stop = preferred_size_range(grid)
+    grow_text = f"~{grow // 1024}KB" if grow else "(none exceeds 10ns/doubling)"
+    stop_text = f"~{stop // 1024}KB" if stop else "beyond the sampled range"
+    print(f"\npreferred total L1 band: strong growth up to {grow_text}; "
+          f"growth stops paying by {stop_text} "
+          "(the paper lands on 32-128KB total)")
+
+    # The RAM-ladder question, as the advisor API: which buildable
+    # (size, cycle) combination wins with these parts?
+    from repro.core.advisor import LadderRung, advisor_table, recommend_design
+
+    ladder = [
+        LadderRung(16 * KB, 40.0),    # 15ns 16Kb RAMs
+        LadderRung(64 * KB, 50.0),    # 25ns 64Kb RAMs (4x, +10ns)
+        LadderRung(256 * KB, 60.0),   # 35ns 256Kb RAMs
+    ]
+    ranking = recommend_design(grid, ladder)
+    print()
+    print(advisor_table(ranking))
+    best = ranking[0].rung
+    print(f"-> build {best.total_size_bytes // 1024}KB total at "
+          f"{best.cycle_ns:g}ns; the ns/doubling column says whether the "
+          "next RAM generation changes the answer.")
+
+
+if __name__ == "__main__":
+    main()

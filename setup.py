@@ -1,0 +1,5 @@
+"""Setup shim for environments without the wheel package (offline PEP 660
+editable installs need it); `python setup.py develop` works regardless."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,120 @@
+"""repro: reproduction of "Performance Tradeoffs in Cache Design".
+
+Przybylski, Horowitz & Hennessy, ISCA 1988.  A time-aware, trace-driven
+memory-hierarchy simulator plus the paper's design-space analyses:
+speed–size equal-performance lines, set-associativity break-even cycle
+times, performance-optimal block size, and the multilevel-hierarchy
+argument.  See README.md for a tour and DESIGN.md for the system map.
+"""
+
+from .core import (
+    DEFAULT_CYCLE_NS,
+    DEFAULT_MEMORY,
+    CacheGeometry,
+    CachePolicy,
+    CacheTiming,
+    MemoryTiming,
+    MissHandling,
+    ReplacementKind,
+    WriteMissPolicy,
+    WritePolicy,
+)
+from .errors import (
+    AnalysisError,
+    ConfigurationError,
+    ReproError,
+    SimulationError,
+    TraceError,
+)
+from .sim import (
+    Engine,
+    L1Spec,
+    LowerLevelSpec,
+    SimStats,
+    SystemConfig,
+    baseline_config,
+    fast_simulate,
+    functional_pass,
+    replay,
+    simulate,
+)
+from .analysis import (
+    ThreeCBreakdown,
+    classify_read_misses,
+    conflict_removed_by_assoc,
+)
+from .core.analytic import (
+    MissPowerLaw,
+    analytic_optimal_block_words,
+    fit_miss_power_law,
+    mean_read_time_cycles,
+)
+from .core.charts import ascii_chart, sparkline
+from .core.metrics import (
+    AggregateMetrics,
+    BlockSizeCurve,
+    SpeedSizeGrid,
+    TraceRunSummary,
+    aggregate,
+    geometric_mean,
+)
+from .core.sweep import (
+    run_associativity_sweeps,
+    run_blocksize_sweep,
+    run_point,
+    run_speed_size_sweep,
+)
+from .trace import (
+    ALL_TRACES,
+    Reference,
+    RefKind,
+    Trace,
+    build_suite,
+    build_trace,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ThreeCBreakdown",
+    "classify_read_misses",
+    "conflict_removed_by_assoc",
+    "MissPowerLaw",
+    "analytic_optimal_block_words",
+    "fit_miss_power_law",
+    "mean_read_time_cycles",
+    "ascii_chart",
+    "sparkline",
+    "DEFAULT_CYCLE_NS",
+    "DEFAULT_MEMORY",
+    "CacheGeometry",
+    "CachePolicy",
+    "CacheTiming",
+    "MemoryTiming",
+    "MissHandling",
+    "ReplacementKind",
+    "WriteMissPolicy",
+    "WritePolicy",
+    "AnalysisError",
+    "ConfigurationError",
+    "ReproError",
+    "SimulationError",
+    "TraceError",
+    "Engine",
+    "L1Spec",
+    "LowerLevelSpec",
+    "SimStats",
+    "SystemConfig",
+    "baseline_config",
+    "fast_simulate",
+    "functional_pass",
+    "replay",
+    "simulate",
+    "ALL_TRACES",
+    "Reference",
+    "RefKind",
+    "Trace",
+    "build_suite",
+    "build_trace",
+    "__version__",
+]

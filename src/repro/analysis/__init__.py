@@ -1,0 +1,21 @@
+"""Post-hoc analyses over traces and simulations: 3C miss
+classification and per-process profiling."""
+
+from .per_process import ProcessProfile, process_table, profile_processes
+from .reuse import ReuseProfile, reuse_profile
+from .threec import (
+    ThreeCBreakdown,
+    classify_read_misses,
+    conflict_removed_by_assoc,
+)
+
+__all__ = [
+    "ReuseProfile",
+    "reuse_profile",
+    "ProcessProfile",
+    "process_table",
+    "profile_processes",
+    "ThreeCBreakdown",
+    "classify_read_misses",
+    "conflict_removed_by_assoc",
+]

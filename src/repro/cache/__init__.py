@@ -1,0 +1,26 @@
+"""Cache substrate: functional set-associative caches, replacement
+policies, and the timed write buffer."""
+
+from .cache import AccessResult, Cache, block_key, key_block_addr, key_pid
+from .replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    make_policy,
+)
+from .writebuffer import TimedWriteBuffer
+
+__all__ = [
+    "AccessResult",
+    "Cache",
+    "block_key",
+    "key_block_addr",
+    "key_pid",
+    "FIFOPolicy",
+    "LRUPolicy",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "make_policy",
+    "TimedWriteBuffer",
+]

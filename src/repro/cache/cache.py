@@ -1,0 +1,351 @@
+"""Functional set-associative cache model.
+
+This is the organizational half of the simulator: tags, sets, valid and
+dirty state, replacement and write policies.  It knows nothing about
+time — the timed engine (:mod:`repro.sim.engine`) and the fastpath
+(:mod:`repro.sim.fastpath`) wrap it with cycle accounting.
+
+Design notes mapping to the paper (§2):
+
+* **Virtual caches with PIDs.**  "All the simulations presented here are
+  with virtual caches, which include the process identifier with the high
+  order address bits in the tag field."  We fold the PID into the block
+  key: two processes touching the same virtual address occupy distinct
+  blocks and conflict in the same set.
+* **Per-word dirty masks.**  Figure 3-1 plots *two* write traffic
+  ratios: all words of dirty victim blocks versus only the words actually
+  dirty.  The cache therefore tracks which words of each block were
+  written.
+* **Sub-block (fetch size < block size) placement.**  Per-word valid
+  masks support the paper's fetch-size parameter (footnote 2); the base
+  experiments always fetch whole blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..core.geometry import CacheGeometry
+from ..core.policy import (
+    CachePolicy,
+    ReplacementKind,
+    WriteMissPolicy,
+    WritePolicy,
+)
+from ..errors import SimulationError
+from .replacement import make_policy
+
+#: Shift applied to the PID when forming a block key.  Word addresses are
+#: below 2**40; PIDs above.  A block key uniquely names (pid, block).
+_PID_SHIFT = 44
+
+
+def block_key(pid: int, block_addr: int) -> int:
+    """Combine a process id and block address into one integer key."""
+    return (pid << _PID_SHIFT) | block_addr
+
+
+def key_block_addr(key: int) -> int:
+    """Extract the block address from a block key."""
+    return key & ((1 << _PID_SHIFT) - 1)
+
+
+def key_pid(key: int) -> int:
+    """Extract the process id from a block key."""
+    return key >> _PID_SHIFT
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one functional cache access.
+
+    Attributes
+    ----------
+    hit:
+        Tag match *and* the referenced word valid.
+    fetched_words:
+        Words fetched from the next level (0 on a hit or bypass).
+    victim_key:
+        Block key of an evicted dirty block that must be written back,
+        or ``None``.  Clean victims are dropped silently.
+    victim_dirty_words:
+        Number of dirty words in the victim (for the paper's two write
+        traffic ratios).
+    bypass_write:
+        True when a write miss is passed around the cache to the next
+        level (no-allocate policy).
+    """
+
+    hit: bool
+    fetched_words: int = 0
+    victim_key: Optional[int] = None
+    victim_dirty_words: int = 0
+    bypass_write: bool = False
+
+
+class Cache:
+    """A functional set-associative cache.
+
+    Parameters
+    ----------
+    geometry:
+        Sizes and shapes; see :class:`~repro.core.geometry.CacheGeometry`.
+    policy:
+        Write/replacement behaviour; see
+        :class:`~repro.core.policy.CachePolicy`.
+    seed:
+        Seed for the random replacement policy, so simulations are
+        reproducible.
+    """
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        policy: Optional[CachePolicy] = None,
+        seed: int = 0,
+    ) -> None:
+        self.geometry = geometry
+        self.policy = policy or CachePolicy()
+        n_sets = geometry.n_sets
+        assoc = geometry.assoc
+        # Parallel per-set structures.  A way's tag slot holds the block
+        # key, or -1 when invalid.
+        self._tags: List[List[int]] = [[-1] * assoc for _ in range(n_sets)]
+        self._valid: List[List[int]] = [[0] * assoc for _ in range(n_sets)]
+        self._dirty: List[List[int]] = [[0] * assoc for _ in range(n_sets)]
+        self._order: List[List[int]] = [[] for _ in range(n_sets)]
+        self._repl = make_policy(self.policy.replacement, seed=seed)
+        self._offset_bits = geometry.offset_bits
+        self._index_mask = n_sets - 1
+        self._word_mask = geometry.block_words - 1
+        self._full_mask = (1 << geometry.block_words) - 1
+        self._fetch_words = geometry.fetch_words
+        self._fetch_mask_unit = (1 << self._fetch_words) - 1
+
+    # ------------------------------------------------------------------
+    # Address plumbing
+    # ------------------------------------------------------------------
+    def _locate(self, pid: int, word_addr: int) -> Tuple[int, int, int]:
+        """Return ``(key, set index, word offset)`` for an access."""
+        block = word_addr >> self._offset_bits
+        index = block & self._index_mask
+        return block_key(pid, block), index, word_addr & self._word_mask
+
+    def _fetch_mask_for(self, offset: int) -> int:
+        """Valid-mask bits covered by one fetch containing ``offset``."""
+        start = (offset // self._fetch_words) * self._fetch_words
+        return self._fetch_mask_unit << start
+
+    # ------------------------------------------------------------------
+    # Lookup without side effects (tests, assertions)
+    # ------------------------------------------------------------------
+    def probe(self, pid: int, word_addr: int) -> bool:
+        """True if the access would hit; does not disturb any state."""
+        key, index, offset = self._locate(pid, word_addr)
+        tags = self._tags[index]
+        valid = self._valid[index]
+        for way in range(len(tags)):
+            if tags[way] == key and (valid[way] >> offset) & 1:
+                return True
+        return False
+
+    def resident_keys(self) -> List[int]:
+        """All block keys currently held (any valid word); for tests."""
+        keys = []
+        for index in range(len(self._tags)):
+            for way in range(self.geometry.assoc):
+                if self._valid[index][way]:
+                    keys.append(self._tags[index][way])
+        return keys
+
+    # ------------------------------------------------------------------
+    # Accesses
+    # ------------------------------------------------------------------
+    def access_read(self, pid: int, word_addr: int) -> AccessResult:
+        """Service a load or instruction fetch."""
+        key, index, offset = self._locate(pid, word_addr)
+        tags = self._tags[index]
+        valid = self._valid[index]
+        for way in range(len(tags)):
+            if tags[way] == key:
+                if (valid[way] >> offset) & 1:
+                    self._repl.on_hit(self._order[index], way)
+                    return AccessResult(hit=True)
+                # Tag hit, word invalid: sub-block miss — fetch the
+                # missing sub-block into the existing frame.
+                valid[way] |= self._fetch_mask_for(offset)
+                self._repl.on_hit(self._order[index], way)
+                return AccessResult(hit=False, fetched_words=self._fetch_words)
+        return self._fill(key, index, offset, dirty_word=None)
+
+    def access_write(self, pid: int, word_addr: int) -> AccessResult:
+        """Service a store."""
+        key, index, offset = self._locate(pid, word_addr)
+        tags = self._tags[index]
+        valid = self._valid[index]
+        write_through = self.policy.write_policy is WritePolicy.WRITE_THROUGH
+        for way in range(len(tags)):
+            if tags[way] == key:
+                word_bit = 1 << offset
+                valid[way] |= word_bit
+                if not write_through:
+                    self._dirty[index][way] |= word_bit
+                self._repl.on_hit(self._order[index], way)
+                # Write-through hits still propagate the word downward;
+                # the timed layers charge for it via bypass_write.
+                return AccessResult(hit=True, bypass_write=write_through)
+        if self.policy.write_miss is WriteMissPolicy.NO_ALLOCATE or write_through:
+            # "The data cache is write back, with no fetch done on write
+            # miss": the word goes around the cache to the write buffer.
+            return AccessResult(hit=False, bypass_write=True)
+        result = self._fill(key, index, offset, dirty_word=offset)
+        return result
+
+    def _fill(
+        self, key: int, index: int, offset: int, dirty_word: Optional[int]
+    ) -> AccessResult:
+        """Allocate a frame for ``key``, evicting if necessary."""
+        tags = self._tags[index]
+        valid = self._valid[index]
+        dirty = self._dirty[index]
+        order = self._order[index]
+        way = -1
+        for candidate in range(len(tags)):
+            if not valid[candidate]:
+                way = candidate
+                if way in order:
+                    order.remove(way)
+                break
+        victim_key: Optional[int] = None
+        victim_dirty_words = 0
+        if way < 0:
+            way = self._repl.victim(order, self.geometry.assoc)
+            if dirty[way]:
+                victim_key = tags[way]
+                victim_dirty_words = bin(dirty[way]).count("1")
+        tags[way] = key
+        valid[way] = self._fetch_mask_for(offset)
+        dirty[way] = 0
+        if dirty_word is not None:
+            bit = 1 << dirty_word
+            valid[way] |= bit
+            dirty[way] |= bit
+        self._repl.on_fill(order, way)
+        return AccessResult(
+            hit=False,
+            fetched_words=self._fetch_words,
+            victim_key=victim_key,
+            victim_dirty_words=victim_dirty_words,
+        )
+
+    def write_words(self, pid: int, word_addr: int, n_words: int) -> AccessResult:
+        """Absorb a multi-word write arriving from the level above.
+
+        Used when this cache is a *lower* level of a hierarchy: a dirty
+        victim (or bypassing write-miss word) written back by the level
+        above lands here.  The written words must lie within one block of
+        this cache.  On a miss with a fetch-on-write policy the frame is
+        allocated *without* fetching: the written words become valid and
+        dirty, the rest of the block stays invalid (sub-block semantics),
+        so no read from below is needed for correctness.  With a
+        no-allocate policy the write bypasses (the caller forwards it to
+        this level's own write buffer).
+        """
+        key, index, offset = self._locate(pid, word_addr)
+        if offset + n_words > self.geometry.block_words:
+            raise SimulationError(
+                f"{n_words}-word write at offset {offset} crosses a "
+                f"{self.geometry.block_words}-word block"
+            )
+        mask = ((1 << n_words) - 1) << offset
+        tags = self._tags[index]
+        valid = self._valid[index]
+        dirty = self._dirty[index]
+        write_through = self.policy.write_policy is WritePolicy.WRITE_THROUGH
+        for way in range(len(tags)):
+            if tags[way] == key:
+                valid[way] |= mask
+                if not write_through:
+                    dirty[way] |= mask
+                self._repl.on_hit(self._order[index], way)
+                return AccessResult(hit=True, bypass_write=write_through)
+        if self.policy.write_miss is WriteMissPolicy.NO_ALLOCATE or write_through:
+            return AccessResult(hit=False, bypass_write=True)
+        order = self._order[index]
+        way = -1
+        for candidate in range(len(tags)):
+            if not valid[candidate]:
+                way = candidate
+                if way in order:
+                    order.remove(way)
+                break
+        victim_key: Optional[int] = None
+        victim_dirty_words = 0
+        if way < 0:
+            way = self._repl.victim(order, self.geometry.assoc)
+            if dirty[way]:
+                victim_key = tags[way]
+                victim_dirty_words = bin(dirty[way]).count("1")
+        tags[way] = key
+        valid[way] = mask
+        dirty[way] = mask
+        self._repl.on_fill(order, way)
+        return AccessResult(
+            hit=False,
+            victim_key=victim_key,
+            victim_dirty_words=victim_dirty_words,
+        )
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def flush(self) -> List[Tuple[int, int]]:
+        """Invalidate everything; return ``(key, dirty words)`` of each
+        dirty block that would have required a write back."""
+        written = []
+        for index in range(len(self._tags)):
+            for way in range(self.geometry.assoc):
+                if self._dirty[index][way]:
+                    written.append(
+                        (
+                            self._tags[index][way],
+                            bin(self._dirty[index][way]).count("1"),
+                        )
+                    )
+                self._tags[index][way] = -1
+                self._valid[index][way] = 0
+                self._dirty[index][way] = 0
+            self._order[index].clear()
+        return written
+
+    def check_invariants(self) -> None:
+        """Raise :class:`SimulationError` if internal state is corrupt.
+
+        Used by tests and the property-based suite: no duplicate keys in
+        a set, dirty implies valid-bits subset, order lists consistent.
+        """
+        for index in range(len(self._tags)):
+            seen = set()
+            for way in range(self.geometry.assoc):
+                valid = self._valid[index][way]
+                dirty = self._dirty[index][way]
+                tag = self._tags[index][way]
+                if valid:
+                    if tag in seen:
+                        raise SimulationError(
+                            f"duplicate key {tag:#x} in set {index}"
+                        )
+                    seen.add(tag)
+                if dirty & ~valid:
+                    raise SimulationError(
+                        f"dirty word without valid bit in set {index} way {way}"
+                    )
+                if valid and (way not in self._order[index]):
+                    raise SimulationError(
+                        f"valid way {way} missing from order list, set {index}"
+                    )
+            if len(self._order[index]) != len(
+                set(self._order[index])
+            ):
+                raise SimulationError(f"duplicate ways in order list, set {index}")

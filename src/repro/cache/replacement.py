@@ -1,0 +1,97 @@
+"""Replacement policies: victim selection within a set.
+
+Each policy manipulates a per-set *order list* of way indices maintained
+by the cache.  The conventions are:
+
+* ``order`` contains the ways currently holding valid blocks;
+* for LRU the list is ordered least- to most-recently used;
+* for FIFO the list is ordered oldest- to newest-filled;
+* RANDOM keeps the list only to know which ways are valid.
+
+The paper's associativity experiments (§4) use random replacement
+"regardless of the set size".  LRU exists mainly for property tests (its
+inclusion/stack property) and ablations; FIFO is included for
+completeness and as the classic Belady-anomaly counterexample exercised
+in the test suite.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..core.policy import ReplacementKind
+from ..errors import ConfigurationError
+
+
+class ReplacementPolicy:
+    """Interface; see module docstring for the order-list conventions."""
+
+    def on_hit(self, order: List[int], way: int) -> None:
+        """Update recency state after a hit on ``way``."""
+        raise NotImplementedError
+
+    def on_fill(self, order: List[int], way: int) -> None:
+        """Record that ``way`` has just been filled."""
+        raise NotImplementedError
+
+    def victim(self, order: List[int], assoc: int) -> int:
+        """Choose a way to evict from a full set and remove it from
+        ``order`` (the caller will re-fill it via :meth:`on_fill`)."""
+        raise NotImplementedError
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Least recently used; order list is LRU-first."""
+
+    def on_hit(self, order: List[int], way: int) -> None:
+        order.remove(way)
+        order.append(way)
+
+    def on_fill(self, order: List[int], way: int) -> None:
+        order.append(way)
+
+    def victim(self, order: List[int], assoc: int) -> int:
+        return order.pop(0)
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """First in, first out; hits do not touch the order."""
+
+    def on_hit(self, order: List[int], way: int) -> None:
+        pass
+
+    def on_fill(self, order: List[int], way: int) -> None:
+        order.append(way)
+
+    def victim(self, order: List[int], assoc: int) -> int:
+        return order.pop(0)
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniform random victim among valid ways (seeded, reproducible)."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def on_hit(self, order: List[int], way: int) -> None:
+        pass
+
+    def on_fill(self, order: List[int], way: int) -> None:
+        order.append(way)
+
+    def victim(self, order: List[int], assoc: int) -> int:
+        return order.pop(self._rng.randrange(len(order)))
+
+
+def make_policy(
+    kind: ReplacementKind, seed: Optional[int] = None
+) -> ReplacementPolicy:
+    """Instantiate a replacement policy by kind."""
+    if kind is ReplacementKind.LRU:
+        return LRUPolicy()
+    if kind is ReplacementKind.FIFO:
+        return FIFOPolicy()
+    if kind is ReplacementKind.RANDOM:
+        return RandomPolicy(seed=0 if seed is None else seed)
+    raise ConfigurationError(f"unknown replacement kind {kind!r}")

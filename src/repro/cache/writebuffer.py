@@ -1,0 +1,139 @@
+"""Timed FIFO write buffer.
+
+"Write buffers are included between every level of the modeled system"
+(§2).  The buffer accepts dirty victims and bypassing write misses from
+the cache above, drains them into the level below whenever that level
+would otherwise sit idle (greedy background drain, reads have priority),
+and enforces the two stall conditions the paper describes:
+
+* **full stall** — a push into a full buffer forces the oldest entry to
+  drain first, delaying the processor;
+* **read-match stall** — "the write buffers check the addresses of reads
+  to make sure that the fetched data is not stale.  In the case of a
+  match, the read is delayed until the write propagates out of the
+  buffer and into the next level of the hierarchy."
+
+The level below is duck-typed: it must expose ``free_at`` and
+``write_block(pid, word_addr, words, now) -> handoff_cycle``.  Both
+:class:`~repro.memory.mainmemory.MainMemory` and the engine's lower cache
+levels satisfy the protocol.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Tuple
+
+from ..errors import ConfigurationError
+
+#: An entry is (pid, start word address, word count, ready cycle).
+_Entry = Tuple[int, int, int, int]
+
+
+class TimedWriteBuffer:
+    """FIFO write buffer between two adjacent hierarchy levels.
+
+    ``depth`` is the number of entries; the paper's base system uses four
+    block entries, "of sufficient depth that it essentially never fills
+    up".
+    """
+
+    def __init__(self, depth: int, below) -> None:
+        if depth < 1:
+            raise ConfigurationError(f"write buffer depth must be >= 1: {depth}")
+        self.depth = depth
+        self.below = below
+        self._entries: Deque[_Entry] = deque()
+        self.pushes = 0
+        self.full_stalls = 0
+        self.match_stalls = 0
+        self.max_occupancy = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # Draining
+    # ------------------------------------------------------------------
+    def _drain_one(self) -> int:
+        """Drain the oldest entry; return its handoff-completion cycle."""
+        pid, addr, words, ready = self._entries.popleft()
+        start = ready if ready > self.below.free_at else self.below.free_at
+        return self.below.write_block(pid, addr, words, start)
+
+    def background_drain(self, now: int) -> None:
+        """Start every drain that would have begun strictly before ``now``.
+
+        Models greedy write-behind with read priority: an entry starts
+        draining as soon as the level below is idle, but a read arriving
+        at exactly the same cycle wins the port.
+        """
+        entries = self._entries
+        below = self.below
+        while entries:
+            ready = entries[0][3]
+            start = ready if ready > below.free_at else below.free_at
+            if start >= now:
+                break
+            self._drain_one()
+
+    def push(self, pid: int, word_addr: int, words: int, now: int) -> int:
+        """Queue a write; return the cycle the processor may continue.
+
+        Normally that is ``now`` — buffered writes are off the critical
+        path.  When the buffer is full the oldest entry is force-drained
+        and the processor waits for the freed slot.
+        """
+        self.background_drain(now)
+        release = now
+        while len(self._entries) >= self.depth:
+            self.full_stalls += 1
+            handoff = self._drain_one()
+            if handoff > release:
+                release = handoff
+        self._entries.append((pid, word_addr, words, release))
+        self.pushes += 1
+        if len(self._entries) > self.max_occupancy:
+            self.max_occupancy = len(self._entries)
+        return release
+
+    def resolve_read_match(
+        self, pid: int, word_addr: int, words: int, now: int
+    ) -> int:
+        """Stall a read of ``[word_addr, word_addr+words)`` until every
+        matching entry has drained.
+
+        Returns the cycle at which the read may proceed.  FIFO order is
+        preserved: everything older than the newest match drains first.
+        """
+        if not self._entries:
+            return now
+        end = word_addr + words
+        match_index = -1
+        for i, (entry_pid, entry_addr, entry_words, _ready) in enumerate(
+            self._entries
+        ):
+            if (
+                entry_pid == pid
+                and entry_addr < end
+                and word_addr < entry_addr + entry_words
+            ):
+                match_index = i
+        if match_index < 0:
+            return now
+        self.match_stalls += 1
+        release = now
+        for _ in range(match_index + 1):
+            handoff = self._drain_one()
+            if handoff > release:
+                release = handoff
+        return release
+
+    def flush(self, now: int) -> int:
+        """Drain everything; return the cycle the last handoff completes."""
+        release = now
+        while self._entries:
+            handoff = self._drain_one()
+            if handoff > release:
+                release = handoff
+        return release

@@ -1,0 +1,269 @@
+"""Command-line interface: ``repro-sim``.
+
+Three subcommands:
+
+* ``repro-sim experiment <id|all> [--full] [--length N] [--traces a,b]``
+  — regenerate one of the paper's tables/figures (see DESIGN.md §5);
+* ``repro-sim simulate [--size-kb N] [--assoc A] [--block-words W]
+  [--cycle-ns T] [--trace NAME] [--engine]`` — run one configuration on
+  one trace and print its statistics;
+* ``repro-sim traces [--length N]`` — print the Table 1 analogue for the
+  synthetic suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .experiments.common import ExperimentSettings
+from .experiments.registry import list_experiments, run_experiment
+from .sim.config import baseline_config
+from .sim.engine import simulate
+from .sim.fastpath import fast_simulate
+from .trace.dinero import read_din, write_din
+from .trace.stats import compute_stats, stats_table
+from .trace.suite import ALL_TRACES, DEFAULT_LENGTH, build_suite, build_trace
+from .units import KB
+
+
+def _settings_from(args: argparse.Namespace) -> ExperimentSettings:
+    names = tuple(args.traces.split(",")) if args.traces else ALL_TRACES
+    return ExperimentSettings(
+        trace_length=args.length,
+        trace_names=names,
+        seed=args.seed,
+        full=args.full,
+    )
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    settings = _settings_from(args)
+    ids = list_experiments() if args.id == "all" else [args.id]
+    for experiment_id in ids:
+        result = run_experiment(experiment_id, settings)
+        print(f"== {result.experiment_id}: {result.title} ==")
+        print(result.text)
+        print()
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    trace = build_trace(args.trace, length=args.length, seed=args.seed)
+    if args.spec:
+        from .sim.specfiles import load_spec
+
+        config = load_spec(args.spec, args.vary)
+    else:
+        config = baseline_config(
+            cache_size_bytes=args.size_kb * KB,
+            block_words=args.block_words,
+            assoc=args.assoc,
+            cycle_ns=args.cycle_ns,
+        )
+    runner = simulate if args.engine else fast_simulate
+    if not args.engine:
+        from .errors import ConfigurationError
+        from .sim.fastpath import check_fastpath_supported
+
+        try:
+            check_fastpath_supported(config)
+        except ConfigurationError:
+            runner = simulate  # spec needs engine features
+    stats = runner(config, trace)
+    print(f"trace: {trace.name} ({len(trace)} references, "
+          f"{stats.n_refs} measured)")
+    print(f"system: {config.describe()}")
+    print(f"cycles: {stats.cycles}  ({stats.cycles_per_reference:.3f}/ref)")
+    print(f"execution time: {stats.execution_time_ns / 1e6:.3f} ms")
+    print(f"read miss ratio: {stats.read_miss_ratio:.4f} "
+          f"(load {stats.load_miss_ratio:.4f}, "
+          f"ifetch {stats.ifetch_miss_ratio:.4f})")
+    print(f"traffic: read {stats.read_traffic_ratio:.3f} W/read, write "
+          f"{stats.write_traffic_ratio_full:.3f}/"
+          f"{stats.write_traffic_ratio_dirty:.3f} W/ref (full/dirty)")
+    print(f"write buffer: {stats.buffer.pushes} pushes, "
+          f"{stats.buffer.full_stalls} full stalls, "
+          f"{stats.buffer.match_stalls} read-match stalls")
+    return 0
+
+
+def _cmd_traces(args: argparse.Namespace) -> int:
+    suite = build_suite(length=args.length, seed=args.seed)
+    print(stats_table([compute_stats(t) for t in suite.values()]))
+    return 0
+
+
+def _cmd_din(args: argparse.Namespace) -> int:
+    """Simulate an external din/dinp trace file, or export a synthetic
+    trace to din format."""
+    if args.export:
+        trace = build_trace(args.export, length=args.length, seed=args.seed)
+        write_din(trace, args.path, with_pids=True)
+        print(f"wrote {len(trace)} references to {args.path} (dinp format)")
+        return 0
+    trace = read_din(args.path, name=args.path,
+                     warm_boundary=args.warm_boundary)
+    config = baseline_config(
+        cache_size_bytes=args.size_kb * KB,
+        block_words=args.block_words,
+        assoc=args.assoc,
+        cycle_ns=args.cycle_ns,
+    )
+    stats = fast_simulate(config, trace)
+    print(f"trace: {args.path} ({len(trace)} references)")
+    print(f"system: {config.describe()}")
+    print(f"read miss ratio: {stats.read_miss_ratio:.4f}")
+    print(f"cycles/reference: {stats.cycles_per_reference:.3f}")
+    print(f"execution time: {stats.execution_time_ns / 1e6:.3f} ms")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description=(
+            "Reproduction of 'Performance Tradeoffs in Cache Design' "
+            "(Przybylski, Horowitz & Hennessy, ISCA 1988)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    exp = sub.add_parser("experiment", help="regenerate a paper artifact")
+    exp.add_argument(
+        "id",
+        help=f"experiment id or 'all'; one of: {', '.join(list_experiments())}",
+    )
+    exp.add_argument("--full", action="store_true",
+                     help="paper-scale grids (slow)")
+    exp.add_argument("--length", type=int, default=120_000,
+                     help="trace length in references")
+    exp.add_argument("--traces", default="",
+                     help="comma-separated subset of trace names")
+    exp.add_argument("--seed", type=int, default=0)
+    exp.set_defaults(func=_cmd_experiment)
+
+    simp = sub.add_parser("simulate", help="run one configuration")
+    simp.add_argument("--trace", default="mu3", choices=ALL_TRACES)
+    simp.add_argument("--length", type=int, default=DEFAULT_LENGTH)
+    simp.add_argument("--size-kb", type=int, default=64,
+                      help="size of EACH split cache in KB")
+    simp.add_argument("--assoc", type=int, default=1)
+    simp.add_argument("--block-words", type=int, default=4)
+    simp.add_argument("--cycle-ns", type=float, default=40.0)
+    simp.add_argument("--engine", action="store_true",
+                      help="use the reference engine instead of the fastpath")
+    simp.add_argument("--spec", default="",
+                      help="JSON system specification file (overrides the "
+                           "size/assoc/block/cycle flags)")
+    simp.add_argument("--vary", action="append", default=[],
+                      help="variation file applied on top of --spec "
+                           "(repeatable, applied in order)")
+    simp.add_argument("--seed", type=int, default=0)
+    simp.set_defaults(func=_cmd_simulate)
+
+    tr = sub.add_parser("traces", help="describe the synthetic trace suite")
+    tr.add_argument("--length", type=int, default=DEFAULT_LENGTH)
+    tr.add_argument("--seed", type=int, default=0)
+    tr.set_defaults(func=_cmd_traces)
+
+    din = sub.add_parser(
+        "din", help="simulate a din/dinp trace file, or export one"
+    )
+    din.add_argument("path", help="trace file to read (or write)")
+    din.add_argument("--export", default="", choices=("",) + ALL_TRACES,
+                     help="write this synthetic trace to PATH instead")
+    din.add_argument("--length", type=int, default=DEFAULT_LENGTH,
+                     help="length when exporting")
+    din.add_argument("--warm-boundary", type=int, default=0)
+    din.add_argument("--size-kb", type=int, default=64)
+    din.add_argument("--assoc", type=int, default=1)
+    din.add_argument("--block-words", type=int, default=4)
+    din.add_argument("--cycle-ns", type=float, default=40.0)
+    din.add_argument("--seed", type=int, default=0)
+    din.set_defaults(func=_cmd_din)
+
+    adv = sub.add_parser(
+        "advise",
+        help="rank buildable (size, cycle) rungs from a RAM ladder",
+    )
+    adv.add_argument(
+        "rungs", nargs="+",
+        help="rungs as TOTALKB:CYCLENS, e.g. 16:40 64:50 256:60",
+    )
+    adv.add_argument("--length", type=int, default=60_000)
+    adv.add_argument("--traces", default="mu3,rd2n4")
+    adv.add_argument("--seed", type=int, default=0)
+    adv.set_defaults(func=_cmd_advise)
+
+    rep = sub.add_parser(
+        "report",
+        help="run every experiment and write a markdown report",
+    )
+    rep.add_argument("-o", "--output", default="paper_report.md")
+    rep.add_argument("--full", action="store_true")
+    rep.add_argument("--length", type=int, default=120_000)
+    rep.add_argument("--traces", default="")
+    rep.add_argument("--seed", type=int, default=0)
+    rep.set_defaults(func=_cmd_report)
+    return parser
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .experiments.registry import run_all
+
+    settings = _settings_from(args)
+    lines = [
+        "# Reproduction report — Performance Tradeoffs in Cache Design",
+        "",
+        f"Traces: {', '.join(settings.trace_names)} at "
+        f"{settings.trace_length} references; "
+        f"{'full' if settings.full else 'reduced'} grids.",
+        "",
+    ]
+    for result in run_all(settings):
+        lines.append(f"## {result.experiment_id}: {result.title}")
+        lines.append("")
+        lines.append("```")
+        lines.append(result.text)
+        lines.append("```")
+        lines.append("")
+        print(f"done: {result.experiment_id}")
+    with open(args.output, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(lines))
+    print(f"report written to {args.output}")
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    from .core.advisor import LadderRung, advisor_table, recommend_design
+    from .core.sweep import run_speed_size_sweep
+
+    rungs = []
+    for text in args.rungs:
+        total_kb, cycle = text.split(":")
+        rungs.append(LadderRung(int(total_kb) * KB, float(cycle)))
+    suite = build_suite(
+        length=args.length, names=tuple(args.traces.split(",")),
+        seed=args.seed,
+    )
+    # Grid must bracket the ladder: derive axes from the rungs.
+    sizes_each = sorted({max(r.total_size_bytes // 2, KB) for r in rungs})
+    extended = sorted(
+        {s // 2 for s in sizes_each} | set(sizes_each)
+        | {s * 2 for s in sizes_each}
+    )
+    cycles = sorted({r.cycle_ns for r in rungs} | {20.0, 80.0})
+    grid = run_speed_size_sweep(suite, extended, cycles, seed=args.seed)
+    print(advisor_table(recommend_design(grid, rungs)))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

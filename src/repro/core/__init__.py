@@ -1,0 +1,30 @@
+"""Core methodology: parameter types, metrics and the paper's analyses.
+
+Import note: this package must stay import-light — the cache/memory/sim
+substrates import parameter types from here, so nothing in this
+``__init__`` may import :mod:`repro.sim` (the sweep driver, which does,
+is exported from the top-level :mod:`repro` package instead).
+"""
+
+from .geometry import CacheGeometry
+from .policy import (
+    CachePolicy,
+    MissHandling,
+    ReplacementKind,
+    WriteMissPolicy,
+    WritePolicy,
+)
+from .timing import DEFAULT_CYCLE_NS, DEFAULT_MEMORY, CacheTiming, MemoryTiming
+
+__all__ = [
+    "CacheGeometry",
+    "CachePolicy",
+    "MissHandling",
+    "ReplacementKind",
+    "WriteMissPolicy",
+    "WritePolicy",
+    "DEFAULT_CYCLE_NS",
+    "DEFAULT_MEMORY",
+    "CacheTiming",
+    "MemoryTiming",
+]

@@ -1,0 +1,136 @@
+"""Design advisor: pick (cache size, cycle time) from a RAM ladder.
+
+§3's worked example is an engineering decision procedure: "If the best
+available 16Kb and 64Kb RAMs run at 15 and 25ns respectively, then two
+comparable design alternatives are 8KB per cache with the 2K by 8b
+chips or 32KB per cache with the 8K by 8b chips ... running the CPU at
+50ns with a larger cache improves the overall performance by 7.3%."
+
+:func:`recommend_design` packages that procedure: given a simulated
+speed–size grid and the designer's *RAM ladder* — the (cache size,
+achievable cycle time) points the available parts permit — it evaluates
+every rung by interpolation and ranks them by execution time, with the
+margins the paper reads off its equal-performance lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..units import format_size
+from .equal_performance import slope_ns_per_doubling
+from .metrics import SpeedSizeGrid
+from .report import format_table
+
+
+@dataclass(frozen=True)
+class LadderRung:
+    """One buildable design point: a total L1 size and the CPU/cache
+    cycle time the corresponding RAM parts support."""
+
+    total_size_bytes: int
+    cycle_ns: float
+
+    def __post_init__(self) -> None:
+        if self.total_size_bytes <= 0 or self.cycle_ns <= 0:
+            raise AnalysisError("rung sizes and cycle times must be positive")
+
+
+@dataclass(frozen=True)
+class RungEvaluation:
+    """A rung's interpolated performance on the grid."""
+
+    rung: LadderRung
+    execution_ns: float
+    relative_to_best: float
+    slope_ns_per_doubling: float
+
+
+def evaluate_rung(grid: SpeedSizeGrid, rung: LadderRung) -> float:
+    """Interpolated execution time of one rung.
+
+    Bilinear in (log2 size, cycle time); rungs outside the simulated
+    grid are rejected rather than extrapolated.
+    """
+    sizes = np.log2(np.asarray(grid.total_sizes, dtype=float))
+    cycles = np.asarray(grid.cycle_times_ns, dtype=float)
+    s = float(np.log2(rung.total_size_bytes))
+    t = float(rung.cycle_ns)
+    if not (sizes[0] <= s <= sizes[-1]) or not (cycles[0] <= t <= cycles[-1]):
+        raise AnalysisError(
+            f"rung ({format_size(rung.total_size_bytes)}, {t:g}ns) outside "
+            "the simulated grid"
+        )
+    i = int(np.searchsorted(sizes, s, side="right") - 1)
+    i = min(i, len(sizes) - 2)
+    j = int(np.searchsorted(cycles, t, side="right") - 1)
+    j = min(j, len(cycles) - 2)
+    ws = (s - sizes[i]) / (sizes[i + 1] - sizes[i])
+    wt = (t - cycles[j]) / (cycles[j + 1] - cycles[j])
+    e = grid.execution_ns
+    return float(
+        e[i, j] * (1 - ws) * (1 - wt)
+        + e[i + 1, j] * ws * (1 - wt)
+        + e[i, j + 1] * (1 - ws) * wt
+        + e[i + 1, j + 1] * ws * wt
+    )
+
+
+def recommend_design(
+    grid: SpeedSizeGrid, ladder: Sequence[LadderRung]
+) -> List[RungEvaluation]:
+    """Rank every buildable rung; best (lowest execution time) first.
+
+    Each evaluation carries the equal-performance slope at the nearest
+    grid point — the number that tells the designer whether the *next*
+    RAM generation will move the answer.
+    """
+    if not ladder:
+        raise AnalysisError("empty RAM ladder")
+    execs = [evaluate_rung(grid, rung) for rung in ladder]
+    best = min(execs)
+    evaluations = []
+    for rung, exec_ns in zip(ladder, execs):
+        i = int(np.argmin(
+            [abs(np.log2(s / rung.total_size_bytes))
+             for s in grid.total_sizes]
+        ))
+        j = int(np.argmin(
+            [abs(c - rung.cycle_ns) for c in grid.cycle_times_ns]
+        ))
+        slope = slope_ns_per_doubling(grid, min(i, grid.n_sizes - 2), j)
+        evaluations.append(
+            RungEvaluation(
+                rung=rung,
+                execution_ns=exec_ns,
+                relative_to_best=exec_ns / best,
+                slope_ns_per_doubling=(
+                    slope if slope is not None else float("nan")
+                ),
+            )
+        )
+    evaluations.sort(key=lambda ev: ev.execution_ns)
+    return evaluations
+
+
+def advisor_table(evaluations: Sequence[RungEvaluation]) -> str:
+    """Render a recommendation ranking."""
+    rows = []
+    for rank, ev in enumerate(evaluations, start=1):
+        rows.append([
+            rank,
+            format_size(ev.rung.total_size_bytes),
+            f"{ev.rung.cycle_ns:g}ns",
+            ev.relative_to_best,
+            ev.slope_ns_per_doubling,
+        ])
+    return format_table(
+        ["Rank", "TotalL1", "Cycle", "Exec(rel)", "ns/doubling"],
+        rows,
+        title="RAM-ladder recommendation (best first)",
+        precision=3,
+    )

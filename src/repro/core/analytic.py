@@ -1,0 +1,144 @@
+"""First-order analytic models used by the paper's arguments.
+
+§5 leans on Smith's derivation (the paper's footnote 12): with a miss
+penalty of the form ``la + BS/tr``, the mean read time is
+
+    T(BS) = hit + MR(BS) x (la + BS/tr)
+
+and the block size minimizing it depends on the memory only through the
+product ``la x tr``.  With the standard power-law miss model
+``MR(BS) = c x BS^-alpha`` (0 < alpha < 1), the optimum has the closed
+form
+
+    BS* = (alpha / (1 - alpha)) x la x tr
+
+— the product law made explicit.  This module provides the model, a
+log-space power-law fitter for simulated miss curves, and a
+cycles-per-reference decomposition used in §6-style reasoning.  The test
+suite cross-checks the closed form against the simulator's parabola-fit
+optima.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+
+def mean_read_time_cycles(
+    miss_ratio: float,
+    latency_cycles: float,
+    block_words: float,
+    transfer_rate: float,
+    hit_cycles: float = 1.0,
+) -> float:
+    """Footnote 12's mean read time: hit + MR x (la + BS/tr)."""
+    if miss_ratio < 0 or latency_cycles < 0 or hit_cycles < 0:
+        raise AnalysisError("negative time or ratio")
+    if block_words <= 0 or transfer_rate <= 0:
+        raise AnalysisError("block size and transfer rate must be positive")
+    return hit_cycles + miss_ratio * (
+        latency_cycles + block_words / transfer_rate
+    )
+
+
+@dataclass(frozen=True)
+class MissPowerLaw:
+    """MR(BS) = coefficient x BS^-alpha."""
+
+    coefficient: float
+    alpha: float
+
+    def __call__(self, block_words: float) -> float:
+        if block_words <= 0:
+            raise AnalysisError("block size must be positive")
+        return self.coefficient * block_words ** (-self.alpha)
+
+
+def fit_miss_power_law(
+    block_sizes: Sequence[float], miss_ratios: Sequence[float]
+) -> MissPowerLaw:
+    """Least-squares fit of the power law in log-log space.
+
+    Only the decreasing part of a miss curve obeys the law; pass the
+    points left of the miss-ratio minimum.
+    """
+    if len(block_sizes) != len(miss_ratios) or len(block_sizes) < 2:
+        raise AnalysisError("need at least two matched points")
+    if min(block_sizes) <= 0 or min(miss_ratios) <= 0:
+        raise AnalysisError("points must be positive")
+    logs_b = np.log(np.asarray(block_sizes, dtype=float))
+    logs_m = np.log(np.asarray(miss_ratios, dtype=float))
+    slope, intercept = np.polyfit(logs_b, logs_m, 1)
+    return MissPowerLaw(coefficient=float(math.exp(intercept)),
+                        alpha=float(-slope))
+
+
+def analytic_optimal_block_words(
+    law: MissPowerLaw, latency_cycles: float, transfer_rate: float
+) -> float:
+    """Closed-form optimum of the mean read time under the power law.
+
+    Setting d/dBS [c BS^-a (la + BS/tr)] = 0 gives
+    BS* = a/(1-a) x la x tr — a pure function of the speed product,
+    which is precisely the paper's Figure 5-4 claim.  Requires
+    0 < alpha < 1 (alpha >= 1 would mean bigger blocks always win).
+    """
+    if not 0.0 < law.alpha < 1.0:
+        raise AnalysisError(
+            f"power-law optimum needs 0 < alpha < 1, got {law.alpha:.3f}"
+        )
+    if latency_cycles <= 0 or transfer_rate <= 0:
+        raise AnalysisError("latency and transfer rate must be positive")
+    return (law.alpha / (1.0 - law.alpha)) * latency_cycles * transfer_rate
+
+
+def cycles_per_reference_model(
+    read_miss_ratio: float,
+    read_fraction: float,
+    miss_penalty_cycles: float,
+    write_fraction: float = 0.0,
+    write_cost_cycles: float = 2.0,
+    pairing_factor: float = 0.7,
+) -> float:
+    """§6-style cycles/reference decomposition.
+
+    base (one cycle per couplet, ~``pairing_factor`` couplets per
+    reference) + write-hit overhead + read-miss stalls.  This linear
+    model is what makes Table 3's "cycles per reference is approximately
+    a linear function of the miss penalty" observation quantitative.
+    """
+    if not 0 <= read_fraction <= 1 or not 0 <= write_fraction <= 1:
+        raise AnalysisError("fractions must lie in [0, 1]")
+    base = pairing_factor
+    writes = write_fraction * (write_cost_cycles - 1.0)
+    misses = read_fraction * read_miss_ratio * miss_penalty_cycles
+    return base + writes + misses
+
+
+def crossover_speed_product(
+    law: MissPowerLaw, block_a: float, block_b: float
+) -> float:
+    """Speed product at which blocks ``a`` and ``b`` tie.
+
+    Solves T_a(la x tr) = T_b(la x tr) under the power law; useful for
+    finding where the best *binary* block size steps (the paper's
+    "either four or eight words" band).
+    """
+    if block_a <= 0 or block_b <= 0 or block_a == block_b:
+        raise AnalysisError("need two distinct positive block sizes")
+    ma = law(block_a)
+    mb = law(block_b)
+    if ma == mb:
+        raise AnalysisError("blocks have identical miss ratios")
+    # ma*(P + a) == mb*(P + b) with P the product and per-word transfer
+    # folded into units of latency: P = (mb*b - ma*a) / (ma - mb).
+    product = (mb * block_b - ma * block_a) / (ma - mb)
+    if product <= 0:
+        raise AnalysisError("no positive crossover for these blocks")
+    return float(product)

@@ -1,0 +1,165 @@
+"""Set-associativity break-even analysis (the paper's §4).
+
+"Rather than try to quantify these various temporal and physical costs,
+we have translated the benefits associated with the improved miss ratio
+into equivalent cycle time changes.  If the implementation of set
+associativity impacts the cache/CPU cycle time by an amount greater than
+this break-even value, then adding set associativity is detrimental to
+overall performance."
+
+Given speed–size grids simulated at several set sizes, the break-even
+degradation at a design point (size, cycle time, associativity A) is the
+cycle time at which the *direct-mapped* cache of the same size would
+match the A-way machine's execution time, minus the A-way machine's
+cycle time (Figures 4-3 through 4-5).
+
+Footnote 9's smoothing is reproduced by :func:`smooth_column`: the 56 ns
+column sits right at a quantization boundary and "severely distorted the
+analysis of set associativity", so the paper replaced it with more
+representative values; we interpolate it from its neighbours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import AnalysisError
+from .metrics import SpeedSizeGrid
+from .equal_performance import cycle_time_for_level
+
+#: Texas Instruments ALS/AS data-book numbers the paper quotes for an
+#: Advanced-Schottky multiplexor: worst-case data-in to data-out, and
+#: select to data-out, in nanoseconds.
+AS_MUX_DATA_NS = 6.0
+AS_MUX_SELECT_NS = 11.0
+
+
+def smooth_column(grid: SpeedSizeGrid, cycle_ns: float = 56.0) -> SpeedSizeGrid:
+    """Replace one anomalous cycle-time column by neighbour interpolation.
+
+    Reproduces the paper's footnote 9: the data for the 56 ns case "has
+    been smoothed to be more representative" because the quantization
+    anomaly (the read penalty changes from 8 to 9 cycles between 60 and
+    56 ns) distorts the associativity analysis.  Returns a new grid; the
+    input is untouched.  If the column is absent the grid is returned
+    unchanged.
+    """
+    try:
+        j = grid.cycle_index(cycle_ns)
+    except AnalysisError:
+        return grid
+    if j == 0 or j == grid.n_cycles - 1:
+        return grid
+    execution = grid.execution_ns.copy()
+    t_lo = grid.cycle_times_ns[j - 1]
+    t_hi = grid.cycle_times_ns[j + 1]
+    w = (cycle_ns - t_lo) / (t_hi - t_lo)
+    execution[:, j] = (1 - w) * execution[:, j - 1] + w * execution[:, j + 1]
+    return SpeedSizeGrid(
+        total_sizes=list(grid.total_sizes),
+        cycle_times_ns=list(grid.cycle_times_ns),
+        execution_ns=execution,
+        cycles_per_reference=grid.cycles_per_reference,
+        read_miss_ratio=grid.read_miss_ratio,
+        load_miss_ratio=grid.load_miss_ratio,
+        ifetch_miss_ratio=grid.ifetch_miss_ratio,
+        read_traffic_ratio=grid.read_traffic_ratio,
+        write_traffic_ratio_full=grid.write_traffic_ratio_full,
+        write_traffic_ratio_dirty=grid.write_traffic_ratio_dirty,
+    )
+
+
+def breakeven_ns(
+    direct_mapped: SpeedSizeGrid,
+    associative: SpeedSizeGrid,
+    size_index: int,
+    cycle_index: int,
+) -> Optional[float]:
+    """Break-even cycle-time degradation at one design point.
+
+    The paper's construction: find the cycle time ``t_dm`` a
+    direct-mapped machine needs to match the set-associative design's
+    performance at ``cycle_times[cycle_index]``; the difference between
+    the two machines' cycle times is "the amount of time available for
+    the implementation of set associativity".  Positive when the
+    associative design is better at equal clock (it may spend that many
+    nanoseconds on selection hardware and still break even); negative
+    when associativity already loses.  ``None`` when the interpolation
+    leaves the simulated clock range.
+    """
+    if direct_mapped.total_sizes != associative.total_sizes or \
+            direct_mapped.cycle_times_ns != associative.cycle_times_ns:
+        raise AnalysisError("grids must share their axes")
+    level = float(associative.execution_ns[size_index, cycle_index])
+    t_dm = cycle_time_for_level(direct_mapped, size_index, level)
+    if t_dm is None:
+        return None
+    return float(associative.cycle_times_ns[cycle_index] - t_dm)
+
+
+def breakeven_map(
+    direct_mapped: SpeedSizeGrid, associative: SpeedSizeGrid
+) -> np.ndarray:
+    """Break-even degradations over the whole grid (Figures 4-3..4-5).
+
+    NaN marks points where the interpolation leaves the simulated range.
+    """
+    result = np.full(
+        (direct_mapped.n_sizes, direct_mapped.n_cycles), np.nan
+    )
+    for i in range(direct_mapped.n_sizes):
+        for j in range(direct_mapped.n_cycles):
+            value = breakeven_ns(direct_mapped, associative, i, j)
+            if value is not None:
+                result[i, j] = value
+    return result
+
+
+@dataclass(frozen=True)
+class BreakevenSummary:
+    """Headline numbers the paper reads off Figures 4-3..4-5."""
+
+    assoc: int
+    max_breakeven_ns: float
+    max_at_total_size: int
+    worthwhile_vs_as_mux: bool
+    small_cache_breakeven_ns: float
+    large_cache_breakeven_ns: float
+
+
+def summarize_breakeven(
+    direct_mapped: SpeedSizeGrid,
+    associative: SpeedSizeGrid,
+    assoc: int,
+    mux_ns: float = AS_MUX_DATA_NS,
+) -> BreakevenSummary:
+    """Summarize a break-even map the way §4 does.
+
+    The paper: "Only for a total cache size of less than 16KB is the
+    break-even point more than 6ns ... The conclusion is clear: it is
+    unlikely that set associativity ever makes sense from a performance
+    perspective for caches made of discrete TTL parts."
+    """
+    bmap = breakeven_map(direct_mapped, associative)
+    if np.isnan(bmap).all():
+        raise AnalysisError("break-even map is empty")
+    flat = np.nanmax(bmap, axis=1)
+    best_i = int(np.nanargmax(flat))
+    per_size = np.array([
+        np.nanmean(bmap[i, :]) if not np.isnan(bmap[i, :]).all() else np.nan
+        for i in range(direct_mapped.n_sizes)
+    ])
+    valid = ~np.isnan(per_size)
+    small = float(per_size[valid][0]) if valid.any() else float("nan")
+    large = float(per_size[valid][-1]) if valid.any() else float("nan")
+    return BreakevenSummary(
+        assoc=assoc,
+        max_breakeven_ns=float(flat[best_i]),
+        max_at_total_size=direct_mapped.total_sizes[best_i],
+        worthwhile_vs_as_mux=bool(flat[best_i] > mux_ns),
+        small_cache_breakeven_ns=small,
+        large_cache_breakeven_ns=large,
+    )

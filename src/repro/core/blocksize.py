@@ -1,0 +1,138 @@
+"""Block-size optimization and the memory-speed product law (§5).
+
+The paper's block-size analysis has three pieces, all implemented here:
+
+* the U-shaped miss-ratio and execution-time curves versus block size
+  (Figures 5-1 and 5-2), produced by the sweep driver and held in
+  :class:`~repro.core.metrics.BlockSizeCurve`;
+* the *performance-optimal* block size, estimated "by fitting a parabola
+  to the lowest three points and finding its minimum" — in log2(block
+  size) coordinates, since block sizes are sampled in octaves
+  (Figure 5-3);
+* the first-order law that the optimal block size depends on the memory
+  only through the product ``la x tr`` (latency in cycles times transfer
+  rate in words per cycle), verified in Figure 5-4, together with the
+  "experienced engineer" balance line BS = la x tr at which latency and
+  transfer time are equal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import AnalysisError
+from .metrics import BlockSizeCurve
+
+
+def fit_parabola_minimum(
+    xs: Sequence[float], ys: Sequence[float]
+) -> float:
+    """Vertex x of the parabola through three points (minimum).
+
+    Raises when the points are collinear or curve downward (no minimum).
+    """
+    if len(xs) != 3 or len(ys) != 3:
+        raise AnalysisError("parabola fit requires exactly three points")
+    coeffs = np.polyfit(np.asarray(xs, float), np.asarray(ys, float), 2)
+    a, b, _c = coeffs
+    if a <= 0:
+        raise AnalysisError(
+            f"points do not form an upward parabola (a={a:.3g})"
+        )
+    return float(-b / (2 * a))
+
+
+def optimal_block_size_words(curve: BlockSizeCurve) -> float:
+    """Non-integral performance-optimal block size for one memory.
+
+    Fits a parabola in (log2 block size, execution time) through the
+    lowest sampled point and its neighbours; at the edges of the sampled
+    range the edge point itself is returned (the optimum lies at or
+    beyond the boundary).
+    """
+    n = len(curve.block_sizes_words)
+    if n < 3:
+        raise AnalysisError("need at least three block sizes")
+    k = int(np.argmin(curve.execution_ns))
+    if k == 0 or k == n - 1:
+        return float(curve.block_sizes_words[k])
+    xs = [float(np.log2(curve.block_sizes_words[i])) for i in (k - 1, k, k + 1)]
+    ys = [float(curve.execution_ns[i]) for i in (k - 1, k, k + 1)]
+    try:
+        log_opt = fit_parabola_minimum(xs, ys)
+    except AnalysisError:
+        return float(curve.block_sizes_words[k])
+    # Clamp to the neighbour interval: the parabola is only trusted
+    # between the sampled octaves around the minimum.
+    log_opt = min(max(log_opt, xs[0]), xs[2])
+    return float(2.0 ** log_opt)
+
+
+def balance_block_size_words(latency_cycles: float, transfer_rate: float) -> float:
+    """Block size at which transfer time equals latency (the dotted line
+    of Figure 5-4): BS / tr = la, so BS = la x tr."""
+    if latency_cycles <= 0 or transfer_rate <= 0:
+        raise AnalysisError("latency and transfer rate must be positive")
+    return latency_cycles * transfer_rate
+
+
+@dataclass(frozen=True)
+class ProductLawPoint:
+    """One point of Figure 5-4."""
+
+    latency_cycles: int
+    transfer_rate: float
+    speed_product: float
+    optimal_block_words: float
+    balance_block_words: float
+
+
+def product_law_points(
+    curves: Dict[Tuple[int, float], BlockSizeCurve]
+) -> List[ProductLawPoint]:
+    """Optimal block size against the la x tr product for many memories.
+
+    ``curves`` maps ``(latency_cycles, transfer_rate)`` to the simulated
+    block-size curve for that memory.  Sorted by speed product.
+    """
+    points = []
+    for (latency_cycles, transfer_rate), curve in curves.items():
+        points.append(
+            ProductLawPoint(
+                latency_cycles=latency_cycles,
+                transfer_rate=transfer_rate,
+                speed_product=latency_cycles * transfer_rate,
+                optimal_block_words=optimal_block_size_words(curve),
+                balance_block_words=balance_block_size_words(
+                    latency_cycles, transfer_rate
+                ),
+            )
+        )
+    points.sort(key=lambda p: (p.speed_product, p.transfer_rate))
+    return points
+
+
+def product_law_spread(points: Sequence[ProductLawPoint]) -> float:
+    """How well the points collapse onto a single function of the product.
+
+    Groups points by (binned) speed product and returns the worst
+    relative spread of optimal block sizes within a group — Figure 5-4's
+    "the line segments line up quite well" claim, quantified.  Groups
+    with a single member contribute zero.
+    """
+    if not points:
+        raise AnalysisError("no points")
+    groups: Dict[float, List[float]] = {}
+    for p in points:
+        key = round(float(np.log2(p.speed_product)) * 4) / 4
+        groups.setdefault(key, []).append(p.optimal_block_words)
+    worst = 0.0
+    for values in groups.values():
+        if len(values) < 2:
+            continue
+        spread = (max(values) - min(values)) / max(values)
+        worst = max(worst, spread)
+    return worst

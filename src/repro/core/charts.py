@@ -1,0 +1,106 @@
+"""Plotting-free ASCII charts.
+
+The paper communicates through figures; without a plotting dependency,
+this module renders line/scatter charts as text so experiment reports
+and examples can *show* the curves, not just tabulate them.  Charts are
+deterministic strings, which also makes them testable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import AnalysisError
+
+#: Markers assigned to series in insertion order.
+_MARKERS = "ox+*#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, steps: int, log: bool) -> int:
+    if log:
+        value, lo, hi = math.log10(value), math.log10(lo), math.log10(hi)
+    if hi == lo:
+        return 0
+    position = (value - lo) / (hi - lo)
+    return min(steps - 1, max(0, int(round(position * (steps - 1)))))
+
+
+def ascii_chart(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    title: Optional[str] = None,
+    x_label: str = "x",
+    y_label: str = "y",
+    log_x: bool = False,
+    log_y: bool = False,
+) -> str:
+    """Render one or more (x, y) series on a character grid.
+
+    Points from different series get distinct markers; collisions show
+    the most recently drawn marker.  Axis extremes are printed on the
+    frame.  Raises on empty input or non-positive values under a log
+    axis.
+    """
+    if not series or all(len(points) == 0 for points in series.values()):
+        raise AnalysisError("nothing to plot")
+    if len(series) > len(_MARKERS):
+        raise AnalysisError(f"at most {len(_MARKERS)} series supported")
+    if width < 8 or height < 4:
+        raise AnalysisError("chart too small to be legible")
+    points_all = [p for pts in series.values() for p in pts]
+    xs = [p[0] for p in points_all]
+    ys = [p[1] for p in points_all]
+    if log_x and min(xs) <= 0:
+        raise AnalysisError("log x-axis requires positive x values")
+    if log_y and min(ys) <= 0:
+        raise AnalysisError("log y-axis requires positive y values")
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    grid = [[" "] * width for _ in range(height)]
+    for (name, points), marker in zip(series.items(), _MARKERS):
+        for x, y in points:
+            column = _scale(x, x_lo, x_hi, width, log_x)
+            row = height - 1 - _scale(y, y_lo, y_hi, height, log_y)
+            grid[row][column] = marker
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    legend = "  ".join(
+        f"{marker}={name}" for (name, _pts), marker in
+        zip(series.items(), _MARKERS)
+    )
+    lines.append(legend)
+    lines.append(f"{y_hi:>10.4g} +{'-' * width}+")
+    for r, row in enumerate(grid):
+        prefix = f"{y_lo:>10.4g}" if r == height - 1 else " " * 10
+        lines.append(f"{prefix} |{''.join(row)}|")
+    lines.append(" " * 11 + "+" + "-" * width + "+")
+    lines.append(
+        " " * 11 + f"{x_lo:<.4g}".ljust(width // 2)
+        + f"{x_hi:>.4g}".rjust(width - width // 2)
+    )
+    lines.append(" " * 11 + f"{x_label} vs {y_label}"
+                 + (" (log x)" if log_x else "")
+                 + (" (log y)" if log_y else ""))
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], width: Optional[int] = None) -> str:
+    """One-line trend: map values onto eight block heights."""
+    if not values:
+        raise AnalysisError("nothing to plot")
+    blocks = "▁▂▃▄▅▆▇█"
+    lo, hi = min(values), max(values)
+    if width and len(values) > width:
+        # Downsample by striding; endpoints preserved.
+        stride = len(values) / width
+        values = [values[int(i * stride)] for i in range(width - 1)] + [
+            values[-1]
+        ]
+    if hi == lo:
+        return blocks[0] * len(values)
+    return "".join(
+        blocks[int((v - lo) / (hi - lo) * (len(blocks) - 1))] for v in values
+    )

@@ -1,0 +1,186 @@
+"""Lines of equal performance across the speed–size design space.
+
+This module implements the paper's Figure 3-4 analysis.  "Horizontal
+slices though Figure 3-3 expose groups of machines with equal
+performance.  By vertically interpolating between the simulations of the
+same cache size, we can estimate the cycle time required in conjunction
+with each cache organization to attain any given performance level."
+
+The interpolation deliberately smooths the synchronous-quantization
+anomalies (the paper's 56 ns aside): before inverting execution time as
+a function of cycle time we take the monotone (running-maximum)
+envelope, so a locally non-monotonic column cannot produce multiple
+crossings — "this interpolation process smoothes the quantization
+effects to the point where they are inconsequential".
+
+The key output is the *slope* of a constant-performance curve in
+nanoseconds of cycle time per doubling of cache size: how much cycle
+time one may pay for the next RAM size up while breaking even.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import AnalysisError
+from .metrics import SpeedSizeGrid
+
+#: Region boundaries of Figure 3-4, in ns of cycle time per size doubling.
+DEFAULT_REGION_BOUNDARIES = (2.5, 5.0, 7.5, 10.0)
+
+
+def _monotone_exec(grid: SpeedSizeGrid, size_index: int) -> np.ndarray:
+    """Execution time vs cycle time, forced non-decreasing."""
+    return np.maximum.accumulate(grid.execution_ns[size_index, :])
+
+
+def cycle_time_for_level(
+    grid: SpeedSizeGrid, size_index: int, level_exec_ns: float
+) -> Optional[float]:
+    """Cycle time at which ``total_sizes[size_index]`` reaches a level.
+
+    Inverts the (monotone envelope of the) execution-time column by
+    linear interpolation.  Returns ``None`` when the level is
+    unattainable within the simulated cycle-time range — faster than the
+    machine can reach even at the fastest clock, or slower than the
+    slowest simulated clock.
+    """
+    exec_ns = _monotone_exec(grid, size_index)
+    cycles = np.asarray(grid.cycle_times_ns, dtype=float)
+    if level_exec_ns < exec_ns[0] or level_exec_ns > exec_ns[-1]:
+        return None
+    # np.interp needs strictly increasing x; collapse flat runs.
+    keep = np.concatenate(([True], np.diff(exec_ns) > 0))
+    return float(np.interp(level_exec_ns, exec_ns[keep], cycles[keep]))
+
+
+@dataclass(frozen=True)
+class IsoPerformanceLine:
+    """One line of equal performance.
+
+    ``level`` is execution time normalized to the grid's best point;
+    ``points`` are ``(total_size_bytes, cycle_time_ns)`` pairs, one per
+    cache size that can attain the level within the simulated clocks.
+    """
+
+    level: float
+    points: Tuple[Tuple[int, float], ...]
+
+
+def iso_performance_lines(
+    grid: SpeedSizeGrid,
+    base_level: float = 1.1,
+    level_step: float = 0.3,
+    n_levels: int = 16,
+) -> List[IsoPerformanceLine]:
+    """Compute the paper's family of equal-performance lines.
+
+    Figure 3-4: "The best performance level displayed is 1.1 times
+    slower than the (4MB, 20ns) scenario.  The increment between the
+    lines is an increase in execution time equal to 0.3 times this
+    normalization value."
+    """
+    if n_levels < 1:
+        raise AnalysisError(f"need at least one level, got {n_levels}")
+    best = grid.best_execution_ns
+    lines = []
+    for k in range(n_levels):
+        level = base_level + k * level_step
+        points = []
+        for i, size in enumerate(grid.total_sizes):
+            cycle = cycle_time_for_level(grid, i, level * best)
+            if cycle is not None:
+                points.append((size, cycle))
+        lines.append(IsoPerformanceLine(level=level, points=tuple(points)))
+    return lines
+
+
+def slope_ns_per_doubling(
+    grid: SpeedSizeGrid, size_index: int, cycle_index: int
+) -> Optional[float]:
+    """Slope of the constant-performance curve through one design point.
+
+    In ns of cycle time per doubling of *total* cache size: the cycle
+    time the next size up could afford at equal performance, minus this
+    point's cycle time, divided by the number of doublings between the
+    two grid sizes.  ``None`` when the neighbouring size cannot reach
+    this point's performance level inside the simulated clock range.
+    """
+    if size_index + 1 >= grid.n_sizes:
+        return None
+    level = float(grid.execution_ns[size_index, cycle_index])
+    t_here = grid.cycle_times_ns[cycle_index]
+    t_next = cycle_time_for_level(grid, size_index + 1, level)
+    if t_next is None:
+        return None
+    doublings = np.log2(
+        grid.total_sizes[size_index + 1] / grid.total_sizes[size_index]
+    )
+    if doublings <= 0:
+        raise AnalysisError("sizes must be strictly ascending")
+    return float((t_next - t_here) / doublings)
+
+
+def slope_map(grid: SpeedSizeGrid) -> np.ndarray:
+    """Slopes (ns per size doubling) at every grid point; NaN where the
+    next size up cannot break even inside the simulated clocks."""
+    result = np.full((grid.n_sizes, grid.n_cycles), np.nan)
+    for i in range(grid.n_sizes - 1):
+        for j in range(grid.n_cycles):
+            slope = slope_ns_per_doubling(grid, i, j)
+            if slope is not None:
+                result[i, j] = slope
+    return result
+
+
+def classify_regions(
+    grid: SpeedSizeGrid,
+    boundaries: Sequence[float] = DEFAULT_REGION_BOUNDARIES,
+) -> np.ndarray:
+    """Figure 3-4's shaded regions: bucket each design point by slope.
+
+    Returns an integer array: 0 means slope below ``boundaries[0]``
+    (swap RAMs for smaller/faster ones), rising indices mean
+    progressively larger worthwhile cycle-time sacrifices for capacity;
+    -1 marks points with no defined slope.
+    """
+    if list(boundaries) != sorted(boundaries):
+        raise AnalysisError("region boundaries must be ascending")
+    slopes = slope_map(grid)
+    regions = np.full(slopes.shape, -1, dtype=int)
+    valid = ~np.isnan(slopes)
+    regions[valid] = np.searchsorted(
+        np.asarray(boundaries, dtype=float), slopes[valid], side="left"
+    )
+    return regions
+
+
+def preferred_size_range(
+    grid: SpeedSizeGrid,
+    low_slope_ns: float = 2.5,
+    high_slope_ns: float = 10.0,
+    cycle_index: Optional[int] = None,
+) -> Tuple[Optional[int], Optional[int]]:
+    """The paper's headline band: sizes where growing still pays.
+
+    Returns ``(grow_until, stop_at)`` — the largest total size whose
+    slope still exceeds ``high_slope_ns`` (strong motivation to grow)
+    and the smallest whose slope falls below ``low_slope_ns`` (growing
+    is no longer worth any cycle-time penalty).  Evaluated at the middle
+    cycle-time column unless ``cycle_index`` is given.
+    """
+    j = grid.n_cycles // 2 if cycle_index is None else cycle_index
+    grow_until = None
+    stop_at = None
+    for i in range(grid.n_sizes - 1):
+        slope = slope_ns_per_doubling(grid, i, j)
+        if slope is None:
+            continue
+        if slope > high_slope_ns:
+            grow_until = grid.total_sizes[i + 1]
+        if stop_at is None and slope < low_slope_ns:
+            stop_at = grid.total_sizes[i]
+    return grow_until, stop_at

@@ -1,0 +1,133 @@
+"""Cache organizational geometry.
+
+The paper's organizational axes (§2): total size, set size (degree of
+associativity — footnote 1), number of sets, block size (footnote 10) and
+fetch size (footnote 2).  :class:`CacheGeometry` captures one cache's
+worth of those parameters and derives the address-decomposition constants
+the functional simulator uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+from ..errors import ConfigurationError
+from ..units import (
+    BYTES_PER_WORD,
+    format_size,
+    is_power_of_two,
+    log2_exact,
+)
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Geometry of a single cache.
+
+    Parameters
+    ----------
+    size_bytes:
+        Capacity of the data portion, in bytes.
+    block_words:
+        Words per block (the storage unit associated with one tag).
+    assoc:
+        Set size / degree of associativity; 1 means direct mapped.
+    fetch_words:
+        Words brought in from the next level on a read miss.  Defaults to
+        the whole block, matching the paper's base system ("entire blocks
+        are fetched on a miss").
+    """
+
+    size_bytes: int
+    block_words: int = 4
+    assoc: int = 1
+    fetch_words: int = 0  # 0 means "whole block"
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ConfigurationError(f"cache size must be positive: {self.size_bytes}")
+        if not is_power_of_two(self.block_words):
+            raise ConfigurationError(
+                f"block size must be a power of two words: {self.block_words}"
+            )
+        if self.assoc < 1:
+            raise ConfigurationError(f"associativity must be >= 1: {self.assoc}")
+        fetch = self.fetch_words or self.block_words
+        if not is_power_of_two(fetch) or fetch > self.block_words:
+            raise ConfigurationError(
+                f"fetch size must be a power of two <= block size, got "
+                f"{fetch} of {self.block_words}"
+            )
+        if self.size_bytes % (self.block_bytes * self.assoc):
+            raise ConfigurationError(
+                f"size {self.size_bytes}B is not a multiple of "
+                f"block ({self.block_bytes}B) x assoc ({self.assoc})"
+            )
+        n_sets = self.size_bytes // (self.block_bytes * self.assoc)
+        if not is_power_of_two(n_sets):
+            raise ConfigurationError(
+                f"number of sets must be a power of two, got {n_sets}"
+            )
+        # Frozen dataclass: set the derived fetch size via object.__setattr__.
+        object.__setattr__(self, "fetch_words", fetch)
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def block_bytes(self) -> int:
+        return self.block_words * BYTES_PER_WORD
+
+    @property
+    def n_blocks(self) -> int:
+        return self.size_bytes // self.block_bytes
+
+    @property
+    def n_sets(self) -> int:
+        return self.n_blocks // self.assoc
+
+    @property
+    def offset_bits(self) -> int:
+        """Bits of a word address selecting the word within a block."""
+        return log2_exact(self.block_words)
+
+    @property
+    def index_bits(self) -> int:
+        """Bits of a word address selecting the set."""
+        return log2_exact(self.n_sets)
+
+    def split_address(self, word_addr: int) -> Tuple[int, int, int]:
+        """Decompose a word address into ``(tag, set index, word offset)``."""
+        offset = word_addr & (self.block_words - 1)
+        block = word_addr >> self.offset_bits
+        index = block & (self.n_sets - 1)
+        tag = block >> self.index_bits
+        return tag, index, offset
+
+    def block_address(self, word_addr: int) -> int:
+        """Return the block-aligned identifier of ``word_addr``."""
+        return word_addr >> self.offset_bits
+
+    # ------------------------------------------------------------------
+    # Variants
+    # ------------------------------------------------------------------
+    def with_size(self, size_bytes: int) -> "CacheGeometry":
+        """Same organization at a different capacity."""
+        return replace(self, size_bytes=size_bytes)
+
+    def with_assoc(self, assoc: int) -> "CacheGeometry":
+        """Same capacity at a different set size (sets halve as ways double,
+        as in Figure 4-1's constant-size associativity sweep)."""
+        return replace(self, assoc=assoc)
+
+    def with_block_words(self, block_words: int) -> "CacheGeometry":
+        """Same capacity at a different block size, whole-block fetch."""
+        return replace(self, block_words=block_words, fetch_words=0)
+
+    def describe(self) -> str:
+        """Human-readable one-liner, e.g. ``64KB 4W/blk 1-way (4096 sets)``."""
+        return (
+            f"{format_size(self.size_bytes)} {self.block_words}W/blk "
+            f"{self.assoc}-way ({self.n_sets} sets)"
+        )

@@ -1,0 +1,213 @@
+"""Result containers and aggregation for design-space sweeps.
+
+The paper reports every number as "the geometric mean of warm start runs
+for all eight traces"; :func:`geometric_mean` and :func:`aggregate` do
+that here.  The containers are deliberately lightweight (plain floats and
+numpy arrays, no simulator objects) so the analysis modules — equal
+performance, associativity break-even, block size — can operate on them
+without importing the simulators.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values."""
+    values = list(values)
+    if not values:
+        raise AnalysisError("geometric mean of an empty sequence")
+    if any(v <= 0 for v in values):
+        raise AnalysisError(f"geometric mean requires positive values: {values}")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+@dataclass(frozen=True)
+class TraceRunSummary:
+    """Lightweight per-(trace, design point) result.
+
+    Carries exactly the numbers the paper's figures consume, extracted
+    from one simulation run's :class:`~repro.sim.statistics.SimStats`.
+    """
+
+    trace: str
+    cycle_ns: float
+    cycles: int
+    n_refs: int
+    read_miss_ratio: float
+    load_miss_ratio: float
+    ifetch_miss_ratio: float
+    read_traffic_ratio: float
+    write_traffic_ratio_full: float
+    write_traffic_ratio_dirty: float
+
+    @property
+    def execution_time_ns(self) -> float:
+        return self.cycles * self.cycle_ns
+
+    @property
+    def cycles_per_reference(self) -> float:
+        return self.cycles / self.n_refs if self.n_refs else 0.0
+
+    @classmethod
+    def from_stats(cls, stats) -> "TraceRunSummary":
+        """Build from a :class:`~repro.sim.statistics.SimStats` (duck
+        typed to avoid importing the simulator here)."""
+        return cls(
+            trace=stats.trace_name,
+            cycle_ns=stats.cycle_ns,
+            cycles=stats.cycles,
+            n_refs=stats.n_refs,
+            read_miss_ratio=stats.read_miss_ratio,
+            load_miss_ratio=stats.load_miss_ratio,
+            ifetch_miss_ratio=stats.ifetch_miss_ratio,
+            read_traffic_ratio=stats.read_traffic_ratio,
+            write_traffic_ratio_full=stats.write_traffic_ratio_full,
+            write_traffic_ratio_dirty=stats.write_traffic_ratio_dirty,
+        )
+
+
+@dataclass(frozen=True)
+class AggregateMetrics:
+    """Geometric means over the trace suite at one design point."""
+
+    execution_time_ns: float
+    cycles_per_reference: float
+    read_miss_ratio: float
+    load_miss_ratio: float
+    ifetch_miss_ratio: float
+    read_traffic_ratio: float
+    write_traffic_ratio_full: float
+    write_traffic_ratio_dirty: float
+    n_traces: int
+
+
+def aggregate(summaries: Sequence[TraceRunSummary]) -> AggregateMetrics:
+    """Geometric-mean the per-trace summaries (the paper's reduction).
+
+    Ratios can legitimately be zero for very large caches on short
+    traces; a tiny floor keeps the geometric mean defined without
+    distorting anything the figures can show.
+    """
+    if not summaries:
+        raise AnalysisError("cannot aggregate zero summaries")
+    floor = 1e-9
+
+    def gm(attr: str) -> float:
+        return geometric_mean(
+            max(getattr(s, attr), floor) for s in summaries
+        )
+
+    return AggregateMetrics(
+        execution_time_ns=gm("execution_time_ns"),
+        cycles_per_reference=gm("cycles_per_reference"),
+        read_miss_ratio=gm("read_miss_ratio"),
+        load_miss_ratio=gm("load_miss_ratio"),
+        ifetch_miss_ratio=gm("ifetch_miss_ratio"),
+        read_traffic_ratio=gm("read_traffic_ratio"),
+        write_traffic_ratio_full=gm("write_traffic_ratio_full"),
+        write_traffic_ratio_dirty=gm("write_traffic_ratio_dirty"),
+        n_traces=len(summaries),
+    )
+
+
+@dataclass
+class SpeedSizeGrid:
+    """Aggregated results over a (total L1 size) x (cycle time) grid.
+
+    ``execution_ns[i, j]`` is the geometric-mean execution time at
+    ``total_sizes[i]`` and ``cycle_times_ns[j]``.  Miss metrics depend on
+    the organization only, so they are per-size vectors.
+    """
+
+    total_sizes: List[int]
+    cycle_times_ns: List[float]
+    execution_ns: np.ndarray
+    cycles_per_reference: np.ndarray
+    read_miss_ratio: np.ndarray
+    load_miss_ratio: np.ndarray
+    ifetch_miss_ratio: np.ndarray
+    read_traffic_ratio: np.ndarray
+    write_traffic_ratio_full: np.ndarray
+    write_traffic_ratio_dirty: np.ndarray
+
+    def __post_init__(self) -> None:
+        expected = (len(self.total_sizes), len(self.cycle_times_ns))
+        if self.execution_ns.shape != expected:
+            raise AnalysisError(
+                f"execution grid shape {self.execution_ns.shape} != {expected}"
+            )
+        if list(self.total_sizes) != sorted(self.total_sizes):
+            raise AnalysisError("total_sizes must be ascending")
+        if list(self.cycle_times_ns) != sorted(self.cycle_times_ns):
+            raise AnalysisError("cycle_times_ns must be ascending")
+
+    @property
+    def n_sizes(self) -> int:
+        return len(self.total_sizes)
+
+    @property
+    def n_cycles(self) -> int:
+        return len(self.cycle_times_ns)
+
+    @property
+    def best_execution_ns(self) -> float:
+        return float(self.execution_ns.min())
+
+    def normalized(self) -> np.ndarray:
+        """Execution times divided by the grid's best point (the paper
+        normalizes Figure 3-3 the same way)."""
+        return self.execution_ns / self.best_execution_ns
+
+    def size_index(self, total_size: int) -> int:
+        try:
+            return self.total_sizes.index(total_size)
+        except ValueError as exc:
+            raise AnalysisError(
+                f"size {total_size} not in grid {self.total_sizes}"
+            ) from exc
+
+    def cycle_index(self, cycle_ns: float) -> int:
+        for j, value in enumerate(self.cycle_times_ns):
+            if abs(value - cycle_ns) < 1e-9:
+                return j
+        raise AnalysisError(
+            f"cycle time {cycle_ns} not in grid {self.cycle_times_ns}"
+        )
+
+
+@dataclass
+class BlockSizeCurve:
+    """Execution time and miss ratios versus block size for one memory.
+
+    One curve of Figure 5-2 (and, with the default memory, Figure 5-1).
+    """
+
+    latency_ns: float
+    transfer_rate: float
+    block_sizes_words: List[int]
+    execution_ns: np.ndarray
+    load_miss_ratio: np.ndarray
+    ifetch_miss_ratio: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.block_sizes_words)
+        if not (
+            len(self.execution_ns) == len(self.load_miss_ratio)
+            == len(self.ifetch_miss_ratio) == n
+        ):
+            raise AnalysisError("block-size curve arrays must be parallel")
+        if list(self.block_sizes_words) != sorted(self.block_sizes_words):
+            raise AnalysisError("block sizes must be ascending")
+
+    @property
+    def best_block_size_words(self) -> int:
+        """The sampled block size with the lowest execution time."""
+        return self.block_sizes_words[int(np.argmin(self.execution_ns))]

@@ -1,0 +1,116 @@
+"""Miss-penalty framing of the speed–size tradeoff (§6, Table 3).
+
+The paper rephrases the speed–size data with the cache miss penalty as
+the explicit variable: as the cycle time varied from 20 ns to 80 ns, the
+read penalty of the fixed physical memory went from 14 to 8 cycles.
+Table 3 reports, per cache size and per read penalty:
+
+* cycles per reference (dropping below one for large caches, because a
+  couplet retires two references in one cycle), and
+* the cycle-time degradation equivalent to a cache-size doubling,
+  expressed as a *fraction of the cycle time*.
+
+The two observations drawn from it motivate multilevel hierarchies:
+small caches' cycles-per-reference is a strong function of the penalty,
+and the equivalent fraction shrinks as the penalty shrinks — so reducing
+the miss penalty (with a second-level cache) both recovers performance
+and reduces the optimal first-level size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import AnalysisError
+from .equal_performance import slope_ns_per_doubling
+from .metrics import SpeedSizeGrid
+from .timing import MemoryTiming
+
+
+@dataclass(frozen=True)
+class PenaltyCell:
+    """One (cache size, read penalty) cell of Table 3."""
+
+    total_size_bytes: int
+    read_penalty_cycles: int
+    cycles_per_reference: float
+    size_doubling_cycle_fraction: Optional[float]
+
+
+def read_penalty_cycles(
+    memory: MemoryTiming, block_words: int, cycle_ns: float
+) -> int:
+    """Cache read-miss penalty in cycles (Table 2's "Read Time")."""
+    return memory.read_cycles(block_words, cycle_ns)
+
+
+def penalty_table(
+    grid: SpeedSizeGrid,
+    memory: MemoryTiming,
+    block_words: int = 4,
+    sizes: Optional[Sequence[int]] = None,
+) -> List[PenaltyCell]:
+    """Build Table 3 from a speed–size sweep.
+
+    Each simulated cycle time maps to a read penalty; cycle times that
+    share a penalty are averaged (the quantization makes the mapping
+    many-to-one).  The size-doubling equivalent is the Figure 3-4 slope
+    at the design point divided by the cycle time.
+    """
+    chosen_sizes = list(sizes) if sizes is not None else list(grid.total_sizes)
+    cells: List[PenaltyCell] = []
+    penalties = [
+        read_penalty_cycles(memory, block_words, t)
+        for t in grid.cycle_times_ns
+    ]
+    for size in chosen_sizes:
+        i = grid.size_index(size)
+        by_penalty: Dict[int, List[Tuple[float, Optional[float]]]] = {}
+        for j, penalty in enumerate(penalties):
+            cpr = float(grid.cycles_per_reference[i, j])
+            slope = slope_ns_per_doubling(grid, i, j)
+            fraction = (
+                slope / grid.cycle_times_ns[j] if slope is not None else None
+            )
+            by_penalty.setdefault(penalty, []).append((cpr, fraction))
+        for penalty in sorted(by_penalty, reverse=True):
+            entries = by_penalty[penalty]
+            cprs = [cpr for cpr, _f in entries]
+            fractions = [f for _cpr, f in entries if f is not None]
+            cells.append(
+                PenaltyCell(
+                    total_size_bytes=size,
+                    read_penalty_cycles=penalty,
+                    cycles_per_reference=float(np.mean(cprs)),
+                    size_doubling_cycle_fraction=(
+                        float(np.mean(fractions)) if fractions else None
+                    ),
+                )
+            )
+    return cells
+
+
+def cycles_per_reference_slope(
+    cells: Sequence[PenaltyCell], total_size_bytes: int
+) -> float:
+    """Linear sensitivity of cycles/reference to the read penalty.
+
+    §6: "the cycles per reference is approximately a linear function of
+    the miss penalty"; the slope quantifies how strongly a size class
+    depends on the penalty (large for small caches).
+    """
+    points = [
+        (c.read_penalty_cycles, c.cycles_per_reference)
+        for c in cells
+        if c.total_size_bytes == total_size_bytes
+    ]
+    if len(points) < 2:
+        raise AnalysisError(
+            f"need at least two penalties for size {total_size_bytes}"
+        )
+    xs, ys = zip(*points)
+    slope, _intercept = np.polyfit(xs, ys, 1)
+    return float(slope)

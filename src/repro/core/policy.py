@@ -1,0 +1,86 @@
+"""Cache policy enumerations.
+
+These are the paper's remaining organizational parameters: write
+strategy, write-miss allocation, replacement discipline, and the §5
+miss-penalty-reduction techniques (early continuation, load forwarding)
+listed as ways to raise the performance-optimal block size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..errors import ConfigurationError
+
+
+class WritePolicy(Enum):
+    """What happens to the next level on a write hit."""
+
+    WRITE_BACK = "write_back"
+    WRITE_THROUGH = "write_through"
+
+
+class WriteMissPolicy(Enum):
+    """What happens on a write miss.
+
+    The paper's base data cache is write back with *no* fetch on a write
+    miss: the written word bypasses the cache into the write buffer
+    (``NO_ALLOCATE``).  ``FETCH_ON_WRITE`` (write-allocate) is provided
+    for ablations.
+    """
+
+    NO_ALLOCATE = "no_allocate"
+    FETCH_ON_WRITE = "fetch_on_write"
+
+
+class ReplacementKind(Enum):
+    """Victim selection within a set.
+
+    The paper's associativity study (§4) uses random replacement
+    "regardless of the set size"; LRU and FIFO are provided for ablation
+    benches and property tests (LRU's stack property).
+    """
+
+    LRU = "lru"
+    FIFO = "fifo"
+    RANDOM = "random"
+
+
+class MissHandling(Enum):
+    """When the CPU may resume after a read miss (§5 techniques).
+
+    * ``BLOCKING`` — wait for the whole block (the paper's base system);
+    * ``EARLY_CONTINUATION`` — resume once the requested word arrives,
+      with the block streaming in from word zero;
+    * ``LOAD_FORWARD`` — the fetch starts at the requested word, so the
+      CPU resumes after one word's transfer time (wrap-around fill).
+
+    In every mode the cache and memory stay busy until the full block has
+    transferred; only the CPU's resume time differs.
+    """
+
+    BLOCKING = "blocking"
+    EARLY_CONTINUATION = "early_continuation"
+    LOAD_FORWARD = "load_forward"
+
+
+@dataclass(frozen=True)
+class CachePolicy:
+    """Bundle of a cache's behavioural policies."""
+
+    write_policy: WritePolicy = WritePolicy.WRITE_BACK
+    write_miss: WriteMissPolicy = WriteMissPolicy.NO_ALLOCATE
+    replacement: ReplacementKind = ReplacementKind.RANDOM
+    miss_handling: MissHandling = MissHandling.BLOCKING
+
+    def __post_init__(self) -> None:
+        if (
+            self.write_policy is WritePolicy.WRITE_THROUGH
+            and self.write_miss is WriteMissPolicy.FETCH_ON_WRITE
+        ):
+            # Legal in principle, but the combination is never used by the
+            # paper and the engine does not model it; fail loudly.
+            raise ConfigurationError(
+                "write-through with fetch-on-write is not supported"
+            )

@@ -1,0 +1,113 @@
+"""Plain-text rendering of tables, grids and series.
+
+The paper presents its results as figures and tables; without a plotting
+dependency, the experiment harness renders everything as aligned ASCII —
+tables with headers, 2-D grids with row/column labels, and single series.
+EXPERIMENTS.md is assembled from these renderings, and the benchmark
+suite prints them so a run regenerates the paper's rows.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..units import format_size
+
+Cell = Union[str, int, float, None]
+
+
+def _format_cell(value: Cell, width: int = 0, precision: int = 3) -> str:
+    if value is None:
+        text = "-"
+    elif isinstance(value, str):
+        text = value
+    elif isinstance(value, (int, np.integer)):
+        text = str(int(value))
+    else:
+        value = float(value)
+        if value != value:  # NaN
+            text = "-"
+        elif value and (abs(value) >= 1e5 or abs(value) < 10 ** -precision):
+            text = f"{value:.{precision}g}"
+        else:
+            text = f"{value:.{precision}f}"
+    return text.rjust(width) if width else text
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Cell]],
+    title: Optional[str] = None,
+    precision: int = 3,
+) -> str:
+    """Render an aligned table with a separator under the header."""
+    if any(len(row) != len(headers) for row in rows):
+        raise AnalysisError("every row must match the header width")
+    columns = len(headers)
+    widths = [len(h) for h in headers]
+    rendered = [
+        [_format_cell(cell, precision=precision) for cell in row] for row in rows
+    ]
+    for row in rendered:
+        for c in range(columns):
+            widths[c] = max(widths[c], len(row[c]))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(widths[c]) for c, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[c] for c in range(columns)))
+    for row in rendered:
+        lines.append("  ".join(row[c].rjust(widths[c]) for c in range(columns)))
+    return "\n".join(lines)
+
+
+def format_grid(
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    values: np.ndarray,
+    corner: str = "",
+    title: Optional[str] = None,
+    precision: int = 3,
+) -> str:
+    """Render a 2-D array with labelled rows and columns."""
+    values = np.asarray(values)
+    if values.shape != (len(row_labels), len(col_labels)):
+        raise AnalysisError(
+            f"grid shape {values.shape} does not match labels "
+            f"({len(row_labels)} x {len(col_labels)})"
+        )
+    headers = [corner] + list(col_labels)
+    rows = [
+        [row_labels[i]] + [values[i, j] for j in range(values.shape[1])]
+        for i in range(values.shape[0])
+    ]
+    return format_table(headers, rows, title=title, precision=precision)
+
+
+def format_series(
+    xs: Sequence[Cell],
+    ys: Sequence[Cell],
+    x_label: str,
+    y_label: str,
+    title: Optional[str] = None,
+    precision: int = 3,
+) -> str:
+    """Render a single (x, y) series as a two-column table."""
+    if len(xs) != len(ys):
+        raise AnalysisError("series axes must have equal lengths")
+    return format_table(
+        [x_label, y_label], list(zip(xs, ys)), title=title, precision=precision
+    )
+
+
+def size_labels(sizes_bytes: Iterable[int]) -> List[str]:
+    """Render byte sizes the way the paper labels its axes (4KB, 2MB)."""
+    return [format_size(s) for s in sizes_bytes]
+
+
+def cycle_labels(cycle_times_ns: Iterable[float]) -> List[str]:
+    """Render cycle times as e.g. ``40ns``."""
+    return [f"{t:g}ns" for t in cycle_times_ns]

@@ -1,0 +1,333 @@
+"""Design-space sweep drivers.
+
+These functions are the reproduction's equivalent of the paper's
+simulation farm: they run the two-phase fastpath over cartesian grids of
+organizational and temporal parameters and aggregate the results into
+the containers the analysis modules consume.
+
+The cost structure mirrors the paper's macro-expansion trick: one
+functional cache pass per *organization* per trace, then cheap timing
+replays for every cycle time / memory speed — see
+:mod:`repro.sim.fastpath`.
+
+Import note: this module imports the simulators, so it is exported from
+the top-level :mod:`repro` package rather than :mod:`repro.core` (whose
+``__init__`` must stay substrate-free).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..cpu.processor import CoupletStream, pair_couplets
+from ..errors import AnalysisError
+from ..sim.config import SystemConfig, baseline_config
+from ..sim.fastpath import assemble_stats, functional_pass, replay
+from ..trace.record import Trace
+from ..units import quantize_ns
+from .metrics import (
+    AggregateMetrics,
+    BlockSizeCurve,
+    SpeedSizeGrid,
+    TraceRunSummary,
+    aggregate,
+    geometric_mean,
+)
+from .policy import ReplacementKind
+from .timing import DEFAULT_CYCLE_NS, MemoryTiming
+
+#: Optional progress callback: called with a human-readable step label.
+ProgressFn = Callable[[str], None]
+
+
+def _as_trace_list(traces) -> List[Trace]:
+    if isinstance(traces, Mapping):
+        return list(traces.values())
+    return list(traces)
+
+
+def _pair_all(traces: Sequence[Trace]) -> List[CoupletStream]:
+    return [pair_couplets(t) for t in traces]
+
+
+def _pass_job(args):
+    """Module-level functional-pass job (must be picklable for the
+    process pool)."""
+    config, trace, seed = args
+    return functional_pass(config, trace, seed=seed)
+
+
+def run_functional_passes(
+    jobs: Sequence[Tuple[SystemConfig, Trace, int]],
+    n_jobs: int = 1,
+    couplets: Optional[Mapping[int, CoupletStream]] = None,
+):
+    """Run many functional passes, optionally across processes.
+
+    This is the library's stand-in for the paper's farm of 10–20
+    MicroVAX II workstations: the expensive organization passes are
+    independent and distribute perfectly.  ``couplets`` maps
+    ``id(trace)`` to a prepaired stream, used only on the serial path
+    (child processes re-pair locally — cheaper than pickling streams).
+    """
+    jobs = list(jobs)
+    if n_jobs <= 1 or len(jobs) <= 1:
+        couplets = couplets or {}
+        return [
+            functional_pass(
+                config, trace, couplets=couplets.get(id(trace)), seed=seed
+            )
+            for config, trace, seed in jobs
+        ]
+    with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+        return list(pool.map(_pass_job, jobs))
+
+
+def run_speed_size_sweep(
+    traces,
+    sizes_each_bytes: Sequence[int],
+    cycle_times_ns: Sequence[float],
+    assoc: int = 1,
+    block_words: int = 4,
+    memory: Optional[MemoryTiming] = None,
+    replacement: ReplacementKind = ReplacementKind.RANDOM,
+    write_buffer_depth: int = 4,
+    seed: int = 0,
+    n_jobs: int = 1,
+    progress: Optional[ProgressFn] = None,
+) -> SpeedSizeGrid:
+    """Sweep (cache size x cycle time); aggregate over the trace suite.
+
+    ``sizes_each_bytes`` sizes *each* of the split caches (the paper
+    varies the pair together); the returned grid is indexed by total L1
+    size.  This one sweep backs Figures 3-1 through 3-4 and, repeated
+    per associativity, Figures 4-1 through 4-5.  ``n_jobs`` distributes
+    the functional passes over processes.
+    """
+    traces = _as_trace_list(traces)
+    if not traces:
+        raise AnalysisError("no traces supplied")
+    sizes = sorted(sizes_each_bytes)
+    cycles_ns = sorted(cycle_times_ns)
+    memory = memory or MemoryTiming()
+    configs = [
+        baseline_config(
+            cache_size_bytes=size,
+            block_words=block_words,
+            assoc=assoc,
+            replacement=replacement,
+            write_buffer_depth=write_buffer_depth,
+            memory=memory,
+        )
+        for size in sizes
+    ]
+    couplet_map = None
+    if n_jobs <= 1:
+        couplet_map = {
+            id(trace): cs for trace, cs in zip(traces, _pair_all(traces))
+        }
+    if progress:
+        progress(
+            f"{len(configs)} organizations x {len(traces)} traces, "
+            f"n_jobs={n_jobs}"
+        )
+    all_streams = run_functional_passes(
+        [
+            (config, trace, seed)
+            for config in configs
+            for trace in traces
+        ],
+        n_jobs=n_jobs,
+        couplets=couplet_map,
+    )
+    n_i, n_j = len(sizes), len(cycles_ns)
+    exec_gm = np.empty((n_i, n_j))
+    cpr_gm = np.empty((n_i, n_j))
+    per_size_metrics: List[AggregateMetrics] = []
+    for i, size in enumerate(sizes):
+        streams = all_streams[i * len(traces): (i + 1) * len(traces)]
+        # Timing-independent metrics, aggregated once per size (the
+        # cycle-time column is arbitrary for these).
+        size_summaries = []
+        for j, cycle_ns in enumerate(cycles_ns):
+            summaries = []
+            for stream in streams:
+                outcome = replay(
+                    stream, memory, cycle_ns,
+                    write_buffer_depth=write_buffer_depth,
+                )
+                summaries.append(
+                    TraceRunSummary.from_stats(
+                        assemble_stats(stream, outcome, cycle_ns)
+                    )
+                )
+            agg = aggregate(summaries)
+            exec_gm[i, j] = agg.execution_time_ns
+            cpr_gm[i, j] = agg.cycles_per_reference
+            if j == 0:
+                size_summaries = summaries
+        per_size_metrics.append(aggregate(size_summaries))
+    return SpeedSizeGrid(
+        total_sizes=[2 * s for s in sizes],
+        cycle_times_ns=list(cycles_ns),
+        execution_ns=exec_gm,
+        cycles_per_reference=cpr_gm,
+        read_miss_ratio=np.array(
+            [m.read_miss_ratio for m in per_size_metrics]
+        ),
+        load_miss_ratio=np.array(
+            [m.load_miss_ratio for m in per_size_metrics]
+        ),
+        ifetch_miss_ratio=np.array(
+            [m.ifetch_miss_ratio for m in per_size_metrics]
+        ),
+        read_traffic_ratio=np.array(
+            [m.read_traffic_ratio for m in per_size_metrics]
+        ),
+        write_traffic_ratio_full=np.array(
+            [m.write_traffic_ratio_full for m in per_size_metrics]
+        ),
+        write_traffic_ratio_dirty=np.array(
+            [m.write_traffic_ratio_dirty for m in per_size_metrics]
+        ),
+    )
+
+
+def run_associativity_sweeps(
+    traces,
+    sizes_each_bytes: Sequence[int],
+    cycle_times_ns: Sequence[float],
+    assocs: Sequence[int] = (1, 2, 4, 8),
+    **kwargs,
+) -> Dict[int, SpeedSizeGrid]:
+    """One speed–size grid per set size (§4's experiment).
+
+    Total size is held constant as associativity changes — the sweep
+    sizes each cache identically and halves the number of sets as the
+    ways double, exactly as Figure 4-1 specifies.  Random replacement is
+    the paper's choice and the default.
+    """
+    return {
+        assoc: run_speed_size_sweep(
+            traces, sizes_each_bytes, cycle_times_ns, assoc=assoc, **kwargs
+        )
+        for assoc in assocs
+    }
+
+
+def run_blocksize_sweep(
+    traces,
+    block_sizes_words: Sequence[int],
+    latencies_ns: Sequence[float],
+    transfer_rates: Sequence[float],
+    cache_size_each_bytes: int = 64 * 1024,
+    cycle_ns: float = DEFAULT_CYCLE_NS,
+    write_buffer_depth: int = 4,
+    seed: int = 0,
+    n_jobs: int = 1,
+    progress: Optional[ProgressFn] = None,
+) -> Dict[Tuple[int, float], BlockSizeCurve]:
+    """Sweep block size against memory latency and transfer rate (§5).
+
+    Returns curves keyed by ``(latency_cycles, transfer_rate)`` where
+    the latency label is the paper's quantized count (e.g. 100 ns at a
+    40 ns clock is "3 cycles"; the simulated read adds one address
+    cycle on top, as in footnote 13).  Each latency variation sets the
+    read, write-op and recovery times equal, per §5.
+    """
+    traces = _as_trace_list(traces)
+    if not traces:
+        raise AnalysisError("no traces supplied")
+    block_sizes = sorted(block_sizes_words)
+    configs = [
+        baseline_config(
+            cache_size_bytes=cache_size_each_bytes,
+            block_words=block_words,
+            cycle_ns=cycle_ns,
+            write_buffer_depth=write_buffer_depth,
+        )
+        for block_words in block_sizes
+    ]
+    couplet_map = None
+    if n_jobs <= 1:
+        couplet_map = {
+            id(trace): cs for trace, cs in zip(traces, _pair_all(traces))
+        }
+    if progress:
+        progress(
+            f"{len(configs)} block sizes x {len(traces)} traces, "
+            f"n_jobs={n_jobs}"
+        )
+    all_streams = run_functional_passes(
+        [
+            (config, trace, seed)
+            for config in configs
+            for trace in traces
+        ],
+        n_jobs=n_jobs,
+        couplets=couplet_map,
+    )
+    # One functional pass per (block size, trace); replays per memory.
+    curves: Dict[Tuple[int, float], Dict[int, AggregateMetrics]] = {}
+    for b_index, block_words in enumerate(block_sizes):
+        streams = all_streams[b_index * len(traces): (b_index + 1) * len(traces)]
+        for latency_ns in latencies_ns:
+            for transfer_rate in transfer_rates:
+                memory = MemoryTiming().with_latency_ns(
+                    latency_ns
+                ).with_transfer_rate(transfer_rate)
+                key = (quantize_ns(latency_ns, cycle_ns), transfer_rate)
+                summaries = []
+                for stream in streams:
+                    outcome = replay(
+                        stream, memory, cycle_ns,
+                        write_buffer_depth=write_buffer_depth,
+                    )
+                    summaries.append(
+                        TraceRunSummary.from_stats(
+                            assemble_stats(stream, outcome, cycle_ns)
+                        )
+                    )
+                curves.setdefault(key, {})[block_words] = aggregate(summaries)
+    result: Dict[Tuple[int, float], BlockSizeCurve] = {}
+    for (latency_cycles, transfer_rate), by_block in curves.items():
+        result[(latency_cycles, transfer_rate)] = BlockSizeCurve(
+            latency_ns=latency_cycles * cycle_ns,
+            transfer_rate=transfer_rate,
+            block_sizes_words=block_sizes,
+            execution_ns=np.array(
+                [by_block[b].execution_time_ns for b in block_sizes]
+            ),
+            load_miss_ratio=np.array(
+                [by_block[b].load_miss_ratio for b in block_sizes]
+            ),
+            ifetch_miss_ratio=np.array(
+                [by_block[b].ifetch_miss_ratio for b in block_sizes]
+            ),
+        )
+    return result
+
+
+def run_point(
+    config: SystemConfig,
+    traces,
+    seed: int = 0,
+) -> AggregateMetrics:
+    """Evaluate one configuration over the suite (fastpath)."""
+    traces = _as_trace_list(traces)
+    summaries = []
+    for trace in traces:
+        stream = functional_pass(config, trace, seed=seed)
+        outcome = replay(
+            stream, config.memory, config.cycle_ns,
+            write_buffer_depth=config.l1.write_buffer_depth,
+        )
+        summaries.append(
+            TraceRunSummary.from_stats(
+                assemble_stats(stream, outcome, config.cycle_ns)
+            )
+        )
+    return aggregate(summaries)

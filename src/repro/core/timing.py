@@ -1,0 +1,158 @@
+"""Temporal parameters: cycle quantization and memory operation costs.
+
+This module is the temporal heart of the reproduction.  The paper models
+main memory as a single functional unit whose physical times (latency,
+write operation, recovery) are fixed in nanoseconds while the CPU/cache
+clock varies; every operation is quantized up to whole machine cycles
+because the memory is synchronous with the backplane.  Table 2 of the
+paper tabulates the resulting cycle counts for the base memory — the unit
+tests reproduce that table exactly from :class:`MemoryTiming`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from ..errors import ConfigurationError
+from ..units import quantize_ns
+
+
+@dataclass(frozen=True)
+class MemoryTiming:
+    """Physical timing of one memory (or next-level-cache) port.
+
+    Parameters mirror §2 of the paper:
+
+    ``latency_ns``
+        Access latency after the address cycle: DRAM access plus decode,
+        buffering, ECC.  Default 180 ns, so at 40 ns the read latency is
+        1 + ceil(180/40) = 6 cycles.
+    ``transfer_rate``
+        Words transferred per CPU cycle (may be fractional; 0.25 means
+        one word every four cycles).  Default one word per cycle.
+    ``write_op_ns``
+        Time the memory is internally busy performing a write after the
+        data has been handed over (default 100 ns); off the critical path
+        of the CPU.
+    ``recovery_ns``
+        Minimum gap between the end of one operation and the start of the
+        next (default 120 ns, "based on the difference between DRAM
+        access and cycle times").
+    ``address_cycles``
+        Cycles to present the block address (default 1).
+    """
+
+    latency_ns: float = 180.0
+    transfer_rate: float = 1.0
+    write_op_ns: float = 100.0
+    recovery_ns: float = 120.0
+    address_cycles: int = 1
+
+    def __post_init__(self) -> None:
+        if self.latency_ns < 0 or self.write_op_ns < 0 or self.recovery_ns < 0:
+            raise ConfigurationError("memory times must be non-negative")
+        if self.transfer_rate <= 0:
+            raise ConfigurationError(
+                f"transfer rate must be positive: {self.transfer_rate}"
+            )
+        if self.address_cycles < 0:
+            raise ConfigurationError(
+                f"address cycles must be >= 0: {self.address_cycles}"
+            )
+
+    # ------------------------------------------------------------------
+    # Cycle-count derivations (all quantized to the given clock)
+    # ------------------------------------------------------------------
+    def latency_cycles(self, cycle_ns: float) -> int:
+        """Cycles from read issue until the first word starts arriving."""
+        return self.address_cycles + quantize_ns(self.latency_ns, cycle_ns)
+
+    def transfer_cycles(self, words: int) -> int:
+        """Cycles to move ``words`` across the port (minimum one).
+
+        Independent of the clock: the transfer rate is already expressed
+        in words per cycle.  "For very small block sizes, having a large
+        tr is of no benefit, as the minimum transfer time is one cycle."
+        """
+        if words <= 0:
+            raise ConfigurationError(f"transfer of {words} words")
+        exact = words / self.transfer_rate
+        rounded = round(exact)
+        if abs(exact - rounded) < 1e-9:
+            return max(1, int(rounded))
+        return max(1, int(math.ceil(exact)))
+
+    def read_cycles(self, words: int, cycle_ns: float) -> int:
+        """Total cycles for a read of ``words`` (Table 2's "Read Time")."""
+        return self.latency_cycles(cycle_ns) + self.transfer_cycles(words)
+
+    def write_handoff_cycles(self, words: int) -> int:
+        """Cycles the requester is occupied by a write: address + data.
+
+        After the handoff "the cache can proceed with other business
+        while the write actually occurs".
+        """
+        return self.address_cycles + self.transfer_cycles(words)
+
+    def write_cycles(self, words: int, cycle_ns: float) -> int:
+        """Cycles until the write has been performed inside the memory
+        (Table 2's "Write Time"): handoff plus the internal write op."""
+        return self.write_handoff_cycles(words) + quantize_ns(
+            self.write_op_ns, cycle_ns
+        )
+
+    def recovery_cycles(self, cycle_ns: float) -> int:
+        """Cycles the memory needs between operations (Table 2)."""
+        return quantize_ns(self.recovery_ns, cycle_ns)
+
+    # ------------------------------------------------------------------
+    # Variants used by the experiments
+    # ------------------------------------------------------------------
+    def with_latency_ns(self, latency_ns: float) -> "MemoryTiming":
+        """Vary only the access latency (Figure 5-2's latency axis keeps
+        read, write-op and recovery times equal, per §5)."""
+        return replace(
+            self,
+            latency_ns=latency_ns,
+            write_op_ns=latency_ns,
+            recovery_ns=latency_ns,
+        )
+
+    def with_transfer_rate(self, transfer_rate: float) -> "MemoryTiming":
+        return replace(self, transfer_rate=transfer_rate)
+
+    def speed_product(self, cycle_ns: float) -> float:
+        """The paper's la x tr product (latency in cycles x words/cycle).
+
+        §5 derives — and Figure 5-4 verifies — that the performance-
+        optimal block size depends on the memory speed only through this
+        product.
+        """
+        return self.latency_cycles(cycle_ns) * self.transfer_rate
+
+
+@dataclass(frozen=True)
+class CacheTiming:
+    """Cache-port service times, in cycles of the cache's own clock.
+
+    The paper's base system: "All read hits take one CPU cycle, while
+    writes take two — one to access the tags, followed by one to write
+    the data."
+    """
+
+    read_hit_cycles: int = 1
+    write_hit_cycles: int = 2
+
+    def __post_init__(self) -> None:
+        if self.read_hit_cycles < 1 or self.write_hit_cycles < 1:
+            raise ConfigurationError("hit times must be at least one cycle")
+
+
+#: The paper's default main memory ("quite aggressive by today's
+#: standards"): 180 ns latency, one word per cycle, 100 ns write op,
+#: 120 ns recovery, one address cycle.
+DEFAULT_MEMORY = MemoryTiming()
+
+#: The paper's base CPU/cache cycle time in nanoseconds.
+DEFAULT_CYCLE_NS = 40.0

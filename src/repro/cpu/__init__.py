@@ -1,0 +1,5 @@
+"""CPU substrate: instruction/data couplet issue model."""
+
+from .processor import NO_REF, CoupletStream, pair_couplets, sequentialize
+
+__all__ = ["NO_REF", "CoupletStream", "pair_couplets", "sequentialize"]

@@ -1,0 +1,143 @@
+"""CPU reference-issue model: instruction/data couplets.
+
+The paper's CPU (§2) "is a pipelined machine capable of issuing
+simultaneous instruction and data references.  If there are separate
+instruction and data caches then, instruction and data references in the
+trace [are] paired up without reordering any of the references.  These
+couplets are issued at the same time and both must complete before the
+CPU can proceed to the next reference or reference pair."
+
+:func:`pair_couplets` performs exactly that pairing: an instruction
+fetch immediately followed by a data reference forms one couplet; either
+kind alone forms a degenerate couplet.  The result is a set of parallel
+arrays the simulators iterate once per couplet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..trace.record import RefKind, Trace
+
+#: Sentinel meaning "this half of the couplet is absent".
+NO_REF = -1
+
+
+@dataclass
+class CoupletStream:
+    """Parallel arrays describing the paired reference stream.
+
+    ``i_addr[k]``/``i_pid[k]`` give couplet *k*'s instruction fetch
+    (``NO_REF`` when absent); ``d_kind``/``d_addr``/``d_pid`` its data
+    reference, with ``d_kind`` one of ``RefKind.LOAD``/``STORE`` values or
+    ``NO_REF``.  ``warm_couplet`` is the first couplet whose references
+    lie at or beyond the trace's warm boundary.
+    """
+
+    i_addr: List[int]
+    i_pid: List[int]
+    d_kind: List[int]
+    d_addr: List[int]
+    d_pid: List[int]
+    warm_couplet: int
+    n_refs: int
+
+    def __len__(self) -> int:
+        return len(self.i_addr)
+
+    @property
+    def n_warm_refs(self) -> int:
+        """References at or beyond the warm boundary (the measured part)."""
+        warm_refs = 0
+        for k in range(self.warm_couplet, len(self.i_addr)):
+            if self.i_addr[k] != NO_REF:
+                warm_refs += 1
+            if self.d_kind[k] != NO_REF:
+                warm_refs += 1
+        return warm_refs
+
+
+def pair_couplets(trace: Trace) -> CoupletStream:
+    """Pair a trace into couplets without reordering references."""
+    kinds, addrs, pids = trace.as_lists()
+    n = len(kinds)
+    ifetch = int(RefKind.IFETCH)
+    i_addr: List[int] = []
+    i_pid: List[int] = []
+    d_kind: List[int] = []
+    d_addr: List[int] = []
+    d_pid: List[int] = []
+    warm_couplet = -1
+    warm = trace.warm_boundary
+    pos = 0
+    while pos < n:
+        couplet_start = pos
+        if kinds[pos] == ifetch:
+            ia, ip = addrs[pos], pids[pos]
+            pos += 1
+            if pos < n and kinds[pos] != ifetch:
+                dk, da, dp = kinds[pos], addrs[pos], pids[pos]
+                pos += 1
+            else:
+                dk = da = dp = NO_REF
+        else:
+            ia = ip = NO_REF
+            dk, da, dp = kinds[pos], addrs[pos], pids[pos]
+            pos += 1
+        if warm_couplet < 0 and couplet_start >= warm:
+            warm_couplet = len(i_addr)
+        i_addr.append(ia)
+        i_pid.append(ip)
+        d_kind.append(dk)
+        d_addr.append(da)
+        d_pid.append(dp)
+    if warm_couplet < 0:
+        # The warm boundary falls inside (or at the end of) the last
+        # couplet: nothing is measured, which callers must guard against.
+        warm_couplet = len(i_addr)
+    if warm == 0:
+        warm_couplet = 0
+    return CoupletStream(
+        i_addr=i_addr,
+        i_pid=i_pid,
+        d_kind=d_kind,
+        d_addr=d_addr,
+        d_pid=d_pid,
+        warm_couplet=warm_couplet,
+        n_refs=n,
+    )
+
+
+def sequentialize(trace: Trace) -> CoupletStream:
+    """Build a degenerate stream with one reference per couplet.
+
+    Used for unified (joint I/D) caches, where the CPU cannot issue the
+    pair simultaneously and references are served one at a time.
+    """
+    kinds, addrs, pids = trace.as_lists()
+    ifetch = int(RefKind.IFETCH)
+    n = len(kinds)
+    i_addr = [NO_REF] * n
+    i_pid = [NO_REF] * n
+    d_kind = [NO_REF] * n
+    d_addr = [NO_REF] * n
+    d_pid = [NO_REF] * n
+    for pos in range(n):
+        if kinds[pos] == ifetch:
+            i_addr[pos] = addrs[pos]
+            i_pid[pos] = pids[pos]
+        else:
+            d_kind[pos] = kinds[pos]
+            d_addr[pos] = addrs[pos]
+            d_pid[pos] = pids[pos]
+    warm_couplet = min(trace.warm_boundary, n)
+    return CoupletStream(
+        i_addr=i_addr,
+        i_pid=i_pid,
+        d_kind=d_kind,
+        d_addr=d_addr,
+        d_pid=d_pid,
+        warm_couplet=warm_couplet,
+        n_refs=n,
+    )

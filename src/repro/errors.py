@@ -1,0 +1,41 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An organizational or temporal parameter is invalid or inconsistent.
+
+    Raised, for example, when a cache size is not a multiple of the block
+    size times the associativity, or when a timing parameter is negative.
+    """
+
+
+class TraceError(ReproError):
+    """A trace file or trace container is malformed."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an internally inconsistent state.
+
+    This should never happen in normal operation; it indicates a bug in
+    the engine rather than bad user input.
+    """
+
+
+class AnalysisError(ReproError):
+    """An analysis step cannot be performed on the supplied data.
+
+    Raised, for example, when interpolating an equal-performance line
+    outside of the simulated cycle-time range, or when a parabola fit is
+    requested on fewer than three block-size points.
+    """

@@ -1,0 +1,29 @@
+"""Experiments regenerating every table and figure of the paper.
+
+Each module reproduces one artifact (see DESIGN.md §5 for the index);
+``registry.run_experiment("fig3_4")`` runs one, and the ``repro-sim``
+CLI exposes them from the shell.
+"""
+
+from .common import (
+    ExperimentResult,
+    ExperimentSettings,
+    blocksize_curves,
+    clear_grid_cache,
+    speed_size_grid,
+    suite_for,
+)
+from .registry import EXPERIMENTS, list_experiments, run_all, run_experiment
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentSettings",
+    "blocksize_curves",
+    "clear_grid_cache",
+    "speed_size_grid",
+    "suite_for",
+    "EXPERIMENTS",
+    "list_experiments",
+    "run_all",
+    "run_experiment",
+]

@@ -1,0 +1,163 @@
+"""Shared settings, grids and caching for the experiment modules.
+
+Every experiment accepts an :class:`ExperimentSettings`; the default is a
+*reduced* configuration (shorter traces, coarser grids) that regenerates
+every figure's shape in minutes on a laptop.  Set ``full=True`` — or the
+environment variable ``REPRO_FULL=1`` — for the paper-scale grids.
+
+The expensive speed–size sweeps are memoized per (settings, assoc) so
+that Figures 3-1 through 3-4, 4-2 through 4-5 and Table 3 share their
+underlying simulations, the way the paper's figures all read from one
+raw-data archive.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Tuple
+
+from ..core.metrics import SpeedSizeGrid
+from ..core.sweep import run_speed_size_sweep
+from ..trace.record import Trace
+from ..trace.suite import ALL_TRACES, build_suite
+from ..units import KB
+
+
+def _env_full() -> bool:
+    return os.environ.get("REPRO_FULL", "") not in ("", "0", "false")
+
+
+def _env_jobs() -> int:
+    try:
+        return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+    except ValueError:
+        return 1
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Knobs shared by every experiment."""
+
+    trace_length: int = 120_000
+    trace_names: Tuple[str, ...] = ALL_TRACES
+    seed: int = 0
+    full: bool = field(default_factory=_env_full)
+    n_jobs: int = field(default_factory=_env_jobs)
+
+    # ------------------------------------------------------------------
+    # Grid definitions (reduced vs full)
+    # ------------------------------------------------------------------
+    @property
+    def sizes_each_bytes(self) -> List[int]:
+        """Per-cache sizes; the paper sweeps 2 KB–2 MB each."""
+        if self.full:
+            return [2 * KB * (2 ** k) for k in range(11)]  # 2KB..2MB
+        return [2 * KB, 8 * KB, 32 * KB, 128 * KB, 512 * KB]
+
+    @property
+    def cycle_times_ns(self) -> List[float]:
+        """CPU/cache cycle times; the paper sweeps 20–80 ns."""
+        if self.full:
+            return [float(t) for t in range(20, 81, 4)]
+        return [20.0, 28.0, 40.0, 56.0, 60.0, 80.0]
+
+    @property
+    def assocs(self) -> List[int]:
+        return [1, 2, 4, 8] if self.full else [1, 2, 4]
+
+    @property
+    def block_sizes_words(self) -> List[int]:
+        if self.full:
+            return [1, 2, 4, 8, 16, 32, 64, 128]
+        return [2, 4, 8, 16, 32, 64]
+
+    @property
+    def latencies_ns(self) -> List[float]:
+        """§5's memory latencies: 100–420 ns (3–11 cycles at 40 ns)."""
+        if self.full:
+            return [100.0, 180.0, 260.0, 340.0, 420.0]
+        return [100.0, 260.0, 420.0]
+
+    @property
+    def transfer_rates(self) -> List[float]:
+        """§5's backplane rates: 4 W/cycle down to 1 W per 4 cycles."""
+        if self.full:
+            return [4.0, 2.0, 1.0, 0.5, 0.25]
+        return [4.0, 1.0, 0.25]
+
+    def with_full(self, full: bool) -> "ExperimentSettings":
+        return replace(self, full=full)
+
+
+@dataclass
+class ExperimentResult:
+    """What every experiment returns: an id, a rendered report, and the
+    structured numbers behind it (for tests and EXPERIMENTS.md)."""
+
+    experiment_id: str
+    title: str
+    text: str
+    data: Dict[str, object]
+
+    def __str__(self) -> str:
+        return f"== {self.experiment_id}: {self.title} ==\n{self.text}"
+
+
+def suite_for(settings: ExperimentSettings) -> Dict[str, Trace]:
+    """The trace suite for a settings bundle (memoized by the suite)."""
+    return build_suite(
+        length=settings.trace_length,
+        names=settings.trace_names,
+        seed=settings.seed,
+    )
+
+
+# Cache of speed-size grids keyed by (settings, assoc).  The settings
+# dataclass is frozen and hashable, so this is a straight dict memo.
+_GRID_CACHE: Dict[Tuple[ExperimentSettings, int], SpeedSizeGrid] = {}
+
+
+def speed_size_grid(
+    settings: ExperimentSettings, assoc: int = 1
+) -> SpeedSizeGrid:
+    """The (size x cycle time) sweep for one associativity, memoized."""
+    key = (settings, assoc)
+    if key not in _GRID_CACHE:
+        _GRID_CACHE[key] = run_speed_size_sweep(
+            suite_for(settings),
+            sizes_each_bytes=settings.sizes_each_bytes,
+            cycle_times_ns=settings.cycle_times_ns,
+            assoc=assoc,
+            seed=settings.seed,
+            n_jobs=settings.n_jobs,
+        )
+    return _GRID_CACHE[key]
+
+
+_BLOCKSIZE_CACHE: Dict[ExperimentSettings, Dict] = {}
+
+
+def blocksize_curves(settings: ExperimentSettings) -> Dict:
+    """The §5 block-size x memory-speed sweep, memoized per settings.
+
+    Returns ``{(latency_cycles, transfer_rate): BlockSizeCurve}``.
+    """
+    from ..core.sweep import run_blocksize_sweep
+
+    if settings not in _BLOCKSIZE_CACHE:
+        _BLOCKSIZE_CACHE[settings] = run_blocksize_sweep(
+            suite_for(settings),
+            block_sizes_words=settings.block_sizes_words,
+            latencies_ns=settings.latencies_ns,
+            transfer_rates=settings.transfer_rates,
+            seed=settings.seed,
+            n_jobs=settings.n_jobs,
+        )
+    return _BLOCKSIZE_CACHE[settings]
+
+
+def clear_grid_cache() -> None:
+    """Drop memoized sweeps (tests use this to bound memory)."""
+    _GRID_CACHE.clear()
+    _BLOCKSIZE_CACHE.clear()

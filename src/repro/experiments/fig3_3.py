@@ -1,0 +1,85 @@
+"""Figure 3-3: execution time versus cache size and cycle time.
+
+"Total execution time is the product of cycle time and cycle count ...
+the overall performance is strongly dependent on both the cache size and
+cycle time.  With small caches, incremental changes in the cache size
+have a greater effect than changes in the cycle time, while at the
+larger cache sizes the reverse is true."
+
+The rendered grid is normalized to its best point; the two sensitivity
+claims above are quantified and reported (and asserted by the bench).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.report import cycle_labels, format_grid, size_labels
+from .common import ExperimentResult, ExperimentSettings, speed_size_grid
+
+EXPERIMENT_ID = "fig3_3"
+TITLE = "Execution time vs cache size and cycle time"
+
+
+def _sensitivities(grid) -> dict:
+    """Relative execution-time change per size doubling versus per cycle
+    step, at the small and large ends of the size axis."""
+    exec_ns = grid.execution_ns
+    n_sizes, n_cycles = exec_ns.shape
+    mid_j = n_cycles // 2
+    mid_i = n_sizes // 2
+
+    def size_gain(i: int) -> float:
+        doublings = np.log2(grid.total_sizes[i + 1] / grid.total_sizes[i])
+        return float(
+            (exec_ns[i, mid_j] / exec_ns[i + 1, mid_j] - 1.0) / doublings
+        )
+
+    def cycle_gain(j: int) -> float:
+        dt = grid.cycle_times_ns[j + 1] / grid.cycle_times_ns[j]
+        return float((exec_ns[mid_i, j + 1] / exec_ns[mid_i, j] - 1.0) / (dt - 1))
+
+    # Average the cycle sensitivity over every clock step: individual
+    # steps can be distorted (even negative) by the synchronous
+    # quantization — the paper's 56 ns anomaly.
+    mean_cycle_gain = float(
+        np.mean([cycle_gain(j) for j in range(n_cycles - 1)])
+    )
+    return {
+        "size_gain_small": size_gain(0),
+        "size_gain_large": size_gain(n_sizes - 2),
+        "cycle_gain": mean_cycle_gain,
+    }
+
+
+def run(settings: Optional[ExperimentSettings] = None) -> ExperimentResult:
+    settings = settings or ExperimentSettings()
+    grid = speed_size_grid(settings, assoc=1)
+    normalized = grid.normalized()
+    table = format_grid(
+        size_labels(grid.total_sizes),
+        cycle_labels(grid.cycle_times_ns),
+        normalized,
+        corner="TotalL1",
+        title="Execution time, normalized to the best design point",
+    )
+    sens = _sensitivities(grid)
+    text = (
+        f"{table}\n\nAt the middle clock, doubling a small cache buys "
+        f"{100 * sens['size_gain_small']:.1f}% performance per doubling; "
+        f"doubling a large one buys {100 * sens['size_gain_large']:.1f}%. "
+        "Small caches reward size, large caches reward cycle time."
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        text=text,
+        data={
+            "total_sizes": list(grid.total_sizes),
+            "cycle_times_ns": list(grid.cycle_times_ns),
+            "normalized_execution": normalized.tolist(),
+            **sens,
+        },
+    )

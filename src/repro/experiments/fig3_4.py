@@ -1,0 +1,135 @@
+"""Figure 3-4: lines of equal performance across the design space.
+
+The centrepiece of §3: interpolated iso-performance lines over the
+(cache size, cycle time) plane, the slope of those lines in nanoseconds
+of cycle time per doubling of cache size, and the shaded regions bounded
+by the 2.5 / 5 / 7.5 / 10 ns-per-doubling contours.  The flattening of
+the slopes with size is what drives the paper's headline: "there is a
+strong tendency to increase cache size to the 32KB to 128KB range",
+beyond which hardware is better spent on cycle time.
+
+Also reproduced: the worked RAM-swap example (§3) — at a given design
+point, compare staying at a small cache with fast RAMs against a cache
+four times larger with RAMs 10 ns slower.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.equal_performance import (
+    DEFAULT_REGION_BOUNDARIES,
+    classify_regions,
+    cycle_time_for_level,
+    iso_performance_lines,
+    preferred_size_range,
+    slope_map,
+)
+from ..core.report import cycle_labels, format_grid, format_table, size_labels
+from .common import ExperimentResult, ExperimentSettings, speed_size_grid
+
+EXPERIMENT_ID = "fig3_4"
+TITLE = "Lines of equal performance (speed-size tradeoff)"
+
+
+def ram_swap_example(grid, size_index: int, cycle_index: int,
+                     ram_penalty_ns: float = 10.0) -> Optional[dict]:
+    """The paper's worked example: is a 4x bigger cache with RAMs
+    ``ram_penalty_ns`` slower a better machine?
+
+    Returns the relative improvement (positive means the bigger, slower
+    machine wins), or ``None`` if the grid cannot express the swap.
+    """
+    if size_index + 2 >= grid.n_sizes:
+        return None
+    t0 = grid.cycle_times_ns[cycle_index]
+    exec_small = float(grid.execution_ns[size_index, cycle_index])
+    t1 = t0 + ram_penalty_ns
+    cycles = np.asarray(grid.cycle_times_ns)
+    if t1 > cycles[-1]:
+        return None
+    big_exec_vs_cycle = grid.execution_ns[size_index + 2, :]
+    exec_big = float(np.interp(t1, cycles, big_exec_vs_cycle))
+    return {
+        "small_size": grid.total_sizes[size_index],
+        "big_size": grid.total_sizes[size_index + 2],
+        "cycle_small_ns": t0,
+        "cycle_big_ns": t1,
+        "improvement": exec_small / exec_big - 1.0,
+    }
+
+
+def run(settings: Optional[ExperimentSettings] = None) -> ExperimentResult:
+    settings = settings or ExperimentSettings()
+    grid = speed_size_grid(settings, assoc=1)
+    slopes = slope_map(grid)
+    regions = classify_regions(grid)
+    lines = iso_performance_lines(grid, n_levels=8)
+    slope_table = format_grid(
+        size_labels(grid.total_sizes),
+        cycle_labels(grid.cycle_times_ns),
+        slopes,
+        corner="TotalL1",
+        title="Constant-performance slope, ns of cycle time per size doubling",
+        precision=2,
+    )
+    region_table = format_grid(
+        size_labels(grid.total_sizes),
+        cycle_labels(grid.cycle_times_ns),
+        regions.astype(float),
+        corner="TotalL1",
+        title=(
+            "Region index (boundaries at "
+            f"{'/'.join(str(b) for b in DEFAULT_REGION_BOUNDARIES)} ns per "
+            "doubling; -1 = undefined)"
+        ),
+        precision=0,
+    )
+    iso_rows = []
+    for line in lines:
+        points = ", ".join(
+            f"({s // 1024}KB, {c:.1f}ns)" for s, c in line.points
+        )
+        iso_rows.append([f"{line.level:.1f}", points or "(unattainable)"])
+    iso_table = format_table(
+        ["Level", "Iso-performance points (total size, cycle time)"],
+        iso_rows,
+        title="Lines of equal performance (normalized execution time)",
+    )
+    grow_until, stop_at = preferred_size_range(grid)
+    example = ram_swap_example(grid, 1, grid.n_cycles // 2)
+    example_text = ""
+    if example is not None:
+        verdict = "improves" if example["improvement"] > 0 else "degrades"
+        example_text = (
+            f"\nRAM-swap example: {example['small_size'] // 1024}KB at "
+            f"{example['cycle_small_ns']:g}ns vs "
+            f"{example['big_size'] // 1024}KB at "
+            f"{example['cycle_big_ns']:g}ns — the larger, slower machine "
+            f"{verdict} performance by {100 * abs(example['improvement']):.1f}% "
+            "(paper's example: +7.3%)."
+        )
+    text = (
+        f"{slope_table}\n\n{region_table}\n\n{iso_table}\n\n"
+        f"Preferred total size band: keep growing past "
+        f"{(grow_until or 0) // 1024}KB; stop by {(stop_at or 0) // 1024}KB "
+        "(paper: 32KB to 128KB total for discrete-RAM ladders)."
+        + example_text
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        text=text,
+        data={
+            "slopes": slopes.tolist(),
+            "regions": regions.tolist(),
+            "iso_lines": [
+                {"level": l.level, "points": list(l.points)} for l in lines
+            ],
+            "grow_until": grow_until,
+            "stop_at": stop_at,
+            "ram_swap": example,
+        },
+    )

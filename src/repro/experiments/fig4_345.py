@@ -1,0 +1,94 @@
+"""Figures 4-3, 4-4, 4-5: break-even cycle-time maps for set size 2/4/8.
+
+For each design point, the cycle-time degradation at which a set-
+associative machine stops beating the direct-mapped one of the same
+size.  The paper's reading of these maps:
+
+* "the numbers are almost uniformly small" — only totals under 16 KB
+  break even above the 6 ns data-in-to-data-out time of an AS
+  multiplexor, and nothing reaches its 11 ns select time, so TTL
+  discrete caches should stay direct mapped;
+* the gap between set size two and four is at most ~2.4 ns, and four to
+  eight smaller still.
+
+The 56 ns column is smoothed per footnote 9 before interpolating.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..core.associativity import (
+    AS_MUX_DATA_NS,
+    AS_MUX_SELECT_NS,
+    breakeven_map,
+    smooth_column,
+    summarize_breakeven,
+)
+from ..core.report import cycle_labels, format_grid, size_labels
+from .common import ExperimentResult, ExperimentSettings, speed_size_grid
+
+EXPERIMENT_ID = "fig4_345"
+TITLE = "Break-even cycle-time degradation for set associativity"
+
+
+def run(settings: Optional[ExperimentSettings] = None) -> ExperimentResult:
+    settings = settings or ExperimentSettings()
+    assocs = [a for a in settings.assocs if a > 1]
+    dm = smooth_column(speed_size_grid(settings, assoc=1))
+    blocks = []
+    summaries: Dict[int, object] = {}
+    maps = {}
+    for assoc in assocs:
+        sa = smooth_column(speed_size_grid(settings, assoc=assoc))
+        bmap = breakeven_map(dm, sa)
+        maps[assoc] = bmap
+        summaries[assoc] = summarize_breakeven(dm, sa, assoc)
+        blocks.append(
+            format_grid(
+                size_labels(dm.total_sizes),
+                cycle_labels(dm.cycle_times_ns),
+                bmap,
+                corner="TotalL1",
+                title=f"Set size {assoc}: break-even cycle-time slack (ns)",
+                precision=2,
+            )
+        )
+    lines = []
+    for assoc in assocs:
+        s = summaries[assoc]
+        lines.append(
+            f"set size {assoc}: max break-even {s.max_breakeven_ns:.1f}ns at "
+            f"{s.max_at_total_size // 1024}KB total; "
+            f"{'exceeds' if s.worthwhile_vs_as_mux else 'below'} the "
+            f"{AS_MUX_DATA_NS:g}ns AS-multiplexor data delay"
+        )
+    if 2 in maps and 4 in maps:
+        both = ~(np.isnan(maps[2]) | np.isnan(maps[4]))
+        gap = float(np.nanmax(np.abs(maps[4][both] - maps[2][both]))) if both.any() else float("nan")
+        lines.append(
+            f"largest |set-4 minus set-2| break-even gap: {gap:.2f}ns "
+            "(paper: at most 2.4ns)"
+        )
+    text = "\n\n".join(blocks) + "\n\n" + "\n".join(lines) + (
+        f"\n(AS multiplexor: {AS_MUX_DATA_NS:g}ns data, "
+        f"{AS_MUX_SELECT_NS:g}ns select.)"
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        text=text,
+        data={
+            "breakeven": {a: maps[a].tolist() for a in assocs},
+            "summaries": {
+                a: {
+                    "max_breakeven_ns": summaries[a].max_breakeven_ns,
+                    "max_at_total_size": summaries[a].max_at_total_size,
+                    "worthwhile_vs_as_mux": summaries[a].worthwhile_vs_as_mux,
+                }
+                for a in assocs
+            },
+        },
+    )

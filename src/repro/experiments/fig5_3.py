@@ -1,0 +1,76 @@
+"""Figure 5-3: performance-optimal block size vs memory characteristics.
+
+For each (latency, transfer rate) pair, the optimal block size is
+estimated by the paper's parabola fit "to the lowest three points".  The
+published sensitivities around the optimum: an 80 ns (2-cycle) latency
+increase costs 3–6% execution time, and halving the peak transfer rate
+costs 3–13%, the two being largely independent of one another.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+from ..core.blocksize import optimal_block_size_words
+from ..core.report import format_table
+from .common import ExperimentResult, ExperimentSettings, blocksize_curves
+
+EXPERIMENT_ID = "fig5_3"
+TITLE = "Optimal block size vs memory characteristics"
+
+
+def run(settings: Optional[ExperimentSettings] = None) -> ExperimentResult:
+    settings = settings or ExperimentSettings()
+    curves = blocksize_curves(settings)
+    latencies = sorted({k[0] for k in curves})
+    rates = sorted({k[1] for k in curves}, reverse=True)
+    rows = []
+    optima = {}
+    for latency in latencies:
+        row = [f"{latency}cyc"]
+        for rate in rates:
+            curve = curves[(latency, rate)]
+            opt = optimal_block_size_words(curve)
+            optima[(latency, rate)] = opt
+            row.append(opt)
+        rows.append(row)
+    table = format_table(
+        ["Latency"] + [f"{r:g}W/c" for r in rates],
+        rows,
+        title="Performance-optimal block size (words, parabola fit)",
+        precision=1,
+    )
+    # Sensitivity of best-block execution time to the memory parameters.
+    best_exec = {
+        k: float(c.execution_ns.min()) for k, c in curves.items()
+    }
+    latency_costs = []
+    for rate in rates:
+        for lo, hi in zip(latencies, latencies[1:]):
+            latency_costs.append(
+                best_exec[(hi, rate)] / best_exec[(lo, rate)] - 1.0
+            )
+    rate_costs = []
+    for latency in latencies:
+        ordered = sorted(rates, reverse=True)
+        for fast, slow in zip(ordered, ordered[1:]):
+            rate_costs.append(
+                best_exec[(latency, slow)] / best_exec[(latency, fast)] - 1.0
+            )
+    text = (
+        f"{table}\n\nLatency-step cost: {100 * min(latency_costs):.1f}% to "
+        f"{100 * max(latency_costs):.1f}% per step (paper: 3-6% per 80ns). "
+        f"Transfer-rate step cost: {100 * min(rate_costs):.1f}% to "
+        f"{100 * max(rate_costs):.1f}% per step (paper: 3-13% per halving)."
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        text=text,
+        data={
+            "optima": {f"{k[0]}cyc@{k[1]:g}": v for k, v in optima.items()},
+            "latency_costs": latency_costs,
+            "rate_costs": rate_costs,
+        },
+    )

@@ -1,0 +1,45 @@
+"""Table 1: description of the traces.
+
+The paper's Table 1 lists, per trace, the number of processes, the
+length in references, the unique-address footprint and the constituent
+programs.  This experiment regenerates the same columns for the
+synthetic suite, plus the reference mix, so a reader can compare the
+stimulus against the published one.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..trace.stats import compute_stats, stats_table
+from ..trace.suite import TRACE_PROGRAMS
+from .common import ExperimentResult, ExperimentSettings, suite_for
+
+EXPERIMENT_ID = "table1"
+TITLE = "Description of the traces"
+
+
+def run(settings: Optional[ExperimentSettings] = None) -> ExperimentResult:
+    settings = settings or ExperimentSettings()
+    suite = suite_for(settings)
+    stats = [compute_stats(trace) for trace in suite.values()]
+    lines = [stats_table(stats), "", "Programs:"]
+    for name in suite:
+        lines.append(f"  {name:<7} {', '.join(TRACE_PROGRAMS[name])}")
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        text="\n".join(lines),
+        data={
+            "stats": {
+                s.name: {
+                    "processes": s.n_processes,
+                    "length": s.length,
+                    "unique_kwords": s.n_unique_kwords,
+                    "warm_boundary": s.warm_boundary,
+                    "store_fraction": s.store_fraction,
+                }
+                for s in stats
+            }
+        },
+    )

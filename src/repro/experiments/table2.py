@@ -1,0 +1,74 @@
+"""Table 2: memory access cycle counts versus cycle time.
+
+The paper's Table 2 tabulates, for the base memory (180 ns read
+operation, 100 ns write operation, 120 ns recovery, one word per cycle,
+4-word blocks), the quantized read, write and recovery cycle counts at
+cycle times from 20 ns to 60 ns.  This is the one artifact we reproduce
+*exactly*, because it is pure arithmetic on the synchronous-quantization
+model; the unit tests pin every published cell.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.report import format_table
+from ..core.timing import MemoryTiming
+from .common import ExperimentResult, ExperimentSettings
+
+EXPERIMENT_ID = "table2"
+TITLE = "Memory access cycle counts"
+
+#: The paper's published rows: cycle time -> (read, write, recovery).
+PAPER_TABLE2: Dict[float, Tuple[int, int, int]] = {
+    20.0: (14, 10, 6),
+    24.0: (13, 10, 5),
+    28.0: (12, 9, 5),
+    32.0: (11, 9, 4),
+    36.0: (10, 8, 4),
+    40.0: (10, 8, 3),
+    48.0: (9, 8, 3),
+    52.0: (9, 7, 3),
+    60.0: (8, 7, 2),
+}
+
+
+def compute_row(
+    memory: MemoryTiming, cycle_ns: float, block_words: int = 4
+) -> Tuple[int, int, int]:
+    """(read, write, recovery) cycle counts at one cycle time."""
+    return (
+        memory.read_cycles(block_words, cycle_ns),
+        memory.write_cycles(block_words, cycle_ns),
+        memory.recovery_cycles(cycle_ns),
+    )
+
+
+def run(settings: Optional[ExperimentSettings] = None) -> ExperimentResult:
+    del settings  # purely analytic; settings carry nothing relevant
+    memory = MemoryTiming()
+    rows: List[List[object]] = []
+    mismatches = []
+    computed = {}
+    for cycle_ns, expected in PAPER_TABLE2.items():
+        got = compute_row(memory, cycle_ns)
+        computed[cycle_ns] = got
+        match = "ok" if got == expected else "MISMATCH"
+        if got != expected:
+            mismatches.append(cycle_ns)
+        rows.append([f"{cycle_ns:g}", *got, *expected, match])
+    text = format_table(
+        ["Cycle(ns)", "Read", "Write", "Recov",
+         "Read(paper)", "Write(paper)", "Recov(paper)", ""],
+        rows,
+        title=(
+            "Read op 180ns, write op 100ns, recovery 120ns, "
+            "1 W/cycle, 4 W blocks"
+        ),
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        text=text,
+        data={"computed": computed, "mismatches": mismatches},
+    )

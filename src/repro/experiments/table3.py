@@ -1,0 +1,84 @@
+"""Table 3: memory performance versus cache miss penalty (§6).
+
+The speed–size data rephrased with the read-miss penalty as the
+variable.  For each cache size: cycles per reference (dropping below one
+for large caches, since a couplet retires two references per cycle) and
+the cycle-time fraction equivalent to a size doubling.  The two §6
+observations the bench asserts: cycles/reference grows with the penalty
+much faster for small caches, and the doubling-equivalent fraction
+grows with the penalty (so shrinking the penalty shrinks the optimal
+cache) — together, the case for multilevel hierarchies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+from ..core.penalty import cycles_per_reference_slope, penalty_table
+from ..core.report import format_table
+from ..core.timing import MemoryTiming
+from ..units import KB
+from .common import ExperimentResult, ExperimentSettings, speed_size_grid
+
+EXPERIMENT_ID = "table3"
+TITLE = "Memory performance vs cache miss penalty"
+
+
+def run(settings: Optional[ExperimentSettings] = None) -> ExperimentResult:
+    settings = settings or ExperimentSettings()
+    grid = speed_size_grid(settings, assoc=1)
+    wanted = [s for s in (4 * KB, 16 * KB, 64 * KB, 256 * KB)
+              if s in grid.total_sizes]
+    if not wanted:
+        wanted = list(grid.total_sizes[: 4])
+    cells = penalty_table(grid, MemoryTiming(), sizes=wanted)
+    penalties = sorted({c.read_penalty_cycles for c in cells}, reverse=True)
+    by_key = {
+        (c.total_size_bytes, c.read_penalty_cycles): c for c in cells
+    }
+    headers = ["Penalty"] + [
+        col
+        for size in wanted
+        for col in (f"{size // 1024}KB c/ref", f"{size // 1024}KB sizex2")
+    ]
+    rows = []
+    for penalty in penalties:
+        row = [penalty]
+        for size in wanted:
+            cell = by_key.get((size, penalty))
+            row.append(cell.cycles_per_reference if cell else None)
+            row.append(
+                cell.size_doubling_cycle_fraction
+                if cell and cell.size_doubling_cycle_fraction is not None
+                else None
+            )
+        rows.append(row)
+    table = format_table(headers, rows, title=TITLE, precision=2)
+    slopes = {
+        size: cycles_per_reference_slope(cells, size) for size in wanted
+    }
+    text = (
+        f"{table}\n\nCycles/reference sensitivity to the penalty "
+        "(cycles per penalty cycle): "
+        + ", ".join(f"{s // 1024}KB: {v:.3f}" for s, v in slopes.items())
+        + "\nSmall caches depend strongly on the miss penalty; reducing the "
+          "penalty (an L2) also reduces the value of doubling the L1."
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        text=text,
+        data={
+            "penalties": penalties,
+            "cells": {
+                f"{c.total_size_bytes // 1024}KB@{c.read_penalty_cycles}": {
+                    "cycles_per_reference": c.cycles_per_reference,
+                    "size_doubling_cycle_fraction":
+                        c.size_doubling_cycle_fraction,
+                }
+                for c in cells
+            },
+            "cpr_slopes": {str(k): v for k, v in slopes.items()},
+        },
+    )

@@ -1,0 +1,25 @@
+"""Memory substrate: the timed main-memory port."""
+
+from .buses import (
+    BUSES,
+    GENERIC_BACKPLANE,
+    MULTIBUS_II,
+    PRIVATE_BUS,
+    VME,
+    WIDE_PRIVATE_BUS,
+    bus_by_name,
+    scaled_memory,
+)
+from .mainmemory import MainMemory
+
+__all__ = [
+    "BUSES",
+    "GENERIC_BACKPLANE",
+    "MULTIBUS_II",
+    "PRIVATE_BUS",
+    "VME",
+    "WIDE_PRIVATE_BUS",
+    "bus_by_name",
+    "scaled_memory",
+    "MainMemory",
+]

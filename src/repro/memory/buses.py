@@ -1,0 +1,92 @@
+"""Named memory/backplane presets.
+
+§2 situates the base memory against real 1988 backplanes: "The backplane
+has more than double the transfer rate of VME or MULTIBUS II, and memory
+latency is roughly a half that of commercially available boards for
+these busses.  The values used are more representative of a single
+master private memory bus."  These presets make those comparisons
+runnable: pick a bus by name and sweep the paper's experiments over it.
+
+Numbers are word-per-cycle rates at the paper's 40 ns base clock and
+latencies chosen to sit where §2 places each technology; they are
+engineering-representative, not datasheet transcriptions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core.timing import MemoryTiming
+from ..errors import ConfigurationError
+
+#: The paper's base system: single-master private memory bus.
+PRIVATE_BUS = MemoryTiming(
+    latency_ns=180.0, transfer_rate=1.0, write_op_ns=100.0,
+    recovery_ns=120.0,
+)
+
+#: A VME-class backplane: less than half the private bus's transfer
+#: rate, commercial-board latency about twice the paper's.
+VME = MemoryTiming(
+    latency_ns=360.0, transfer_rate=0.4, write_op_ns=200.0,
+    recovery_ns=200.0,
+)
+
+#: MULTIBUS II class: similar bandwidth ceiling to VME with slightly
+#: different latency structure.
+MULTIBUS_II = MemoryTiming(
+    latency_ns=340.0, transfer_rate=0.45, write_op_ns=180.0,
+    recovery_ns=180.0,
+)
+
+#: An aggressive wide bus (the §5 sweep's 4 W/cycle extreme): fast
+#: DRAMs, no ECC, quadruple-word transfers.
+WIDE_PRIVATE_BUS = MemoryTiming(
+    latency_ns=100.0, transfer_rate=4.0, write_op_ns=100.0,
+    recovery_ns=100.0,
+)
+
+#: A conservative board on a slow generic backplane (the §5 sweep's
+#: 420 ns / quarter-word extreme).
+GENERIC_BACKPLANE = MemoryTiming(
+    latency_ns=420.0, transfer_rate=0.25, write_op_ns=420.0,
+    recovery_ns=420.0,
+)
+
+BUSES: Dict[str, MemoryTiming] = {
+    "private": PRIVATE_BUS,
+    "vme": VME,
+    "multibus2": MULTIBUS_II,
+    "wide": WIDE_PRIVATE_BUS,
+    "generic": GENERIC_BACKPLANE,
+}
+
+
+def bus_by_name(name: str) -> MemoryTiming:
+    """Look up a bus preset; raises with the available names."""
+    try:
+        return BUSES[name.lower()]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown bus {name!r}; available: {sorted(BUSES)}"
+        ) from exc
+
+
+def scaled_memory(memory: MemoryTiming, factor: float) -> MemoryTiming:
+    """Scale every physical time by ``factor`` (transfer rate is per
+    cycle and does not scale).
+
+    §6's technology-scaling thought experiment: "If all the temporal
+    parameters are divided by a common factor, the shape and position of
+    the curves remain the same while the slopes, expressed in
+    nanoseconds per doubling, scale down."
+    """
+    if factor <= 0:
+        raise ConfigurationError(f"scale factor must be positive: {factor}")
+    return MemoryTiming(
+        latency_ns=memory.latency_ns * factor,
+        transfer_rate=memory.transfer_rate,
+        write_op_ns=memory.write_op_ns * factor,
+        recovery_ns=memory.recovery_ns * factor,
+        address_cycles=memory.address_cycles,
+    )

@@ -1,0 +1,123 @@
+"""Timed main-memory port.
+
+Main memory is "modeled as a single functional unit" (§2): one operation
+at a time, a latency-then-transfer read shape, writes whose internal
+operation continues after the data handoff, and a recovery gap between
+operations derived from the difference between DRAM access and cycle
+times.  All physical times are quantized to whole machine cycles by
+:class:`~repro.core.timing.MemoryTiming`.
+
+The port keeps a single piece of temporal state, ``free_at`` — the cycle
+at which it can begin its next operation — which is how the engine models
+contention between misses, write-buffer drains and write backs.
+"""
+
+from __future__ import annotations
+
+from ..core.timing import MemoryTiming
+from ..errors import ConfigurationError
+
+
+class MainMemory:
+    """Cycle-accounted main memory.
+
+    Parameters
+    ----------
+    timing:
+        Physical timing (nanoseconds and words/cycle).
+    cycle_ns:
+        The CPU/cache cycle time the physical times are quantized to.
+    """
+
+    def __init__(self, timing: MemoryTiming, cycle_ns: float) -> None:
+        if cycle_ns <= 0:
+            raise ConfigurationError(f"cycle time must be positive: {cycle_ns}")
+        self.timing = timing
+        self.cycle_ns = cycle_ns
+        # Pre-quantized constants — the inner loop must not re-divide.
+        self._latency_cycles = timing.latency_cycles(cycle_ns)
+        self._recovery_cycles = timing.recovery_cycles(cycle_ns)
+        self._write_op_cycles = timing.write_cycles(1, cycle_ns) - \
+            timing.write_handoff_cycles(1)
+        self.free_at = 0
+        self.reads = 0
+        self.writes = 0
+        self.busy_cycles = 0
+
+    def transfer_cycles(self, words: int) -> int:
+        """Cycles to move ``words`` across the memory bus."""
+        return self.timing.transfer_cycles(words)
+
+    @property
+    def latency_cycles(self) -> int:
+        """Address + access latency in cycles (before the first word)."""
+        return self._latency_cycles
+
+    def start_read(self, words: int, now: int, overlap_cycles: int = 0) -> int:
+        """Begin a block read; return the cycle the last word arrives.
+
+        ``overlap_cycles`` models the §2 dirty-miss mechanism: "the dirty
+        block is transferred into the write buffer during the memory
+        latency period".  The victim moves over the one-word-wide cache
+        data path while memory performs its access; if moving the victim
+        takes longer than the latency, the incoming transfer is delayed —
+        "since all the data paths are set to be one word wide, this is
+        not always the case for long block sizes".
+        """
+        start = now if now > self.free_at else self.free_at
+        first_word_ready = start + max(self._latency_cycles, overlap_cycles)
+        done = first_word_ready + self.transfer_cycles(words)
+        self.free_at = done + self._recovery_cycles
+        self.reads += 1
+        self.busy_cycles += done - start
+        return done
+
+    def start_write(self, words: int, now: int) -> int:
+        """Begin a write; return the cycle the handoff completes.
+
+        The requester is released after address + transfer; the memory
+        stays busy for the internal write operation plus recovery ("at
+        this point the cache can proceed with other business while the
+        write actually occurs").
+        """
+        start = now if now > self.free_at else self.free_at
+        handoff = start + self.timing.write_handoff_cycles(words)
+        internal_done = handoff + self._write_op_cycles
+        self.free_at = internal_done + self._recovery_cycles
+        self.writes += 1
+        self.busy_cycles += internal_done - start
+        return handoff
+
+    # ------------------------------------------------------------------
+    # Hierarchy-level protocol (pid/addr accepted for interface parity
+    # with cache levels; memory is a flat array and ignores them)
+    # ------------------------------------------------------------------
+    def read_block(
+        self, pid: int, word_addr: int, words: int, now: int,
+        overlap_cycles: int = 0,
+    ):
+        """Protocol form of :meth:`start_read`.
+
+        Returns ``(completion, first_word)``: the cycle the last word has
+        arrived and the cycle the *first* word has arrived — the latter
+        feeds the early-continuation / load-forward miss-handling modes.
+        """
+        start = now if now > self.free_at else self.free_at
+        transfer_begins = start + max(self._latency_cycles, overlap_cycles)
+        done = transfer_begins + self.transfer_cycles(words)
+        self.free_at = done + self._recovery_cycles
+        self.reads += 1
+        self.busy_cycles += done - start
+        return done, transfer_begins + self.transfer_cycles(1)
+
+    def write_block(self, pid: int, word_addr: int, words: int, now: int) -> int:
+        """Protocol form of :meth:`start_write`."""
+        return self.start_write(words, now)
+
+    def reset(self) -> None:
+        """Clear temporal state and counters (cache contents untouched —
+        memory has none)."""
+        self.free_at = 0
+        self.reads = 0
+        self.writes = 0
+        self.busy_cycles = 0

@@ -1,0 +1,34 @@
+"""Simulators: system configuration, reference engine, fastpath, stats."""
+
+from .config import L1Spec, LowerLevelSpec, SystemConfig, baseline_config
+from .engine import Engine, LowerCacheLevel, simulate
+from .fastpath import (
+    EventStream,
+    ReplayOutcome,
+    assemble_stats,
+    check_fastpath_supported,
+    fast_simulate,
+    functional_pass,
+    replay,
+)
+from .statistics import BufferCounters, CacheCounters, SimStats
+
+__all__ = [
+    "L1Spec",
+    "LowerLevelSpec",
+    "SystemConfig",
+    "baseline_config",
+    "Engine",
+    "LowerCacheLevel",
+    "simulate",
+    "EventStream",
+    "ReplayOutcome",
+    "assemble_stats",
+    "check_fastpath_supported",
+    "fast_simulate",
+    "functional_pass",
+    "replay",
+    "BufferCounters",
+    "CacheCounters",
+    "SimStats",
+]

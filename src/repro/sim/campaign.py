@@ -1,0 +1,126 @@
+"""Simulation campaigns: persist and reload run results.
+
+The paper's workflow stored an "18KB raw data file" of up to ~400
+statistics per simulation, from which "a custom program reads in the raw
+data files and generates the graphs and tables".  A
+:class:`Campaign` reproduces that separation here: simulation results
+land on disk as JSON, keyed by a deterministic run id derived from the
+configuration and trace, so analysis can be re-run — or extended —
+without re-simulating, and interrupted sweeps resume where they stopped.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
+from typing import Callable, Dict, Iterator, Union
+
+from ..errors import ConfigurationError
+from ..trace.record import Trace
+from .config import SystemConfig
+from .statistics import BufferCounters, CacheCounters, SimStats
+
+
+def _config_fingerprint(config: SystemConfig) -> str:
+    """Stable hash of every parameter in a system configuration."""
+
+    def encode(value):
+        if dataclasses.is_dataclass(value) and not isinstance(value, type):
+            return {
+                f.name: encode(getattr(value, f.name))
+                for f in dataclasses.fields(value)
+            }
+        if isinstance(value, (list, tuple)):
+            return [encode(v) for v in value]
+        if hasattr(value, "value"):  # enums
+            return value.value
+        return value
+
+    payload = json.dumps(encode(config), sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def _trace_fingerprint(trace: Trace) -> str:
+    digest = hashlib.sha256()
+    digest.update(trace.kinds.tobytes())
+    digest.update(trace.addrs.tobytes())
+    digest.update(trace.pids.tobytes())
+    digest.update(str(trace.warm_boundary).encode())
+    return digest.hexdigest()[:16]
+
+
+def run_id(config: SystemConfig, trace: Trace) -> str:
+    """Deterministic identifier of one (configuration, trace) run."""
+    return f"{trace.name}-{_trace_fingerprint(trace)}-" \
+           f"{_config_fingerprint(config)}"
+
+
+def stats_to_dict(stats: SimStats) -> Dict:
+    """Serialize a :class:`SimStats` to plain JSON-able data."""
+    return dataclasses.asdict(stats)
+
+
+def stats_from_dict(payload: Dict) -> SimStats:
+    """Inverse of :func:`stats_to_dict`."""
+    payload = dict(payload)
+    payload["icache"] = CacheCounters(**payload["icache"])
+    payload["dcache"] = CacheCounters(**payload["dcache"])
+    payload["lower"] = (
+        CacheCounters(**payload["lower"]) if payload.get("lower") else None
+    )
+    payload["buffer"] = BufferCounters(**payload["buffer"])
+    return SimStats(**payload)
+
+
+class Campaign:
+    """A directory of persisted simulation results.
+
+    ``campaign.run(config, trace, simulate_fn)`` returns the cached
+    result when the run id is already on disk and simulates (then
+    persists) otherwise.
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, identifier: str) -> Path:
+        return self.directory / f"{identifier}.json"
+
+    def __contains__(self, identifier: str) -> bool:
+        return self._path(identifier).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def save(self, identifier: str, stats: SimStats) -> None:
+        payload = {"run_id": identifier, "stats": stats_to_dict(stats)}
+        self._path(identifier).write_text(json.dumps(payload, indent=1))
+
+    def load(self, identifier: str) -> SimStats:
+        path = self._path(identifier)
+        if not path.exists():
+            raise ConfigurationError(f"no stored run {identifier!r}")
+        payload = json.loads(path.read_text())
+        return stats_from_dict(payload["stats"])
+
+    def run(
+        self,
+        config: SystemConfig,
+        trace: Trace,
+        simulate_fn: Callable[[SystemConfig, Trace], SimStats],
+    ) -> SimStats:
+        """Return the stored result for this run, simulating on a miss."""
+        identifier = run_id(config, trace)
+        if identifier in self:
+            return self.load(identifier)
+        stats = simulate_fn(config, trace)
+        self.save(identifier, stats)
+        return stats
+
+    def results(self) -> Iterator[SimStats]:
+        """Iterate every stored result (arbitrary order)."""
+        for path in sorted(self.directory.glob("*.json")):
+            yield stats_from_dict(json.loads(path.read_text())["stats"])

@@ -1,0 +1,256 @@
+"""Full system specification.
+
+The paper's simulator needed "about 130 parameters ... to fully specify a
+two level cache system".  :class:`SystemConfig` is the equivalent here:
+a frozen, validated description of the whole machine — CPU/cache cycle
+time, one or two CPU-facing caches, optional lower cache levels, and the
+main memory — from which both simulators are constructed.
+
+A fresh config equal to the paper's base system (§2) comes from
+:func:`baseline_config`: split 64 KB I and D caches, 4-word blocks,
+direct mapped, write-back D-cache with no fetch on write miss, a 4-entry
+write buffer, 40 ns cycle, and the aggressive 180/100/120 ns memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from ..core.geometry import CacheGeometry
+from ..core.policy import CachePolicy, ReplacementKind, WriteMissPolicy, WritePolicy
+from ..core.timing import (
+    DEFAULT_CYCLE_NS,
+    CacheTiming,
+    MemoryTiming,
+)
+from ..errors import ConfigurationError
+from ..units import KB
+
+
+@dataclass(frozen=True)
+class L1Spec:
+    """The CPU-facing cache level.
+
+    ``i_geometry``/``d_geometry`` describe the split Harvard pair; set
+    ``unified`` and ``d_geometry`` alone for a joint cache (the I side is
+    then ignored).
+    """
+
+    d_geometry: CacheGeometry
+    i_geometry: Optional[CacheGeometry] = None
+    unified: bool = False
+    policy: CachePolicy = field(default_factory=CachePolicy)
+    timing: CacheTiming = field(default_factory=CacheTiming)
+    write_buffer_depth: int = 4
+
+    def __post_init__(self) -> None:
+        if not self.unified and self.i_geometry is None:
+            raise ConfigurationError(
+                "a split L1 needs an instruction-cache geometry"
+            )
+        if self.unified and self.i_geometry is not None:
+            raise ConfigurationError("a unified L1 must not set i_geometry")
+        if self.write_buffer_depth < 1:
+            raise ConfigurationError(
+                f"write buffer depth must be >= 1: {self.write_buffer_depth}"
+            )
+
+    @property
+    def total_size_bytes(self) -> int:
+        """Paper's 'Total L1 Size': sum of the data portions."""
+        if self.unified:
+            return self.d_geometry.size_bytes
+        assert self.i_geometry is not None
+        return self.d_geometry.size_bytes + self.i_geometry.size_bytes
+
+
+@dataclass(frozen=True)
+class LowerLevelSpec:
+    """One cache level between L1 and main memory (an L2, L3, ...).
+
+    ``port`` is the timing of accessing *this* level from above — its
+    latency plays the role memory latency plays for L1.  SRAM cache
+    arrays have no DRAM-style recovery, so the port defaults to zero
+    write-op and recovery times.
+    """
+
+    geometry: CacheGeometry
+    policy: CachePolicy = field(
+        default_factory=lambda: CachePolicy(
+            write_miss=WriteMissPolicy.FETCH_ON_WRITE
+        )
+    )
+    port: MemoryTiming = field(
+        default_factory=lambda: MemoryTiming(
+            latency_ns=40.0, transfer_rate=1.0, write_op_ns=0.0,
+            recovery_ns=0.0, address_cycles=1,
+        )
+    )
+    write_buffer_depth: int = 4
+
+    def __post_init__(self) -> None:
+        if self.write_buffer_depth < 1:
+            raise ConfigurationError(
+                f"write buffer depth must be >= 1: {self.write_buffer_depth}"
+            )
+
+
+@dataclass(frozen=True)
+class TranslationSpec:
+    """Physical-cache mode: translate before the cache access.
+
+    The paper's simulations use virtual caches (translation anywhere
+    below), but the simulator supports the physical alternative: every
+    CPU reference consults a TLB, and a TLB miss performs
+    ``walk_memory_reads`` page-table reads through the main-memory port
+    before the cache access proceeds.  With translation enabled, cache
+    tags hold physical addresses and the PID no longer disambiguates.
+    """
+
+    page_words: int = 1024
+    tlb_entries: int = 64
+    tlb_assoc: int = 0  # 0 means fully associative
+    walk_memory_reads: int = 1
+    memory_frames: int = 1 << 14
+
+    def __post_init__(self) -> None:
+        if self.walk_memory_reads < 0:
+            raise ConfigurationError(
+                f"walk reads must be >= 0: {self.walk_memory_reads}"
+            )
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Complete machine description consumed by the simulators."""
+
+    l1: L1Spec
+    memory: MemoryTiming = field(default_factory=MemoryTiming)
+    levels: Tuple[LowerLevelSpec, ...] = ()
+    cycle_ns: float = DEFAULT_CYCLE_NS
+    translation: Optional[TranslationSpec] = None
+
+    def __post_init__(self) -> None:
+        if self.cycle_ns <= 0:
+            raise ConfigurationError(f"cycle time must be positive: {self.cycle_ns}")
+        # Each level's block must be able to hold the block of the level
+        # above — the engine fetches an upper-level block with a single
+        # lower-level access.
+        upper_block = self.l1.d_geometry.block_words
+        if self.l1.i_geometry is not None:
+            upper_block = max(upper_block, self.l1.i_geometry.block_words)
+        for level in self.levels:
+            if level.geometry.block_words < upper_block:
+                raise ConfigurationError(
+                    f"lower-level block ({level.geometry.block_words}W) is "
+                    f"smaller than the level above ({upper_block}W)"
+                )
+            upper_block = level.geometry.block_words
+
+    # ------------------------------------------------------------------
+    # Convenient variants for sweeps
+    # ------------------------------------------------------------------
+    def with_cycle_ns(self, cycle_ns: float) -> "SystemConfig":
+        return replace(self, cycle_ns=cycle_ns)
+
+    def with_cache_sizes(self, size_bytes: int) -> "SystemConfig":
+        """Set both split caches to ``size_bytes`` each (the paper varies
+        the two caches together)."""
+        l1 = self.l1
+        d_geometry = l1.d_geometry.with_size(size_bytes)
+        i_geometry = (
+            l1.i_geometry.with_size(size_bytes)
+            if l1.i_geometry is not None
+            else None
+        )
+        return replace(
+            self, l1=replace(l1, d_geometry=d_geometry, i_geometry=i_geometry)
+        )
+
+    def with_assoc(self, assoc: int) -> "SystemConfig":
+        """Set the associativity of both L1 caches, keeping size constant
+        (the number of sets halves as ways double, as in Figure 4-1)."""
+        l1 = self.l1
+        d_geometry = l1.d_geometry.with_assoc(assoc)
+        i_geometry = (
+            l1.i_geometry.with_assoc(assoc) if l1.i_geometry is not None else None
+        )
+        return replace(
+            self, l1=replace(l1, d_geometry=d_geometry, i_geometry=i_geometry)
+        )
+
+    def with_block_words(self, block_words: int) -> "SystemConfig":
+        """Set the block size of both L1 caches (whole-block fetch)."""
+        l1 = self.l1
+        d_geometry = l1.d_geometry.with_block_words(block_words)
+        i_geometry = (
+            l1.i_geometry.with_block_words(block_words)
+            if l1.i_geometry is not None
+            else None
+        )
+        return replace(
+            self, l1=replace(l1, d_geometry=d_geometry, i_geometry=i_geometry)
+        )
+
+    def with_memory(self, memory: MemoryTiming) -> "SystemConfig":
+        return replace(self, memory=memory)
+
+    def with_levels(self, levels: Tuple[LowerLevelSpec, ...]) -> "SystemConfig":
+        return replace(self, levels=levels)
+
+    def with_policy(self, policy: CachePolicy) -> "SystemConfig":
+        return replace(self, l1=replace(self.l1, policy=policy))
+
+    def with_translation(
+        self, translation: Optional[TranslationSpec]
+    ) -> "SystemConfig":
+        """Enable (or disable, with ``None``) physical-cache mode."""
+        return replace(self, translation=translation)
+
+    def describe(self) -> str:
+        """One-line summary for reports."""
+        l1 = self.l1
+        if l1.unified:
+            caches = f"unified {l1.d_geometry.describe()}"
+        else:
+            assert l1.i_geometry is not None
+            caches = (
+                f"I {l1.i_geometry.describe()} + D {l1.d_geometry.describe()}"
+            )
+        extra = f" + {len(self.levels)} lower level(s)" if self.levels else ""
+        return f"{caches}{extra} @ {self.cycle_ns:g}ns"
+
+
+def baseline_config(
+    cache_size_bytes: int = 64 * KB,
+    block_words: int = 4,
+    assoc: int = 1,
+    cycle_ns: float = DEFAULT_CYCLE_NS,
+    replacement: ReplacementKind = ReplacementKind.RANDOM,
+    write_buffer_depth: int = 4,
+    memory: Optional[MemoryTiming] = None,
+) -> SystemConfig:
+    """The paper's base system (§2), parameterized along its sweep axes.
+
+    ``cache_size_bytes`` is the size of *each* of the split caches: the
+    default 64 KB pair gives the paper's 128 KB total L1.
+    """
+    policy = CachePolicy(
+        write_policy=WritePolicy.WRITE_BACK,
+        write_miss=WriteMissPolicy.NO_ALLOCATE,
+        replacement=replacement,
+    )
+    geometry = CacheGeometry(
+        size_bytes=cache_size_bytes, block_words=block_words, assoc=assoc
+    )
+    return SystemConfig(
+        l1=L1Spec(
+            d_geometry=geometry,
+            i_geometry=geometry,
+            policy=policy,
+            write_buffer_depth=write_buffer_depth,
+        ),
+        memory=memory or MemoryTiming(),
+        cycle_ns=cycle_ns,
+    )

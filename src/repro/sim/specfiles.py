@@ -1,0 +1,178 @@
+"""System specification files with variation overlays.
+
+The paper's §2 workflow: "The macro expansion phase begins with pointers
+to a system specification file and two or three variation files.  The
+specification file ... specifies the default value of all the
+parameters.  Each of the variation files changes one or more
+characteristics: for example, set size, number of sets, cycle time, or
+memory latency."
+
+This module reproduces that front end on JSON: a base specification maps
+onto :class:`~repro.sim.config.SystemConfig`, and variation dictionaries
+(or files) patch it with dotted keys, e.g. ``{"cycle_ns": 50,
+"l1.d_geometry.assoc": 2}``.  A change that would leave the system
+inconsistent fails loudly through the config validators, exactly the
+"maintain consistency in the modeled system" requirement.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Union
+
+from ..core.geometry import CacheGeometry
+from ..core.policy import (
+    CachePolicy,
+    MissHandling,
+    ReplacementKind,
+    WriteMissPolicy,
+    WritePolicy,
+)
+from ..core.timing import CacheTiming, MemoryTiming
+from ..errors import ConfigurationError
+from .config import (
+    L1Spec,
+    LowerLevelSpec,
+    SystemConfig,
+    TranslationSpec,
+)
+
+_ENUMS = {
+    "write_policy": WritePolicy,
+    "write_miss": WriteMissPolicy,
+    "replacement": ReplacementKind,
+    "miss_handling": MissHandling,
+}
+
+
+def config_to_dict(config: SystemConfig) -> Dict:
+    """Serialize a configuration to plain JSON-able data."""
+
+    def encode(value):
+        if dataclasses.is_dataclass(value) and not isinstance(value, type):
+            return {
+                f.name: encode(getattr(value, f.name))
+                for f in dataclasses.fields(value)
+            }
+        if isinstance(value, (list, tuple)):
+            return [encode(v) for v in value]
+        if hasattr(value, "value"):
+            return value.value
+        return value
+
+    return encode(config)
+
+
+def _build_policy(payload: Dict) -> CachePolicy:
+    kwargs = {}
+    for key, enum_cls in _ENUMS.items():
+        if key in payload:
+            kwargs[key] = enum_cls(payload[key])
+    return CachePolicy(**kwargs)
+
+
+def _build_geometry(payload: Optional[Dict]) -> Optional[CacheGeometry]:
+    if payload is None:
+        return None
+    return CacheGeometry(**payload)
+
+
+def config_from_dict(payload: Dict) -> SystemConfig:
+    """Inverse of :func:`config_to_dict` (validating as it builds)."""
+    try:
+        l1_payload = dict(payload["l1"])
+    except KeyError as exc:
+        raise ConfigurationError("specification lacks an 'l1' section") from exc
+    l1 = L1Spec(
+        d_geometry=_build_geometry(l1_payload["d_geometry"]),
+        i_geometry=_build_geometry(l1_payload.get("i_geometry")),
+        unified=l1_payload.get("unified", False),
+        policy=_build_policy(l1_payload.get("policy", {})),
+        timing=CacheTiming(**l1_payload.get("timing", {})),
+        write_buffer_depth=l1_payload.get("write_buffer_depth", 4),
+    )
+    levels = tuple(
+        LowerLevelSpec(
+            geometry=_build_geometry(level["geometry"]),
+            policy=_build_policy(level.get("policy", {})),
+            port=MemoryTiming(**level.get("port", {})),
+            write_buffer_depth=level.get("write_buffer_depth", 4),
+        )
+        for level in payload.get("levels", ())
+    )
+    translation = (
+        TranslationSpec(**payload["translation"])
+        if payload.get("translation")
+        else None
+    )
+    return SystemConfig(
+        l1=l1,
+        memory=MemoryTiming(**payload.get("memory", {})),
+        levels=levels,
+        cycle_ns=payload.get("cycle_ns", 40.0),
+        translation=translation,
+    )
+
+
+def apply_variation(payload: Dict, variation: Dict) -> Dict:
+    """Apply one variation (dotted keys) to a specification dict.
+
+    Returns a new dict; the input is untouched.  Unknown paths raise, so
+    a typo in a variation file cannot silently do nothing.
+    """
+    result = json.loads(json.dumps(payload))  # deep copy, JSON-safe
+    for dotted, value in variation.items():
+        parts = dotted.split(".")
+        cursor = result
+        for part in parts[:-1]:
+            if isinstance(cursor, list):
+                cursor = cursor[int(part)]
+                continue
+            if part not in cursor or not isinstance(
+                cursor[part], (dict, list)
+            ):
+                if part not in cursor:
+                    raise ConfigurationError(
+                        f"variation path {dotted!r}: no section {part!r}"
+                    )
+                raise ConfigurationError(
+                    f"variation path {dotted!r}: {part!r} is a leaf"
+                )
+            cursor = cursor[part]
+        leaf = parts[-1]
+        if isinstance(cursor, list):
+            cursor[int(leaf)] = value
+        else:
+            if leaf not in cursor:
+                raise ConfigurationError(
+                    f"variation path {dotted!r}: unknown parameter {leaf!r}"
+                )
+            cursor[leaf] = value
+    return result
+
+
+def load_spec(
+    spec: Union[str, Path, Dict],
+    variations: Sequence[Union[str, Path, Dict]] = (),
+) -> SystemConfig:
+    """Load a specification (file path or dict) plus variation overlays.
+
+    Variations apply in order, later ones winning — the paper's "two or
+    three variation files".
+    """
+    if isinstance(spec, (str, Path)):
+        payload = json.loads(Path(spec).read_text())
+    else:
+        payload = spec
+    for variation in variations:
+        if isinstance(variation, (str, Path)):
+            variation = json.loads(Path(variation).read_text())
+        payload = apply_variation(payload, variation)
+    return config_from_dict(payload)
+
+
+def save_spec(config: SystemConfig, path: Union[str, Path]) -> None:
+    """Write a configuration as a specification file."""
+    Path(path).write_text(json.dumps(config_to_dict(config), indent=1))

@@ -1,0 +1,146 @@
+"""Statistics gathered by the simulators.
+
+The paper's simulator gathered "up to about 400 unique statistics" per
+run; the containers here hold the subset every experiment in the paper
+actually consumes — per-cache hit/miss/traffic counters, write-buffer
+behaviour, memory utilization, and the cycle counts that become execution
+time.  All counters support warm-start snapshots: an experiment measures
+``final - snapshot_at_warm_boundary``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Optional
+
+
+@dataclass
+class CacheCounters:
+    """Event counts for one cache."""
+
+    reads: int = 0
+    read_misses: int = 0
+    writes: int = 0
+    write_misses: int = 0
+    bypass_writes: int = 0
+    fetched_words: int = 0
+    writeback_blocks: int = 0
+    writeback_words_full: int = 0
+    writeback_words_dirty: int = 0
+
+    def snapshot(self) -> "CacheCounters":
+        return CacheCounters(
+            **{f.name: getattr(self, f.name) for f in fields(self)}
+        )
+
+    def since(self, earlier: "CacheCounters") -> "CacheCounters":
+        """Counters accumulated after ``earlier`` was snapshotted."""
+        return CacheCounters(
+            **{
+                f.name: getattr(self, f.name) - getattr(earlier, f.name)
+                for f in fields(self)
+            }
+        )
+
+    @property
+    def read_miss_ratio(self) -> float:
+        """Read misses per read request (the paper's miss-ratio metric)."""
+        return self.read_misses / self.reads if self.reads else 0.0
+
+
+@dataclass
+class BufferCounters:
+    """Write-buffer behaviour for one level boundary."""
+
+    pushes: int = 0
+    full_stalls: int = 0
+    match_stalls: int = 0
+    max_occupancy: int = 0
+
+
+@dataclass
+class SimStats:
+    """Result of one simulation run, measured past the warm boundary.
+
+    ``cycles`` are the measured cycles; multiply by the config's cycle
+    time for execution time (:meth:`execution_time_ns`).
+    """
+
+    trace_name: str
+    config_summary: str
+    cycle_ns: float
+    cycles: int
+    total_cycles: int
+    warm_cycles: int
+    n_refs: int
+    n_couplets: int
+    icache: CacheCounters = field(default_factory=CacheCounters)
+    dcache: CacheCounters = field(default_factory=CacheCounters)
+    lower: Optional[CacheCounters] = None
+    buffer: BufferCounters = field(default_factory=BufferCounters)
+    memory_reads: int = 0
+    memory_writes: int = 0
+    memory_busy_cycles: int = 0
+
+    # ------------------------------------------------------------------
+    # Derived metrics (the paper's vocabulary)
+    # ------------------------------------------------------------------
+    @property
+    def reads(self) -> int:
+        """Total read requests (loads + ifetches) measured."""
+        return self.icache.reads + self.dcache.reads
+
+    @property
+    def read_misses(self) -> int:
+        return self.icache.read_misses + self.dcache.read_misses
+
+    @property
+    def read_miss_ratio(self) -> float:
+        """Read misses per read request across both caches."""
+        return self.read_misses / self.reads if self.reads else 0.0
+
+    @property
+    def load_miss_ratio(self) -> float:
+        return self.dcache.read_miss_ratio
+
+    @property
+    def ifetch_miss_ratio(self) -> float:
+        return self.icache.read_miss_ratio
+
+    @property
+    def read_traffic_ratio(self) -> float:
+        """Words fetched from memory per read request.
+
+        With whole-block fetch and all-word references this is block size
+        x miss ratio — the paper's "the read traffic ratio is simply four
+        times the miss ratio" for 4-word blocks.
+        """
+        fetched = self.icache.fetched_words + self.dcache.fetched_words
+        return fetched / self.reads if self.reads else 0.0
+
+    @property
+    def write_traffic_ratio_full(self) -> float:
+        """Write-back words per reference counting every word of each
+        dirty victim block (the larger Figure 3-1 curve).  Bypassing
+        write-miss words are included in both write ratios."""
+        words = self.dcache.writeback_words_full + self.dcache.bypass_writes
+        return words / self.n_refs if self.n_refs else 0.0
+
+    @property
+    def write_traffic_ratio_dirty(self) -> float:
+        """Write-back words per reference counting only dirty words (the
+        smaller Figure 3-1 curve)."""
+        words = self.dcache.writeback_words_dirty + self.dcache.bypass_writes
+        return words / self.n_refs if self.n_refs else 0.0
+
+    @property
+    def cycles_per_reference(self) -> float:
+        """Total measured cycles per reference (Table 3's first column;
+        drops below one for large caches because couplets pair two
+        references into one cycle)."""
+        return self.cycles / self.n_refs if self.n_refs else 0.0
+
+    @property
+    def execution_time_ns(self) -> float:
+        """The paper's bottom line: cycle count x cycle time."""
+        return self.cycles * self.cycle_ns

@@ -1,0 +1,52 @@
+"""Trace substrate: reference records, synthetic workloads, suite, IO.
+
+This package replaces the paper's captured VAX/ATUM and MIPS R2000 address
+traces with calibrated synthetic equivalents (see DESIGN.md §2 for the
+substitution rationale) and provides the containers and file formats the
+simulators consume.
+"""
+
+from .record import Reference, RefKind, Trace
+from .stats import TraceStats, compute_stats, stats_table, unique_addresses_over_time
+from .suite import (
+    ALL_TRACES,
+    DEFAULT_LENGTH,
+    RISC_TRACES,
+    VAX_TRACES,
+    build_suite,
+    build_trace,
+)
+from .synthetic import DataModel, InstructionModel, SegmentLayout, ZeroingSweep
+from .workloads import PRESETS, Program, WorkloadSpec, make_program
+from .multiprogram import interleave, warm_prefix, with_warm_prefix
+from .dinero import read_din, round_trip_equal, write_din
+
+__all__ = [
+    "Reference",
+    "RefKind",
+    "Trace",
+    "TraceStats",
+    "compute_stats",
+    "stats_table",
+    "unique_addresses_over_time",
+    "ALL_TRACES",
+    "DEFAULT_LENGTH",
+    "RISC_TRACES",
+    "VAX_TRACES",
+    "build_suite",
+    "build_trace",
+    "DataModel",
+    "InstructionModel",
+    "SegmentLayout",
+    "ZeroingSweep",
+    "PRESETS",
+    "Program",
+    "WorkloadSpec",
+    "make_program",
+    "interleave",
+    "warm_prefix",
+    "with_warm_prefix",
+    "read_din",
+    "round_trip_equal",
+    "write_din",
+]

@@ -1,0 +1,113 @@
+"""Trace file input/output.
+
+Two text formats are supported:
+
+* the classic ``din`` format consumed by the DineroIII/IV simulators —
+  one reference per line, ``<label> <hex byte address>``, with label 0 for
+  data reads, 1 for data writes and 2 for instruction fetches.  Process
+  identifiers are not representable, so they are dropped on write and
+  default to zero on read;
+* an extended ``dinp`` format, ``<label> <hex byte address> <pid>``, which
+  round-trips everything a :class:`~repro.trace.record.Trace` holds.
+
+Addresses on disk are *byte* addresses (the conventional din unit); in
+memory the library works in word addresses, so IO converts.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import IO, List, Union
+
+from ..errors import TraceError
+from ..units import BYTES_PER_WORD
+from .record import RefKind, Trace
+
+#: din labels, per the Dinero convention.
+_DIN_READ = 0
+_DIN_WRITE = 1
+_DIN_IFETCH = 2
+
+_KIND_TO_DIN = {
+    int(RefKind.LOAD): _DIN_READ,
+    int(RefKind.STORE): _DIN_WRITE,
+    int(RefKind.IFETCH): _DIN_IFETCH,
+}
+_DIN_TO_KIND = {din: kind for kind, din in _KIND_TO_DIN.items()}
+
+
+def _open_for_write(target: Union[str, IO[str]]):
+    if isinstance(target, str):
+        return open(target, "w", encoding="ascii"), True
+    return target, False
+
+
+def _open_for_read(source: Union[str, IO[str]]):
+    if isinstance(source, str):
+        return open(source, "r", encoding="ascii"), True
+    return source, False
+
+
+def write_din(trace: Trace, target: Union[str, IO[str]], with_pids: bool = False) -> None:
+    """Write a trace in din (or dinp, when ``with_pids``) format."""
+    stream, owned = _open_for_write(target)
+    try:
+        kinds = trace.kinds.tolist()
+        addrs = trace.addrs.tolist()
+        pids = trace.pids.tolist()
+        for kind, addr, pid in zip(kinds, addrs, pids):
+            byte_addr = addr * BYTES_PER_WORD
+            if with_pids:
+                stream.write(f"{_KIND_TO_DIN[kind]} {byte_addr:x} {pid}\n")
+            else:
+                stream.write(f"{_KIND_TO_DIN[kind]} {byte_addr:x}\n")
+    finally:
+        if owned:
+            stream.close()
+
+
+def read_din(
+    source: Union[str, IO[str]],
+    name: str = "din",
+    warm_boundary: int = 0,
+) -> Trace:
+    """Read a din or dinp trace; byte addresses are truncated to words."""
+    stream, owned = _open_for_read(source)
+    kinds: List[int] = []
+    addrs: List[int] = []
+    pids: List[int] = []
+    try:
+        for lineno, line in enumerate(stream, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) not in (2, 3):
+                raise TraceError(f"line {lineno}: expected 2 or 3 fields, got {line!r}")
+            try:
+                label = int(parts[0])
+                byte_addr = int(parts[1], 16)
+                pid = int(parts[2]) if len(parts) == 3 else 0
+            except ValueError as exc:
+                raise TraceError(f"line {lineno}: unparsable field in {line!r}") from exc
+            if label not in _DIN_TO_KIND:
+                raise TraceError(f"line {lineno}: unknown din label {label}")
+            if byte_addr < 0 or pid < 0:
+                raise TraceError(f"line {lineno}: negative address or pid")
+            kinds.append(_DIN_TO_KIND[label])
+            addrs.append(byte_addr // BYTES_PER_WORD)
+            pids.append(pid)
+    finally:
+        if owned:
+            stream.close()
+    return Trace(kinds, addrs, pids, name=name, warm_boundary=warm_boundary)
+
+
+def round_trip_equal(a: Trace, b: Trace) -> bool:
+    """True if two traces contain identical reference streams."""
+    return (
+        len(a) == len(b)
+        and (a.kinds == b.kinds).all()
+        and (a.addrs == b.addrs).all()
+        and (a.pids == b.pids).all()
+    )

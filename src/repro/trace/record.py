@@ -1,0 +1,243 @@
+"""Reference records and the numpy-backed :class:`Trace` container.
+
+A trace is an ordered stream of word-granularity memory references, each
+carrying a reference kind (instruction fetch, load, or store) and the
+identifier of the process that issued it.  The paper's traces were
+preprocessed the same way: "the traces have been preprocessed to contain
+only word references" (§2), and the simulated caches are virtual, so the
+process identifier travels with every reference and is folded into the
+cache tag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import TraceError
+
+
+class RefKind(IntEnum):
+    """Kind of a memory reference.
+
+    A *read* in the paper's terminology (footnote 4) is either a load or
+    an instruction fetch; :meth:`is_read` encodes that definition.
+    """
+
+    IFETCH = 0
+    LOAD = 1
+    STORE = 2
+
+    @property
+    def is_read(self) -> bool:
+        """True for loads and instruction fetches (the paper's "read")."""
+        return self is not RefKind.STORE
+
+    @property
+    def is_data(self) -> bool:
+        """True for loads and stores (references served by the D-cache)."""
+        return self is not RefKind.IFETCH
+
+
+@dataclass(frozen=True)
+class Reference:
+    """A single word reference: ``(kind, word address, process id)``."""
+
+    kind: RefKind
+    addr: int
+    pid: int = 0
+
+    def __post_init__(self) -> None:
+        if self.addr < 0:
+            raise TraceError(f"negative word address {self.addr}")
+        if self.pid < 0:
+            raise TraceError(f"negative pid {self.pid}")
+
+
+class Trace:
+    """An immutable, numpy-backed stream of references.
+
+    Parameters
+    ----------
+    kinds, addrs, pids:
+        Parallel arrays describing each reference.  ``addrs`` holds *word*
+        addresses.
+    name:
+        Label used in reports (e.g. ``"mu3"``).
+    warm_boundary:
+        Index of the first reference at which statistics should be
+        gathered; everything before it only warms caches.  The paper used
+        a 450,000-reference warm boundary for the VAX traces and measured
+        the last million references of the R2000 traces.
+    """
+
+    __slots__ = ("kinds", "addrs", "pids", "name", "warm_boundary")
+
+    def __init__(
+        self,
+        kinds: Sequence[int],
+        addrs: Sequence[int],
+        pids: Optional[Sequence[int]] = None,
+        name: str = "trace",
+        warm_boundary: int = 0,
+    ) -> None:
+        self.kinds = np.asarray(kinds, dtype=np.uint8)
+        self.addrs = np.asarray(addrs, dtype=np.int64)
+        if pids is None:
+            pids = np.zeros(len(self.kinds), dtype=np.int32)
+        self.pids = np.asarray(pids, dtype=np.int32)
+        if not (len(self.kinds) == len(self.addrs) == len(self.pids)):
+            raise TraceError(
+                "kinds, addrs and pids must have equal lengths, got "
+                f"{len(self.kinds)}/{len(self.addrs)}/{len(self.pids)}"
+            )
+        if len(self.kinds) and (self.kinds > int(RefKind.STORE)).any():
+            raise TraceError("trace contains an unknown reference kind")
+        if len(self.addrs) and (self.addrs < 0).any():
+            raise TraceError("trace contains a negative word address")
+        if not 0 <= warm_boundary <= len(self.kinds):
+            raise TraceError(
+                f"warm boundary {warm_boundary} outside trace of "
+                f"length {len(self.kinds)}"
+            )
+        self.name = name
+        self.warm_boundary = warm_boundary
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_references(
+        cls,
+        refs: Iterable[Reference],
+        name: str = "trace",
+        warm_boundary: int = 0,
+    ) -> "Trace":
+        """Build a trace from an iterable of :class:`Reference`."""
+        refs = list(refs)
+        return cls(
+            kinds=[int(r.kind) for r in refs],
+            addrs=[r.addr for r in refs],
+            pids=[r.pid for r in refs],
+            name=name,
+            warm_boundary=warm_boundary,
+        )
+
+    @classmethod
+    def concatenate(
+        cls, traces: Sequence["Trace"], name: str = "concat", warm_boundary: int = 0
+    ) -> "Trace":
+        """Concatenate traces back to back (the paper catenates snapshots)."""
+        if not traces:
+            raise TraceError("cannot concatenate zero traces")
+        return cls(
+            kinds=np.concatenate([t.kinds for t in traces]),
+            addrs=np.concatenate([t.addrs for t in traces]),
+            pids=np.concatenate([t.pids for t in traces]),
+            name=name,
+            warm_boundary=warm_boundary,
+        )
+
+    # ------------------------------------------------------------------
+    # Sequence protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.kinds)
+
+    def __getitem__(self, index) -> "Reference":
+        if isinstance(index, slice):
+            raise TypeError("use Trace.slice() to take sub-traces")
+        return Reference(
+            RefKind(int(self.kinds[index])),
+            int(self.addrs[index]),
+            int(self.pids[index]),
+        )
+
+    def __iter__(self) -> Iterator[Reference]:
+        for kind, addr, pid in zip(
+            self.kinds.tolist(), self.addrs.tolist(), self.pids.tolist()
+        ):
+            yield Reference(RefKind(kind), addr, pid)
+
+    def __repr__(self) -> str:
+        return (
+            f"Trace(name={self.name!r}, length={len(self)}, "
+            f"warm_boundary={self.warm_boundary})"
+        )
+
+    # ------------------------------------------------------------------
+    # Views and derived traces
+    # ------------------------------------------------------------------
+    def slice(self, start: int, stop: int, name: Optional[str] = None) -> "Trace":
+        """Return a sub-trace covering ``[start, stop)`` with no warm-up."""
+        if not (0 <= start <= stop <= len(self)):
+            raise TraceError(f"bad slice [{start}, {stop}) of length {len(self)}")
+        return Trace(
+            self.kinds[start:stop],
+            self.addrs[start:stop],
+            self.pids[start:stop],
+            name=name or self.name,
+        )
+
+    def with_warm_boundary(self, warm_boundary: int) -> "Trace":
+        """Return the same trace with a different warm-start boundary."""
+        return Trace(
+            self.kinds, self.addrs, self.pids, name=self.name,
+            warm_boundary=warm_boundary,
+        )
+
+    def with_name(self, name: str) -> "Trace":
+        """Return the same trace relabelled."""
+        return Trace(
+            self.kinds, self.addrs, self.pids, name=name,
+            warm_boundary=self.warm_boundary,
+        )
+
+    # ------------------------------------------------------------------
+    # Fast access used by the simulators
+    # ------------------------------------------------------------------
+    def as_lists(self) -> Tuple[List[int], List[int], List[int]]:
+        """Return ``(kinds, addrs, pids)`` as plain Python lists.
+
+        Iterating plain lists is several times faster than indexing numpy
+        arrays element by element, which matters in the simulator's inner
+        loop.
+        """
+        return self.kinds.tolist(), self.addrs.tolist(), self.pids.tolist()
+
+    # ------------------------------------------------------------------
+    # Simple aggregate properties
+    # ------------------------------------------------------------------
+    @property
+    def n_ifetches(self) -> int:
+        return int(np.count_nonzero(self.kinds == int(RefKind.IFETCH)))
+
+    @property
+    def n_loads(self) -> int:
+        return int(np.count_nonzero(self.kinds == int(RefKind.LOAD)))
+
+    @property
+    def n_stores(self) -> int:
+        return int(np.count_nonzero(self.kinds == int(RefKind.STORE)))
+
+    @property
+    def n_reads(self) -> int:
+        """Loads plus instruction fetches (the paper's "reads")."""
+        return self.n_ifetches + self.n_loads
+
+    @property
+    def n_unique_addresses(self) -> int:
+        """Number of distinct ``(pid, word address)`` pairs."""
+        if not len(self):
+            return 0
+        combined = (self.pids.astype(np.int64) << 40) | self.addrs
+        return int(len(np.unique(combined)))
+
+    @property
+    def n_processes(self) -> int:
+        if not len(self):
+            return 0
+        return int(len(np.unique(self.pids)))

@@ -1,0 +1,111 @@
+"""System-independent trace statistics (the paper's Table 1 columns).
+
+The paper preprocesses each trace once "to extract all the system
+independent statistics" so the per-configuration simulations don't pay
+for them repeatedly.  :class:`TraceStats` plays that role here: reference
+counts by kind, process counts, unique-address footprints, and simple
+locality indicators that are useful when calibrating the synthetic
+workloads against published curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..errors import TraceError
+from .record import Trace
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Aggregate statistics of one trace."""
+
+    name: str
+    length: int
+    n_processes: int
+    n_unique_kwords: float
+    n_ifetches: int
+    n_loads: int
+    n_stores: int
+    warm_boundary: int
+
+    @property
+    def n_reads(self) -> int:
+        """Loads plus ifetches — the paper's definition of a read."""
+        return self.n_ifetches + self.n_loads
+
+    @property
+    def data_ref_fraction(self) -> float:
+        """Fraction of references that are loads or stores."""
+        if self.length == 0:
+            return 0.0
+        return (self.n_loads + self.n_stores) / self.length
+
+    @property
+    def store_fraction(self) -> float:
+        """Fraction of references that are stores."""
+        if self.length == 0:
+            return 0.0
+        return self.n_stores / self.length
+
+
+def compute_stats(trace: Trace) -> TraceStats:
+    """Compute :class:`TraceStats` for a trace."""
+    return TraceStats(
+        name=trace.name,
+        length=len(trace),
+        n_processes=trace.n_processes,
+        n_unique_kwords=trace.n_unique_addresses / 1024.0,
+        n_ifetches=trace.n_ifetches,
+        n_loads=trace.n_loads,
+        n_stores=trace.n_stores,
+        warm_boundary=trace.warm_boundary,
+    )
+
+
+def unique_addresses_over_time(trace: Trace, n_points: int = 20) -> List[int]:
+    """Cumulative unique-address counts at ``n_points`` checkpoints.
+
+    A coarse working-set growth curve: useful to confirm that a synthetic
+    trace keeps touching new memory (multiprogrammed VAX behaviour)
+    rather than saturating instantly.
+    """
+    if n_points < 1:
+        raise TraceError(f"need at least one checkpoint, got {n_points}")
+    if len(trace) == 0:
+        return [0] * n_points
+    combined = (trace.pids.astype(np.int64) << 40) | trace.addrs
+    counts: List[int] = []
+    seen: set = set()
+    boundaries = [
+        int(round((i + 1) * len(trace) / n_points)) for i in range(n_points)
+    ]
+    prev = 0
+    for boundary in boundaries:
+        seen.update(combined[prev:boundary].tolist())
+        counts.append(len(seen))
+        prev = boundary
+    return counts
+
+
+def stats_table(stats: Sequence[TraceStats]) -> str:
+    """Render a Table 1 analogue for a collection of traces."""
+    header = (
+        f"{'Name':<8} {'Procs':>5} {'Length(K)':>10} {'Unique(KW)':>10} "
+        f"{'Ifetch%':>8} {'Load%':>7} {'Store%':>7} {'Warm(K)':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for s in stats:
+        total = max(1, s.length)
+        lines.append(
+            f"{s.name:<8} {s.n_processes:>5} {s.length / 1000:>10.0f} "
+            f"{s.n_unique_kwords:>10.1f} "
+            f"{100 * s.n_ifetches / total:>7.1f}% "
+            f"{100 * s.n_loads / total:>6.1f}% "
+            f"{100 * s.n_stores / total:>6.1f}% "
+            f"{s.warm_boundary / 1000:>8.0f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,457 @@
+"""Synthetic address-stream primitives.
+
+The paper's stimulus was eight multiprogrammed address traces captured on
+real machines (VAX 8200 via ATUM microcode, and a MIPS R2000).  Those
+traces are not available, so this module provides generative models that
+reproduce the *statistical properties* the experiments actually consume:
+
+* instruction streams with strong spatial and temporal locality, produced
+  by a loop-structured program-counter model with revisited loop sites
+  (:class:`InstructionModel`);
+* data streams mixing sequential runs, multi-scale recency reuse and a
+  trickle of fresh working-set touches (:class:`DataModel`), which yields
+  the textbook concave miss-rate-versus-size curves of Figure 3-1 — the
+  reuse-distance distribution is an explicit three-scale mixture (near /
+  mid / far), so misses keep declining over several decades of cache
+  size instead of collapsing at one knee;
+* start-up zeroing sweeps (:class:`ZeroingSweep`) that model the data
+  space zeroing the paper observed at the start of the ``grep`` and
+  ``egrep`` processes (§3, write traffic discussion).
+
+All models draw from an explicit :class:`random.Random` instance so that
+trace generation is deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..errors import ConfigurationError
+
+#: Word-address bases for the classic three-segment virtual layout.  All
+#: processes share the same layout; the per-reference PID keeps virtual
+#: addresses distinct inside the (virtual) caches.
+TEXT_BASE = 0x0000_0000
+DATA_BASE = 0x0100_0000
+STACK_BASE = 0x0300_0000
+
+
+def _geometric(rng: random.Random, mean: float) -> int:
+    """Draw a geometric variate with the given mean, minimum 1."""
+    if mean <= 1.0:
+        return 1
+    p = 1.0 / mean
+    n = 1
+    while rng.random() > p:
+        n += 1
+    return n
+
+
+class _RecencyRing:
+    """Bounded ring of recently seen items with multi-scale rank sampling.
+
+    ``sample()`` picks an item at a *recency rank* drawn from a mixture
+    of two exponential scales plus a heavy uniform-ish tail.  That rank
+    distribution is what shapes the simulated LRU stack-distance curve:
+    near reuse keeps small caches effective, mid reuse rewards tens of
+    kilobytes, and the far tail keeps megabyte caches improving.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        near_mean: float,
+        mid_mean: float,
+        p_near: float,
+        p_mid: float,
+        rng: random.Random,
+    ) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"ring capacity must be >= 1: {capacity}")
+        if min(p_near, p_mid) < 0 or p_near + p_mid > 1.0:
+            raise ConfigurationError(
+                f"bad rank mixture: p_near={p_near}, p_mid={p_mid}"
+            )
+        self.capacity = capacity
+        self.near_mean = near_mean
+        self.mid_mean = mid_mean
+        self.p_near = p_near
+        self.p_mid = p_mid
+        self.rng = rng
+        self._items: List[int] = []
+        self._pos = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def remember(self, item: int) -> None:
+        if len(self._items) < self.capacity:
+            self._items.append(item)
+        else:
+            self._items[self._pos] = item
+            self._pos = (self._pos + 1) % self.capacity
+
+    def sample(self) -> int:
+        """Return an item at a multi-scale recency rank (0 = newest)."""
+        n = len(self._items)
+        if n == 0:
+            raise ConfigurationError("sampling from an empty recency ring")
+        rng = self.rng
+        u = rng.random()
+        if u < self.p_near:
+            rank = int(rng.expovariate(1.0 / self.near_mean))
+        elif u < self.p_near + self.p_mid:
+            rank = int(rng.expovariate(1.0 / self.mid_mean))
+        else:
+            rank = int(n * (rng.random() ** 1.2))
+        if rank >= n:
+            rank = n - 1
+        if len(self._items) < self.capacity:
+            index = n - 1 - rank
+        else:
+            index = (self._pos - 1 - rank) % self.capacity
+        return self._items[index]
+
+
+class InstructionModel:
+    """Loop-structured program-counter model with revisited loop sites.
+
+    Execution is a sequence of loops: the PC walks sequentially through a
+    loop body, repeats it a geometric number of times, then moves on.
+    The *next* loop is, with high probability, a recently executed one
+    (function and call-site reuse — this is what gives the instruction
+    stream its multi-scale temporal locality); otherwise it is fresh code
+    — either the fall-through successor or a far jump anywhere in the
+    text segment.
+
+    ``code_words`` bounds the instruction working set;
+    ``mean_loop_body``/``mean_loop_iters`` set spatial run length and
+    inner-loop reuse; ``p_revisit`` sets the strength of loop-site reuse.
+    """
+
+    def __init__(
+        self,
+        code_words: int,
+        mean_loop_body: float = 24.0,
+        mean_loop_iters: float = 10.0,
+        p_far_jump: float = 0.25,
+        p_revisit: float = 0.85,
+        site_ring: int = 1024,
+        explore_tau: float = 60_000.0,
+        explore_floor: float = 0.08,
+        base: int = TEXT_BASE,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if code_words < 16:
+            raise ConfigurationError(f"code footprint too small: {code_words}")
+        if mean_loop_body < 1 or mean_loop_iters < 1:
+            raise ConfigurationError("loop body and iteration means must be >= 1")
+        if not 0.0 <= p_far_jump <= 1.0:
+            raise ConfigurationError(f"p_far_jump out of range: {p_far_jump}")
+        if not 0.0 <= p_revisit <= 1.0:
+            raise ConfigurationError(f"p_revisit out of range: {p_revisit}")
+        if explore_tau <= 0 or not 0.0 <= explore_floor <= 1.0:
+            raise ConfigurationError("bad exploration decay parameters")
+        self.code_words = code_words
+        self.mean_loop_body = mean_loop_body
+        self.mean_loop_iters = mean_loop_iters
+        self.p_far_jump = p_far_jump
+        self.p_revisit = p_revisit
+        self.base = base
+        self.rng = rng or random.Random(0)
+        self._sites = _RecencyRing(
+            site_ring, near_mean=6.0, mid_mean=160.0, p_near=0.38, p_mid=0.38,
+            rng=self.rng,
+        )
+        # Exploration decays over the model's lifetime: code is discovered
+        # mostly during start-up, after which execution is phase-local.
+        # The multiplicative decay keeps the per-call cost at one multiply.
+        self._explore_floor = explore_floor
+        self._decay = 1.0
+        self._decay_step = 2.0 ** (-1.0 / explore_tau)
+        self._code_frontier = min(256, code_words)
+        self._loop_start = 0
+        self._body_len = 1
+        self._offset = 0
+        self._iters_left = 1
+        self._new_loop()
+
+    def _explore_scale(self) -> float:
+        floor = self._explore_floor
+        return floor + (1.0 - floor) * self._decay
+
+    def _new_loop(self) -> None:
+        rng = self.rng
+        if len(self._sites) and rng.random() < self.p_revisit:
+            packed = self._sites.sample()
+            start, body = packed >> 16, packed & 0xFFFF
+        else:
+            body = max(2, _geometric(rng, self.mean_loop_body))
+            body = min(body, min(self.code_words, 0xFFFF))
+            if rng.random() < self.p_far_jump:
+                # Far jumps usually land in already-discovered code; the
+                # (decaying) remainder extends the code frontier.
+                if rng.random() < 0.25 * self._explore_scale():
+                    self._code_frontier = min(
+                        self.code_words,
+                        self._code_frontier + _geometric(rng, 4.0 * body),
+                    )
+                start = rng.randrange(0, self._code_frontier)
+            else:
+                start = (self._loop_start + self._body_len) % self.code_words
+                self._code_frontier = max(
+                    self._code_frontier, min(start + body, self.code_words)
+                )
+        self._loop_start = start
+        self._body_len = body
+        self._offset = 0
+        self._iters_left = _geometric(rng, self.mean_loop_iters)
+        self._sites.remember((start << 16) | body)
+
+    def next_address(self) -> int:
+        """Return the next instruction word address."""
+        addr = self.base + (self._loop_start + self._offset) % self.code_words
+        self._offset += 1
+        self._decay *= self._decay_step
+        if self._offset >= self._body_len:
+            self._offset = 0
+            self._iters_left -= 1
+            if self._iters_left <= 0:
+                self._new_loop()
+        return addr
+
+
+class DataModel:
+    """Mixture model for load/store addresses.
+
+    Each address is drawn from one of three behaviours:
+
+    * with probability ``p_sequential``, continue (or begin) a sequential
+      run — array traversals and string scans.  New runs mostly restart
+      at the base of earlier runs (programs rescan the same arrays) so
+      sequential traffic is dominated by *re*-scans, not frontier growth;
+    * with probability ``p_reuse``, re-reference a recently used address
+      at a multi-scale recency rank (see :class:`_RecencyRing`) — stack
+      frames, scalars, hot structures, and the long tail of colder data;
+    * otherwise (a small residue) touch fresh memory.  Fresh allocation
+      is a bump pointer (structures are laid out consecutively) with an
+      occasional uniform spray; ``p_run_fresh`` similarly controls how
+      often a sequential run opens fresh territory.  These two knobs set
+      the compulsory-miss floor of the stream.
+    """
+
+    def __init__(
+        self,
+        data_words: int,
+        p_sequential: float = 0.30,
+        p_reuse: float = 0.68,
+        mean_run: float = 12.0,
+        p_run_fresh: float = 0.04,
+        reuse_window: int = 32768,
+        reuse_near_mean: float = 48.0,
+        reuse_mid_mean: float = 2048.0,
+        p_near: float = 0.62,
+        p_mid: float = 0.28,
+        run_base_ring: int = 256,
+        fresh_tau: float = 25_000.0,
+        fresh_floor: float = 0.10,
+        init_words: int = 0,
+        p_stack: float = 0.20,
+        stack_span: int = 192,
+        base: int = DATA_BASE,
+        stack_base: int = STACK_BASE,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if data_words < 16:
+            raise ConfigurationError(f"data footprint too small: {data_words}")
+        if min(p_sequential, p_reuse) < 0 or p_sequential + p_reuse > 1.0:
+            raise ConfigurationError(
+                f"bad mixture: p_sequential={p_sequential}, p_reuse={p_reuse}"
+            )
+        if not 0.0 <= p_run_fresh <= 1.0:
+            raise ConfigurationError(f"p_run_fresh out of range: {p_run_fresh}")
+        if fresh_tau <= 0 or not 0.0 <= fresh_floor <= 1.0:
+            raise ConfigurationError("bad fresh-allocation decay parameters")
+        self.data_words = data_words
+        self.p_sequential = p_sequential
+        self.p_reuse = p_reuse
+        self.mean_run = max(1.0, mean_run)
+        self.p_run_fresh = p_run_fresh
+        self.base = base
+        self.rng = rng or random.Random(0)
+        self._ring = _RecencyRing(
+            reuse_window, near_mean=reuse_near_mean, mid_mean=reuse_mid_mean,
+            p_near=p_near, p_mid=p_mid, rng=self.rng,
+        )
+        self._run_bases = _RecencyRing(
+            run_base_ring, near_mean=4.0, mid_mean=32.0, p_near=0.55,
+            p_mid=0.35, rng=self.rng,
+        )
+        # Fresh allocation decays over the model's lifetime: programs
+        # build their data structures early, then mostly revisit them.
+        self._fresh_floor = fresh_floor
+        self._decay = 1.0
+        self._decay_step = 2.0 ** (-1.0 / fresh_tau)
+        self._frontier = 0
+        self._run_addr = 0
+        self._run_left = 0
+        # Initialization sweep: programs build their data structures
+        # first, so the working set is laid down early (mostly inside the
+        # warm-up region) and steady state mainly revisits it.
+        if init_words < 0 or init_words > data_words:
+            raise ConfigurationError(
+                f"init_words {init_words} outside [0, {data_words}]"
+            )
+        self._init_left = init_words
+        # Stack stream: a small, very hot region checked before the main
+        # mixture.  Its placement relative to the data arrays generates
+        # the conflict misses set associativity removes (§4): when a
+        # scanned array passes over the stack's cache indices, a
+        # direct-mapped cache thrashes.
+        if not 0.0 <= p_stack <= 1.0:
+            raise ConfigurationError(f"p_stack out of range: {p_stack}")
+        if stack_span < 1:
+            raise ConfigurationError(f"stack span must be >= 1: {stack_span}")
+        self.p_stack = p_stack
+        self.stack_span = stack_span
+        self.stack_base = stack_base
+        self._sp = stack_span // 2
+        # Address-space fragmentation: logical addresses are laid out
+        # densely (bump allocation), but real heaps scatter objects, so
+        # spatial locality must not extend past object granularity.  A
+        # bijective scramble of fixed-size clusters keeps words within a
+        # cluster adjacent while placing the clusters pseudo-randomly:
+        # sequential runs stay sequential up to the cluster size, and
+        # blocks larger than a cluster fetch unrelated data — which is
+        # what makes the paper's block-size curves turn back up.
+        self._cluster_bits = 4  # 16-word (64-byte) clusters
+        space = 1
+        while space < data_words:
+            space <<= 1
+        self._cluster_count = max(1, space >> self._cluster_bits)
+
+    def _scatter(self, addr: int) -> int:
+        """Bijectively scramble the cluster id of a logical address."""
+        offset = addr & ((1 << self._cluster_bits) - 1)
+        cluster = addr >> self._cluster_bits
+        scrambled = (cluster * 2654435761) & (self._cluster_count - 1)
+        return (scrambled << self._cluster_bits) | offset
+
+    @property
+    def in_init(self) -> bool:
+        """True while the model is still in its initialization sweep."""
+        return self._init_left > 0
+
+    def _fresh_scale(self) -> float:
+        floor = self._fresh_floor
+        return floor + (1.0 - floor) * self._decay
+
+    def _fresh(self) -> int:
+        """Allocate fresh memory: bump pointer with a 10% uniform spray."""
+        rng = self.rng
+        if rng.random() < 0.10:
+            return rng.randrange(0, self.data_words)
+        step = _geometric(rng, 4.0)
+        self._frontier = (self._frontier + step) % self.data_words
+        return self._frontier
+
+    def next_address(self) -> int:
+        """Return the next data word address."""
+        rng = self.rng
+        ring = self._ring
+        if self._init_left > 0:
+            self._init_left -= 1
+            addr = self._frontier
+            self._frontier += 1
+            if rng.random() < 0.06:
+                # Leave occasional gaps so the initialized region is not
+                # perfectly dense (holes between structures).
+                self._frontier += _geometric(rng, 3.0)
+            self._frontier %= self.data_words
+            if rng.random() < 0.25:
+                self._run_bases.remember(addr)
+            ring.remember(addr)
+            return self.base + self._scatter(addr)
+        self._decay *= self._decay_step
+        if rng.random() < self.p_stack:
+            # Stack reference: random-walk frame pointer plus a small
+            # in-frame offset.  Not remembered in the reuse ring — the
+            # stack is its own locality pool.
+            step = _geometric(rng, 2.0)
+            if rng.random() < 0.5:
+                step = -step
+            self._sp = (self._sp + step) % self.stack_span
+            offset = _geometric(rng, 3.0) - 1
+            return self.stack_base + (self._sp + offset) % self.stack_span
+        u = rng.random()
+        if u < self.p_sequential:
+            if self._run_left <= 0:
+                fresh_run = (
+                    not len(self._run_bases)
+                    or rng.random() < self.p_run_fresh * self._fresh_scale()
+                )
+                if fresh_run:
+                    self._run_addr = self._fresh()
+                else:
+                    self._run_addr = self._run_bases.sample()
+                self._run_bases.remember(self._run_addr)
+                self._run_left = _geometric(rng, self.mean_run)
+            addr = self._run_addr % self.data_words
+            self._run_addr += 1
+            self._run_left -= 1
+        elif u < self.p_sequential + self.p_reuse and len(ring):
+            addr = ring.sample()
+        elif rng.random() < self._fresh_scale():
+            addr = self._fresh()
+        elif len(ring):
+            addr = ring.sample()
+        else:
+            addr = self._fresh()
+        ring.remember(addr)
+        return self.base + self._scatter(addr)
+
+
+class ZeroingSweep:
+    """A one-shot sequential store sweep over a region.
+
+    Models bss/data-space zeroing at process start-up; the paper calls
+    this out as the source of the high write traffic of the ``grep`` and
+    ``egrep`` traces at large cache sizes.
+    """
+
+    def __init__(self, span_words: int, base: int = DATA_BASE) -> None:
+        if span_words < 0:
+            raise ConfigurationError(f"negative zeroing span {span_words}")
+        self.span_words = span_words
+        self.base = base
+        self._next = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self._next >= self.span_words
+
+    def next_address(self) -> int:
+        """Return the next store address; raises when exhausted."""
+        if self.exhausted:
+            raise ConfigurationError("zeroing sweep exhausted")
+        addr = self.base + self._next
+        self._next += 1
+        return addr
+
+
+@dataclass(frozen=True)
+class SegmentLayout:
+    """Word-address bases for a process's text, data and stack segments."""
+
+    text: int = TEXT_BASE
+    data: int = DATA_BASE
+    stack: int = STACK_BASE
+
+    def __post_init__(self) -> None:
+        if not self.text < self.data < self.stack:
+            raise ConfigurationError(
+                f"segments must be ordered text < data < stack, got "
+                f"{self.text:#x} {self.data:#x} {self.stack:#x}"
+            )

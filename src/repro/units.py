@@ -1,0 +1,93 @@
+"""Unit helpers shared across the repro library.
+
+The paper mixes three unit systems and so do we:
+
+* **storage** is measured in bytes, with caches quoted in kilobytes and
+  blocks quoted in 32-bit words (the paper's footnote 3: "A word is
+  defined to be 32 bits");
+* **time** is measured in nanoseconds for physical quantities (DRAM
+  latency, cycle time) and in *machine cycles* once quantized onto the
+  synchronous CPU/cache clock;
+* **addresses** are word addresses throughout the simulator, because the
+  preprocessed traces in the paper contain only word references.
+
+Keeping the conversions here, in one well-tested place, prevents the
+classic byte/word and ns/cycle mix-ups.
+"""
+
+from __future__ import annotations
+
+from .errors import ConfigurationError
+
+#: Number of bytes in one machine word (the paper uses 32-bit words).
+BYTES_PER_WORD = 4
+
+#: One kilobyte / megabyte of storage, in bytes.
+KB = 1024
+MB = 1024 * KB
+
+
+def ceil_div(numerator: int, denominator: int) -> int:
+    """Integer division rounding up; both arguments must be positive."""
+    if numerator < 0 or denominator <= 0:
+        raise ConfigurationError(
+            f"ceil_div requires numerator >= 0 and denominator > 0, "
+            f"got {numerator}/{denominator}"
+        )
+    return -(-numerator // denominator)
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True if ``value`` is a positive integral power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_exact(value: int) -> int:
+    """Return ``log2(value)`` for an exact power of two, else raise."""
+    if not is_power_of_two(value):
+        raise ConfigurationError(f"{value} is not a power of two")
+    return value.bit_length() - 1
+
+
+def words_to_bytes(words: int) -> int:
+    """Convert a word count to bytes."""
+    return words * BYTES_PER_WORD
+
+
+def bytes_to_words(nbytes: int) -> int:
+    """Convert a byte count to words; must be word aligned."""
+    if nbytes % BYTES_PER_WORD:
+        raise ConfigurationError(f"{nbytes} bytes is not a whole number of words")
+    return nbytes // BYTES_PER_WORD
+
+
+def quantize_ns(duration_ns: float, cycle_ns: float) -> int:
+    """Quantize an asynchronous duration onto a synchronous clock.
+
+    This is the operation at the heart of the paper's Table 2: a memory
+    operation that physically takes ``duration_ns`` occupies
+    ``ceil(duration_ns / cycle_ns)`` whole machine cycles, because the
+    synchronous cache cannot observe completion mid-cycle.  A duration of
+    zero costs zero cycles.
+    """
+    if cycle_ns <= 0:
+        raise ConfigurationError(f"cycle time must be positive, got {cycle_ns}")
+    if duration_ns < 0:
+        raise ConfigurationError(f"duration must be >= 0, got {duration_ns}")
+    if duration_ns == 0:
+        return 0
+    # Guard against float fuzz: 180/20 must be exactly 9 cycles, not 10.
+    cycles = duration_ns / cycle_ns
+    rounded = round(cycles)
+    if abs(cycles - rounded) < 1e-9:
+        return int(rounded)
+    return int(-(-cycles // 1))
+
+
+def format_size(nbytes: int) -> str:
+    """Render a byte count the way the paper does: ``4KB``, ``2MB``."""
+    if nbytes >= MB and nbytes % MB == 0:
+        return f"{nbytes // MB}MB"
+    if nbytes >= KB and nbytes % KB == 0:
+        return f"{nbytes // KB}KB"
+    return f"{nbytes}B"

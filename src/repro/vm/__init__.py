@@ -1,0 +1,16 @@
+"""Virtual-memory substrate: page mapping, TLB, and the §4 constraint
+on physically-indexed caches."""
+
+from .paging import (
+    PageMapper,
+    max_physical_cache_bytes,
+    min_assoc_for_physical_cache,
+)
+from .tlb import TLB
+
+__all__ = [
+    "PageMapper",
+    "max_physical_cache_bytes",
+    "min_assoc_for_physical_cache",
+    "TLB",
+]

@@ -1,0 +1,117 @@
+"""Virtual-to-physical address translation.
+
+The paper's simulator lets translation be "placed anywhere in the
+hierarchy" (§2); its experiments use virtual caches (PID in the tag),
+but §4's associativity discussion hinges on the *physical* alternative:
+if the cache is physically addressed and accessed in parallel with
+translation, only the page-offset bits are trustworthy for indexing, so
+cache size per way is capped at the page size — the reason the IBM 3033
+carries a 16-way 64 KB cache.
+
+:class:`PageMapper` provides a deterministic first-touch allocator from
+``(pid, virtual page)`` to physical frames: pages are assigned frames in
+touch order with a hashed scatter, the way a real free-list allocator
+decorrelates physical placement from virtual adjacency.  Everything is
+reproducible given the seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Tuple
+
+from ..errors import ConfigurationError
+from ..units import is_power_of_two, log2_exact
+
+
+class PageMapper:
+    """First-touch virtual-to-physical page mapping.
+
+    Parameters
+    ----------
+    page_words:
+        Page size in words (default 1024 words = 4 KB).
+    memory_frames:
+        Number of physical frames available; mappings wrap (re-use) when
+        exhausted, which models a loaded machine without implementing
+        eviction.
+    seed:
+        Seed for the frame-scatter permutation.
+    """
+
+    def __init__(
+        self,
+        page_words: int = 1024,
+        memory_frames: int = 1 << 14,
+        seed: int = 0,
+    ) -> None:
+        if not is_power_of_two(page_words):
+            raise ConfigurationError(
+                f"page size must be a power of two words: {page_words}"
+            )
+        if memory_frames < 1:
+            raise ConfigurationError(
+                f"need at least one physical frame: {memory_frames}"
+            )
+        self.page_words = page_words
+        self.memory_frames = memory_frames
+        self._offset_bits = log2_exact(page_words)
+        self._offset_mask = page_words - 1
+        self._map: Dict[Tuple[int, int], int] = {}
+        self._next_frame = 0
+        self._rng = random.Random(seed)
+
+    @property
+    def page_offset_bits(self) -> int:
+        return self._offset_bits
+
+    @property
+    def pages_mapped(self) -> int:
+        return len(self._map)
+
+    def _allocate(self) -> int:
+        """Next frame, scattered: sequential allocation hashed across
+        the frame pool so physical adjacency does not mirror virtual."""
+        index = self._next_frame
+        self._next_frame += 1
+        frame = (index * 2654435761 + self._rng.randrange(7)) % \
+            self.memory_frames
+        return frame
+
+    def translate(self, pid: int, vaddr_word: int) -> int:
+        """Translate a virtual word address; allocates on first touch."""
+        if vaddr_word < 0 or pid < 0:
+            raise ConfigurationError("negative pid or address")
+        vpage = vaddr_word >> self._offset_bits
+        key = (pid, vpage)
+        frame = self._map.get(key)
+        if frame is None:
+            frame = self._allocate()
+            self._map[key] = frame
+        return (frame << self._offset_bits) | (vaddr_word & self._offset_mask)
+
+    def vpage(self, vaddr_word: int) -> int:
+        """Virtual page number of a word address."""
+        return vaddr_word >> self._offset_bits
+
+
+def max_physical_cache_bytes(page_bytes: int, assoc: int) -> int:
+    """§4's virtual-memory constraint on physically-indexed caches.
+
+    When translation proceeds in parallel with the cache access, the
+    index may use only page-offset bits, so each way is at most one page:
+    the cache is capped at ``page size x associativity``.  "For example,
+    the IBM 3033 has a 16 way set associative 64KB cache for this
+    reason."
+    """
+    if page_bytes < 1 or assoc < 1:
+        raise ConfigurationError("page size and associativity must be >= 1")
+    return page_bytes * assoc
+
+
+def min_assoc_for_physical_cache(cache_bytes: int, page_bytes: int) -> int:
+    """Minimum set size letting a physically-indexed cache of
+    ``cache_bytes`` be accessed in parallel with translation."""
+    if cache_bytes < 1 or page_bytes < 1:
+        raise ConfigurationError("sizes must be positive")
+    return max(1, -(-cache_bytes // page_bytes))

@@ -1,0 +1,76 @@
+"""Translation lookaside buffer.
+
+A small set-associative cache of page translations, used by the engine's
+physical-cache mode: every CPU reference consults the TLB before (or in
+parallel with) the cache; a miss pays a page-table walk — one memory
+read serialized through the same main-memory port as cache misses, so
+TLB pressure and miss traffic contend realistically.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import ConfigurationError
+from ..units import is_power_of_two
+
+
+class TLB:
+    """Set-associative TLB over ``(pid, virtual page)`` with LRU.
+
+    Parameters
+    ----------
+    entries:
+        Total number of translations held.
+    assoc:
+        Set size; the default makes the TLB fully associative, the
+        common choice for the small TLBs of the paper's era.
+    """
+
+    def __init__(self, entries: int = 64, assoc: int = 0) -> None:
+        if entries < 1:
+            raise ConfigurationError(f"TLB needs at least one entry: {entries}")
+        assoc = assoc or entries
+        if entries % assoc:
+            raise ConfigurationError(
+                f"entries ({entries}) must be a multiple of assoc ({assoc})"
+            )
+        n_sets = entries // assoc
+        if not is_power_of_two(n_sets):
+            raise ConfigurationError(
+                f"TLB set count must be a power of two, got {n_sets}"
+            )
+        self.entries = entries
+        self.assoc = assoc
+        self.n_sets = n_sets
+        self._sets: List[List[int]] = [[] for _ in range(n_sets)]
+        self.accesses = 0
+        self.misses = 0
+
+    def access(self, pid: int, vpage: int) -> bool:
+        """Look up a translation; fill on miss (LRU victim).  Returns
+        True on a hit."""
+        key = (pid << 44) | vpage
+        index = vpage & (self.n_sets - 1)
+        entries = self._sets[index]
+        self.accesses += 1
+        if key in entries:
+            entries.remove(key)
+            entries.append(key)
+            return True
+        self.misses += 1
+        if len(entries) >= self.assoc:
+            entries.pop(0)
+        entries.append(key)
+        return False
+
+    def flush(self) -> None:
+        """Invalidate every translation (context-switch behaviour for
+        TLBs without PID tags is modeled by the caller choosing to call
+        this; ours are PID-tagged so it is rarely needed)."""
+        for entries in self._sets:
+            entries.clear()
+
+    @property
+    def miss_ratio(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0

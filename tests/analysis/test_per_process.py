@@ -1,0 +1,61 @@
+"""Per-process profiling of multiprogrammed traces."""
+
+import pytest
+
+from repro.analysis.per_process import (
+    ProcessProfile,
+    process_table,
+    profile_processes,
+)
+from repro.errors import AnalysisError
+from repro.sim.config import baseline_config
+from repro.trace.record import RefKind, Trace
+from repro.units import KB
+
+I, L = int(RefKind.IFETCH), int(RefKind.LOAD)
+
+
+class TestProfiles:
+    def test_every_process_profiled(self, mu3_small):
+        config = baseline_config(cache_size_bytes=4 * KB)
+        profiles = profile_processes(mu3_small, config)
+        assert {p.pid for p in profiles} == set(
+            mu3_small.pids.tolist()
+        )
+        assert sum(p.refs for p in profiles) == \
+            len(mu3_small) - mu3_small.warm_boundary
+
+    def test_multiprogramming_tax_nonnegative_overall(self, mu3_small):
+        """Sharing a small cache cannot help on aggregate: the summed
+        shared misses exceed the summed private misses."""
+        config = baseline_config(cache_size_bytes=2 * KB)
+        profiles = profile_processes(mu3_small, config)
+        shared = sum(p.read_misses_shared for p in profiles)
+        private = sum(p.read_misses_private for p in profiles)
+        assert shared >= private
+
+    def test_private_equals_shared_for_lone_process(self):
+        refs = [(I, i % 64) for i in range(500)]
+        trace = Trace(
+            [k for k, _ in refs], [a for _, a in refs], [7] * len(refs),
+        )
+        config = baseline_config(cache_size_bytes=2 * KB)
+        (profile,) = profile_processes(trace, config)
+        assert profile.read_misses_shared == profile.read_misses_private
+        assert profile.multiprogramming_tax == 0.0
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(AnalysisError):
+            profile_processes(
+                Trace([], []), baseline_config(cache_size_bytes=2 * KB)
+            )
+
+
+class TestTable:
+    def test_renders(self):
+        profiles = [
+            ProcessProfile(pid=1, refs=100, reads=80,
+                           read_misses_shared=8, read_misses_private=4),
+        ]
+        text = process_table(profiles)
+        assert "MP tax" in text and "0.05" in text

@@ -1,0 +1,138 @@
+"""Reuse-distance analysis: oracle comparison and simulator consistency."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.reuse import ReuseProfile, reuse_profile
+from repro.cache.cache import Cache
+from repro.core.geometry import CacheGeometry
+from repro.core.policy import CachePolicy, ReplacementKind
+from repro.errors import AnalysisError
+from repro.trace.record import RefKind, Trace
+
+L = int(RefKind.LOAD)
+
+
+def load_trace(addrs, warm=0):
+    return Trace([L] * len(addrs), list(addrs), [0] * len(addrs),
+                 warm_boundary=warm)
+
+
+def brute_force_distances(addrs, block_words=4):
+    """O(N^2) oracle: distinct blocks since last use."""
+    shift = block_words.bit_length() - 1
+    blocks = [a >> shift for a in addrs]
+    out = []
+    for i, b in enumerate(blocks):
+        previous = None
+        for j in range(i - 1, -1, -1):
+            if blocks[j] == b:
+                previous = j
+                break
+        if previous is None:
+            out.append(None)
+        else:
+            out.append(len(set(blocks[previous + 1: i])))
+    return out
+
+
+class TestAgainstOracle:
+    def test_small_hand_case(self):
+        # Blocks: a b a c b a  (block_words=1)
+        addrs = [0, 1, 0, 2, 1, 0]
+        profile = reuse_profile(load_trace(addrs), block_words=1)
+        # distances: cold, cold, 1, cold, 2, 2
+        assert profile.cold == 3
+        assert profile.histogram == {1: 1, 2: 2}
+
+    @settings(max_examples=30, deadline=None)
+    @given(addrs=st.lists(st.integers(0, 255), min_size=1, max_size=150))
+    def test_matches_brute_force(self, addrs):
+        profile = reuse_profile(load_trace(addrs), block_words=4)
+        oracle = brute_force_distances(addrs, block_words=4)
+        expected = {}
+        cold = 0
+        for d in oracle:
+            if d is None:
+                cold += 1
+            else:
+                expected[d] = expected.get(d, 0) + 1
+        assert profile.cold == cold
+        assert profile.histogram == expected
+
+
+class TestMissRatioCurve:
+    def test_matches_fully_associative_lru_simulation(self):
+        rng = random.Random(9)
+        addrs = [rng.randrange(4096) for _ in range(3000)]
+        profile = reuse_profile(load_trace(addrs), block_words=4)
+        for capacity in (4, 16, 64, 256):
+            cache = Cache(
+                CacheGeometry(size_bytes=capacity * 16, block_words=4,
+                              assoc=capacity),
+                CachePolicy(replacement=ReplacementKind.LRU),
+            )
+            misses = sum(
+                0 if cache.access_read(0, a).hit else 1 for a in addrs
+            )
+            assert profile.miss_ratio_at(capacity) == pytest.approx(
+                misses / len(addrs)
+            )
+
+    def test_curve_monotone_nonincreasing(self, mu3_small):
+        profile = reuse_profile(mu3_small)
+        curve = profile.miss_ratio_curve([8, 32, 128, 512, 2048])
+        ratios = [r for _c, r in curve]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_capacity_validated(self):
+        profile = reuse_profile(load_trace([0]))
+        with pytest.raises(AnalysisError):
+            profile.miss_ratio_at(0)
+
+
+class TestOptions:
+    def test_kind_filter_counts_only_wanted(self):
+        trace = Trace(
+            [int(RefKind.IFETCH), L, int(RefKind.IFETCH), L],
+            [0, 100, 0, 100],
+            [0, 0, 0, 0],
+        )
+        profile = reuse_profile(trace, kinds=(RefKind.LOAD,), block_words=1)
+        assert profile.n_refs == 2
+        # The second load's distance still counts the intervening
+        # ifetch's block (recency is updated by every reference).
+        assert profile.histogram == {1: 1}
+
+    def test_warm_boundary_counts_tail_only(self):
+        addrs = [0, 4, 0, 4]
+        cold_everything = reuse_profile(load_trace(addrs), block_words=4)
+        warm = reuse_profile(
+            load_trace(addrs, warm=2), block_words=4,
+            honor_warm_boundary=True,
+        )
+        assert cold_everything.n_refs == 4
+        assert warm.n_refs == 2
+        assert warm.cold == 0  # warm-up established recency
+
+    def test_pid_separates_blocks(self):
+        trace = Trace([L, L], [0, 0], [1, 2])
+        profile = reuse_profile(trace, block_words=4)
+        assert profile.cold == 2
+
+    def test_non_power_of_two_block_rejected(self):
+        with pytest.raises(AnalysisError):
+            reuse_profile(load_trace([0]), block_words=3)
+
+    def test_median_distance(self):
+        profile = ReuseProfile(
+            histogram={1: 5, 10: 4, 100: 2}, cold=3, n_refs=14,
+            block_words=4,
+        )
+        assert profile.median_distance == 10
+
+    def test_median_none_when_all_cold(self):
+        profile = ReuseProfile(histogram={}, cold=3, n_refs=3, block_words=4)
+        assert profile.median_distance is None

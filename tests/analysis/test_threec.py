@@ -1,0 +1,129 @@
+"""3C miss classification."""
+
+import pytest
+
+from repro.analysis.threec import (
+    ThreeCBreakdown,
+    _FullyAssociativeLRU,
+    classify_read_misses,
+    conflict_removed_by_assoc,
+)
+from repro.core.geometry import CacheGeometry
+from repro.errors import AnalysisError
+from repro.trace.record import RefKind, Trace
+from repro.units import KB
+
+I, L, S = int(RefKind.IFETCH), int(RefKind.LOAD), int(RefKind.STORE)
+
+
+def trace_of(refs, warm=0):
+    kinds = [k for k, _ in refs]
+    addrs = [a for _, a in refs]
+    return Trace(kinds, addrs, [1] * len(refs), warm_boundary=warm)
+
+
+def tiny_geometry(assoc=1, blocks=4):
+    return CacheGeometry(
+        size_bytes=blocks * 16, block_words=4, assoc=assoc
+    )
+
+
+class TestFALRU:
+    def test_eviction_order(self):
+        fa = _FullyAssociativeLRU(2)
+        assert not fa.access((1, 1))
+        assert not fa.access((1, 2))
+        assert fa.access((1, 1))       # refresh 1; 2 becomes LRU
+        assert not fa.access((1, 3))   # evicts 2
+        assert fa.access((1, 1))
+        assert not fa.access((1, 2))
+
+    def test_capacity_validated(self):
+        with pytest.raises(AnalysisError):
+            _FullyAssociativeLRU(0)
+
+
+class TestClassification:
+    def test_first_touches_are_compulsory(self):
+        breakdown = classify_read_misses(
+            trace_of([(L, 0), (L, 16), (L, 32)]), tiny_geometry()
+        )
+        assert breakdown.compulsory == 3
+        assert breakdown.capacity == 0
+        assert breakdown.conflict == 0
+
+    def test_conflict_identified(self):
+        # Two blocks aliasing in a 4-block direct-mapped cache (stride =
+        # cache size in words = 16): FA-LRU of 4 blocks holds both.
+        refs = [(L, 0), (L, 64)] * 4
+        breakdown = classify_read_misses(trace_of(refs), tiny_geometry())
+        assert breakdown.compulsory == 2
+        assert breakdown.conflict == 6
+        assert breakdown.capacity == 0
+
+    def test_capacity_identified(self):
+        # Cycle through 5 distinct blocks in a 4-block cache: FA-LRU
+        # also misses every time (LRU worst case).
+        refs = [(L, 16 * i) for i in range(5)] * 3
+        breakdown = classify_read_misses(trace_of(refs), tiny_geometry())
+        assert breakdown.compulsory == 5
+        assert breakdown.capacity == 10
+        assert breakdown.conflict == 0
+
+    def test_total_matches_real_cache_misses(self):
+        refs = [(L, (i * 13) % 256) for i in range(300)]
+        geometry = tiny_geometry(assoc=2, blocks=8)
+        breakdown = classify_read_misses(trace_of(refs), geometry)
+        from repro.cache.cache import Cache
+        from repro.core.policy import CachePolicy, ReplacementKind
+
+        cache = Cache(geometry, CachePolicy(replacement=ReplacementKind.LRU))
+        misses = sum(
+            0 if cache.access_read(1, a).hit else 1 for _k, a in refs
+        )
+        assert breakdown.total_misses == misses
+
+    def test_kind_filter(self):
+        refs = [(I, 0), (L, 1024), (I, 4), (L, 1040)]
+        i_only = classify_read_misses(
+            trace_of(refs), tiny_geometry(), kinds=(RefKind.IFETCH,)
+        )
+        assert i_only.n_reads == 2
+
+    def test_stores_disturb_but_are_not_classified(self):
+        # Store allocates nothing in the classifier's read accounting.
+        refs = [(S, 0), (L, 0)]
+        breakdown = classify_read_misses(trace_of(refs), tiny_geometry())
+        assert breakdown.n_reads == 1
+        # The load is not compulsory (the store touched the block), and
+        # the FA model holds it, but the real no-allocate cache missed:
+        # a conflict-of-policy, counted as conflict.
+        assert breakdown.conflict == 1
+
+    def test_warm_boundary_respected(self):
+        # Blocks 0 and 5 land in different sets of the 4-block cache.
+        refs = [(L, 0), (L, 20), (L, 0), (L, 20)]
+        breakdown = classify_read_misses(
+            trace_of(refs, warm=2), tiny_geometry()
+        )
+        assert breakdown.n_reads == 2
+        assert breakdown.total_misses == 0
+
+
+class TestConflictVsAssoc:
+    def test_conflicts_shrink_with_ways(self, mu3_small):
+        results = conflict_removed_by_assoc(
+            mu3_small, size_bytes=2 * KB, assocs=(1, 2, 4)
+        )
+        conflicts = [results[a].conflict for a in (1, 2, 4)]
+        assert conflicts[0] >= conflicts[1] >= conflicts[2] >= 0
+        # Compulsory and capacity are organization-independent.
+        assert len({results[a].compulsory for a in (1, 2, 4)}) == 1
+        assert len({results[a].capacity for a in (1, 2, 4)}) == 1
+
+    def test_breakdown_properties(self):
+        b = ThreeCBreakdown(n_reads=100, compulsory=5, capacity=10,
+                            conflict=5)
+        assert b.total_misses == 20
+        assert b.miss_ratio == pytest.approx(0.2)
+        assert b.conflict_share == pytest.approx(0.25)

@@ -1,0 +1,179 @@
+"""Functional cache: hits, misses, victims, dirty masks, policies."""
+
+import pytest
+
+from repro.cache.cache import Cache, block_key, key_block_addr, key_pid
+from repro.core.geometry import CacheGeometry
+from repro.core.policy import (
+    CachePolicy,
+    ReplacementKind,
+    WriteMissPolicy,
+    WritePolicy,
+)
+from repro.errors import SimulationError
+from repro.units import KB
+
+
+def make_cache(size_kb=4, block_words=4, assoc=1, fetch_words=0, **policy_kw):
+    geometry = CacheGeometry(
+        size_bytes=size_kb * KB, block_words=block_words, assoc=assoc,
+        fetch_words=fetch_words,
+    )
+    policy = CachePolicy(replacement=ReplacementKind.LRU, **policy_kw)
+    return Cache(geometry, policy)
+
+
+class TestBlockKey:
+    def test_round_trip(self):
+        key = block_key(7, 0x12345)
+        assert key_pid(key) == 7
+        assert key_block_addr(key) == 0x12345
+
+
+class TestReadPath:
+    def test_cold_miss_then_hit(self):
+        cache = make_cache()
+        assert not cache.access_read(1, 100).hit
+        assert cache.access_read(1, 100).hit
+
+    def test_whole_block_fetched(self):
+        cache = make_cache(block_words=4)
+        result = cache.access_read(1, 100)
+        assert result.fetched_words == 4
+        # Every word of the block now hits.
+        base = (100 // 4) * 4
+        for offset in range(4):
+            assert cache.probe(1, base + offset)
+
+    def test_pid_is_part_of_the_tag(self):
+        # Virtual caches: same address, different process -> miss.
+        cache = make_cache()
+        cache.access_read(1, 100)
+        assert not cache.access_read(2, 100).hit
+
+    def test_conflict_eviction_direct_mapped(self):
+        cache = make_cache(size_kb=4, block_words=4, assoc=1)
+        words = 4 * KB // 4  # cache capacity in words
+        cache.access_read(1, 0)
+        cache.access_read(1, words)  # same index, different tag
+        assert not cache.access_read(1, 0).hit
+
+    def test_clean_victim_not_reported(self):
+        cache = make_cache(size_kb=4, assoc=1)
+        words = 4 * KB // 4
+        cache.access_read(1, 0)
+        result = cache.access_read(1, words)
+        assert result.victim_key is None
+
+    def test_two_way_avoids_conflict(self):
+        cache = make_cache(size_kb=4, assoc=2)
+        words = 2 * KB // 4  # way size in words
+        cache.access_read(1, 0)
+        cache.access_read(1, words)
+        assert cache.access_read(1, 0).hit
+        assert cache.access_read(1, words).hit
+
+
+class TestWritePath:
+    def test_write_miss_bypasses_no_allocate(self):
+        cache = make_cache()
+        result = cache.access_write(1, 100)
+        assert not result.hit
+        assert result.bypass_write
+        # The block was NOT allocated.
+        assert not cache.probe(1, 100)
+
+    def test_write_hit_sets_dirty_and_victim_reports_dirty_words(self):
+        cache = make_cache(size_kb=4, assoc=1)
+        words = 4 * KB // 4
+        cache.access_read(1, 0)
+        cache.access_write(1, 1)
+        cache.access_write(1, 2)
+        result = cache.access_read(1, words)  # evicts block 0
+        assert result.victim_key == block_key(1, 0)
+        assert result.victim_dirty_words == 2
+
+    def test_write_allocate_policy(self):
+        cache = make_cache(write_miss=WriteMissPolicy.FETCH_ON_WRITE)
+        result = cache.access_write(1, 100)
+        assert not result.hit and not result.bypass_write
+        assert cache.probe(1, 100)
+
+    def test_write_through_never_dirty(self):
+        cache = make_cache(write_policy=WritePolicy.WRITE_THROUGH)
+        cache.access_read(1, 0)
+        result = cache.access_write(1, 0)
+        assert result.hit and result.bypass_write
+        flushed = cache.flush()
+        assert flushed == []
+
+
+class TestSubBlockFetch:
+    def test_partial_fetch_and_sub_block_miss(self):
+        cache = make_cache(block_words=8, fetch_words=4)
+        result = cache.access_read(1, 0)
+        assert result.fetched_words == 4
+        assert cache.probe(1, 3)
+        assert not cache.probe(1, 4)  # other half of the block invalid
+        # Touching the other half is a sub-block miss, no eviction.
+        second = cache.access_read(1, 4)
+        assert not second.hit
+        assert second.victim_key is None
+        assert cache.probe(1, 7)
+
+
+class TestWriteWords:
+    def test_absorb_into_present_block(self):
+        cache = make_cache(block_words=8)
+        cache.access_read(1, 0)
+        result = cache.write_words(1, 0, 4)
+        assert result.hit
+        flushed = cache.flush()
+        assert flushed == [(block_key(1, 0), 4)]
+
+    def test_allocate_without_fetch_keeps_rest_invalid(self):
+        cache = make_cache(
+            block_words=8, write_miss=WriteMissPolicy.FETCH_ON_WRITE
+        )
+        result = cache.write_words(1, 0, 4)
+        assert not result.hit
+        assert cache.probe(1, 0)
+        assert not cache.probe(1, 6)
+
+    def test_no_allocate_bypasses(self):
+        cache = make_cache(block_words=8)
+        result = cache.write_words(1, 0, 4)
+        assert result.bypass_write
+
+    def test_rejects_block_crossing(self):
+        cache = make_cache(block_words=4)
+        with pytest.raises(SimulationError):
+            cache.write_words(1, 2, 4)
+
+
+class TestMaintenance:
+    def test_flush_clears_everything(self):
+        cache = make_cache()
+        cache.access_read(1, 0)
+        cache.access_write(1, 0)
+        flushed = cache.flush()
+        assert flushed == [(block_key(1, 0), 1)]
+        assert not cache.probe(1, 0)
+
+    def test_invariants_hold_after_mixed_traffic(self):
+        cache = make_cache(size_kb=4, assoc=2)
+        for i in range(2000):
+            addr = (i * 37) % 4096
+            if i % 3:
+                cache.access_read(1 + i % 2, addr)
+            else:
+                cache.access_write(1 + i % 2, addr)
+        cache.check_invariants()
+
+    def test_resident_keys_lists_valid_blocks(self):
+        cache = make_cache()
+        cache.access_read(1, 0)
+        cache.access_read(2, 64)
+        keys = set(cache.resident_keys())
+        assert block_key(1, 0) in keys
+        assert block_key(2, 16) in keys

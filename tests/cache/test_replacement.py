@@ -1,0 +1,69 @@
+"""Replacement policies: order-list semantics."""
+
+import pytest
+
+from repro.cache.replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    make_policy,
+)
+from repro.core.policy import ReplacementKind
+
+
+class TestLRU:
+    def test_victim_is_least_recent(self):
+        policy = LRUPolicy()
+        order = []
+        for way in (0, 1, 2):
+            policy.on_fill(order, way)
+        policy.on_hit(order, 0)  # 0 becomes most recent
+        assert policy.victim(order, 3) == 1
+        assert order == [2, 0]
+
+    def test_hit_moves_to_back(self):
+        policy = LRUPolicy()
+        order = [0, 1, 2]
+        policy.on_hit(order, 1)
+        assert order == [0, 2, 1]
+
+
+class TestFIFO:
+    def test_hit_does_not_touch_order(self):
+        policy = FIFOPolicy()
+        order = [0, 1, 2]
+        policy.on_hit(order, 0)
+        assert order == [0, 1, 2]
+
+    def test_victim_is_oldest(self):
+        policy = FIFOPolicy()
+        order = [2, 0, 1]
+        assert policy.victim(order, 3) == 2
+
+
+class TestRandom:
+    def test_deterministic_given_seed(self):
+        a = RandomPolicy(seed=42)
+        b = RandomPolicy(seed=42)
+        order_a = [0, 1, 2, 3]
+        order_b = [0, 1, 2, 3]
+        victims_a = [a.victim(order_a, 4), a.victim(order_a, 4)]
+        victims_b = [b.victim(order_b, 4), b.victim(order_b, 4)]
+        assert victims_a == victims_b
+
+    def test_victim_removed_from_order(self):
+        policy = RandomPolicy(seed=1)
+        order = [0, 1, 2]
+        victim = policy.victim(order, 3)
+        assert victim not in order
+        assert len(order) == 2
+
+
+class TestFactory:
+    @pytest.mark.parametrize("kind,cls", [
+        (ReplacementKind.LRU, LRUPolicy),
+        (ReplacementKind.FIFO, FIFOPolicy),
+        (ReplacementKind.RANDOM, RandomPolicy),
+    ])
+    def test_make_policy(self, kind, cls):
+        assert isinstance(make_policy(kind), cls)

@@ -1,0 +1,78 @@
+"""Design advisor: rung interpolation and ranking."""
+
+import pytest
+
+from repro.core.advisor import (
+    LadderRung,
+    advisor_table,
+    evaluate_rung,
+    recommend_design,
+)
+from repro.errors import AnalysisError
+from tests.core.test_equal_performance import linear_grid
+
+
+class TestEvaluateRung:
+    def test_exact_grid_point(self):
+        grid = linear_grid()  # sizes (4096, 8192, 16384), cycles 20..80
+        rung = LadderRung(total_size_bytes=8192, cycle_ns=40.0)
+        assert evaluate_rung(grid, rung) == pytest.approx(
+            grid.execution_ns[1, 1]
+        )
+
+    def test_interpolates_between_clocks(self):
+        grid = linear_grid()
+        value = evaluate_rung(grid, LadderRung(8192, 30.0))
+        lo = grid.execution_ns[1, 0]
+        hi = grid.execution_ns[1, 1]
+        assert lo < value < hi
+
+    def test_interpolates_between_sizes(self):
+        grid = linear_grid()
+        mid = evaluate_rung(
+            grid, LadderRung(int(4096 * 2 ** 0.5), 40.0)
+        )
+        assert grid.execution_ns[1, 1] < mid < grid.execution_ns[0, 1]
+
+    def test_out_of_grid_rejected(self):
+        grid = linear_grid()
+        with pytest.raises(AnalysisError):
+            evaluate_rung(grid, LadderRung(1024, 40.0))
+        with pytest.raises(AnalysisError):
+            evaluate_rung(grid, LadderRung(8192, 200.0))
+
+    def test_rung_validation(self):
+        with pytest.raises(AnalysisError):
+            LadderRung(0, 40.0)
+
+
+class TestRecommend:
+    def test_paper_style_decision(self):
+        """On the analytic grid (exec = t x (1 + 8/2^i)), a 4x bigger
+        cache at +10ns beats the small fast one — the §3 example."""
+        grid = linear_grid()
+        ladder = [
+            LadderRung(4096, 40.0),    # small cache, fast RAMs
+            LadderRung(16384, 50.0),   # 4x cache, 10ns slower
+        ]
+        ranking = recommend_design(grid, ladder)
+        assert ranking[0].rung.total_size_bytes == 16384
+        assert ranking[0].relative_to_best == 1.0
+        assert ranking[1].relative_to_best > 1.0
+
+    def test_ranking_sorted(self):
+        grid = linear_grid()
+        ladder = [LadderRung(s, 40.0) for s in (4096, 8192, 16384)]
+        ranking = recommend_design(grid, ladder)
+        execs = [ev.execution_ns for ev in ranking]
+        assert execs == sorted(execs)
+
+    def test_empty_ladder_rejected(self):
+        with pytest.raises(AnalysisError):
+            recommend_design(linear_grid(), [])
+
+    def test_table_renders(self):
+        grid = linear_grid()
+        ranking = recommend_design(grid, [LadderRung(4096, 40.0)])
+        text = advisor_table(ranking)
+        assert "Rank" in text and "4KB" in text

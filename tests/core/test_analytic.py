@@ -1,0 +1,118 @@
+"""Analytic first-order models and cross-checks against the simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core.analytic import (
+    MissPowerLaw,
+    analytic_optimal_block_words,
+    crossover_speed_product,
+    cycles_per_reference_model,
+    fit_miss_power_law,
+    mean_read_time_cycles,
+)
+from repro.errors import AnalysisError
+
+
+class TestMeanReadTime:
+    def test_formula(self):
+        # hit 1 + 0.1 x (6 + 4/1) = 2.0 — the paper's §3 example of a
+        # 10% miss rate with a 10-cycle penalty costing 2 cycles/read.
+        assert mean_read_time_cycles(0.1, 6.0, 4, 1.0) == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            mean_read_time_cycles(-0.1, 6.0, 4, 1.0)
+        with pytest.raises(AnalysisError):
+            mean_read_time_cycles(0.1, 6.0, 0, 1.0)
+
+
+class TestPowerLawFit:
+    def test_exact_recovery(self):
+        law = MissPowerLaw(coefficient=0.4, alpha=0.5)
+        blocks = [2.0, 4.0, 8.0, 16.0]
+        assert fit_miss_power_law(blocks, [law(b) for b in blocks]).alpha \
+            == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            fit_miss_power_law([2.0], [0.1])
+        with pytest.raises(AnalysisError):
+            fit_miss_power_law([2.0, 4.0], [0.1, -0.1])
+
+
+class TestAnalyticOptimum:
+    def test_closed_form(self):
+        # alpha = 0.5 -> BS* = la x tr exactly (the balance line!).
+        law = MissPowerLaw(coefficient=0.2, alpha=0.5)
+        assert analytic_optimal_block_words(law, 6.0, 1.0) == pytest.approx(6.0)
+
+    def test_is_a_function_of_the_product_only(self):
+        law = MissPowerLaw(coefficient=0.2, alpha=0.4)
+        a = analytic_optimal_block_words(law, 8.0, 0.5)
+        b = analytic_optimal_block_words(law, 2.0, 2.0)
+        assert a == pytest.approx(b)
+
+    def test_is_the_true_minimum(self):
+        law = MissPowerLaw(coefficient=0.3, alpha=0.6)
+        best = analytic_optimal_block_words(law, 7.0, 1.0)
+        t_best = mean_read_time_cycles(law(best), 7.0, best, 1.0)
+        for factor in (0.5, 0.8, 1.25, 2.0):
+            other = best * factor
+            assert t_best <= mean_read_time_cycles(
+                law(other), 7.0, other, 1.0
+            ) + 1e-12
+
+    def test_alpha_bounds(self):
+        with pytest.raises(AnalysisError):
+            analytic_optimal_block_words(
+                MissPowerLaw(0.2, 1.2), 6.0, 1.0
+            )
+
+    def test_matches_simulated_optimum_in_order(self):
+        """Cross-check: fit the law to a simulated miss curve and
+        compare the closed-form optimum with the parabola-fit optimum —
+        they should land within a factor of ~2 (one octave)."""
+        from repro.core.blocksize import optimal_block_size_words
+        from repro.core.sweep import run_blocksize_sweep
+        from repro.trace.suite import build_suite
+
+        traces = build_suite(length=30_000, names=["mu3"])
+        curves = run_blocksize_sweep(
+            traces, block_sizes_words=[2, 4, 8, 16, 32],
+            latencies_ns=[260.0], transfer_rates=[1.0],
+        )
+        ((key, curve),) = curves.items()
+        read_miss = curve.load_miss_ratio + curve.ifetch_miss_ratio
+        falling = int(np.argmin(read_miss)) + 1
+        law = fit_miss_power_law(
+            curve.block_sizes_words[:falling], read_miss[:falling]
+        )
+        analytic = analytic_optimal_block_words(law, key[0] + 1, key[1])
+        simulated = optimal_block_size_words(curve)
+        assert 0.5 < analytic / simulated < 2.5
+
+
+class TestCyclesPerReferenceModel:
+    def test_linear_in_penalty(self):
+        lo = cycles_per_reference_model(0.1, 0.8, 8.0)
+        hi = cycles_per_reference_model(0.1, 0.8, 14.0)
+        assert hi - lo == pytest.approx(0.1 * 0.8 * 6.0)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            cycles_per_reference_model(0.1, 1.5, 8.0)
+
+
+class TestCrossover:
+    def test_tie_point(self):
+        law = MissPowerLaw(coefficient=0.4, alpha=0.5)
+        product = crossover_speed_product(law, 4.0, 8.0)
+        t4 = law(4.0) * (product + 4.0)
+        t8 = law(8.0) * (product + 8.0)
+        assert t4 == pytest.approx(t8)
+
+    def test_validation(self):
+        law = MissPowerLaw(coefficient=0.4, alpha=0.5)
+        with pytest.raises(AnalysisError):
+            crossover_speed_product(law, 4.0, 4.0)

@@ -1,0 +1,98 @@
+"""Associativity break-even analysis on constructed grids."""
+
+import pytest
+
+from repro.core.associativity import (
+    breakeven_map,
+    breakeven_ns,
+    smooth_column,
+    summarize_breakeven,
+)
+from repro.errors import AnalysisError
+from tests.core.test_metrics import make_grid
+
+SIZES = (4096, 8192, 16384)
+CYCLES = (20.0, 40.0, 60.0, 80.0)
+
+
+def dm_grid():
+    # exec = t * (1 + overhead); direct mapped overheads per size.
+    return make_grid(
+        sizes=SIZES, cycles=CYCLES,
+        exec_fn=lambda i, j: CYCLES[j] * (1.0 + [0.5, 0.25, 0.1][i]),
+    )
+
+
+def assoc_grid(gain=0.1):
+    # The associative machine is `gain` fraction faster at equal clock.
+    return make_grid(
+        sizes=SIZES, cycles=CYCLES,
+        exec_fn=lambda i, j: CYCLES[j] * (1.0 + [0.5, 0.25, 0.1][i]) * (1 - gain),
+    )
+
+
+class TestBreakeven:
+    def test_analytic_value(self):
+        # DM exec = 1.5 t; SA exec = 1.35 t.  A direct-mapped machine
+        # matches the SA design's 40ns performance at t_dm = 36ns, so
+        # the SA implementation may cost up to 40 - 36 = 4ns of cycle
+        # time and still break even.
+        value = breakeven_ns(dm_grid(), assoc_grid(0.1), 0, 1)
+        assert value == pytest.approx(4.0)
+
+    def test_positive_when_dm_needs_faster_clock_than_range(self):
+        # With a large gain, the DM machine must clock *much* faster to
+        # match, eventually leaving the simulated range -> None.
+        value = breakeven_ns(dm_grid(), assoc_grid(0.8), 0, 0)
+        assert value is None
+
+    def test_slack_grows_with_gain(self):
+        small = breakeven_ns(dm_grid(), assoc_grid(0.05), 1, 2)
+        large = breakeven_ns(dm_grid(), assoc_grid(0.15), 1, 2)
+        assert large > small  # more miss-ratio gain -> more slack
+
+    def test_mismatched_axes_rejected(self):
+        other = make_grid(sizes=(4096, 8192), cycles=CYCLES)
+        with pytest.raises(AnalysisError):
+            breakeven_ns(dm_grid(), other, 0, 0)
+
+    def test_map_shape(self):
+        bmap = breakeven_map(dm_grid(), assoc_grid(0.1))
+        assert bmap.shape == (len(SIZES), len(CYCLES))
+
+
+class TestSignConvention:
+    def test_associative_machine_slower_gives_negative_slack(self):
+        """When associativity *hurts*, the break-even is negative —
+        there is no cycle-time budget for the selection hardware."""
+        worse = make_grid(
+            sizes=SIZES, cycles=CYCLES,
+            exec_fn=lambda i, j: CYCLES[j] * (1.0 + [0.5, 0.25, 0.1][i]) * 1.1,
+        )
+        value = breakeven_ns(dm_grid(), worse, 0, 1)
+        assert value < 0
+
+
+class TestSmoothColumn:
+    def test_interpolates_named_column(self):
+        grid = make_grid(
+            sizes=SIZES, cycles=(40.0, 56.0, 60.0),
+            exec_fn=lambda i, j: [100.0, 500.0, 120.0][j],
+        )
+        smoothed = smooth_column(grid, 56.0)
+        expected = 100.0 + (56.0 - 40.0) / 20.0 * 20.0
+        assert smoothed.execution_ns[0, 1] == pytest.approx(expected)
+        # Original untouched.
+        assert grid.execution_ns[0, 1] == 500.0
+
+    def test_absent_column_is_noop(self):
+        grid = dm_grid()
+        assert smooth_column(grid, 56.0) is grid
+
+
+class TestSummary:
+    def test_summary_fields(self):
+        summary = summarize_breakeven(dm_grid(), assoc_grid(0.1), assoc=2)
+        assert summary.assoc == 2
+        assert summary.max_at_total_size in SIZES
+        assert isinstance(summary.worthwhile_vs_as_mux, bool)

@@ -1,0 +1,109 @@
+"""Block-size optimization: parabola fit and the la x tr product law."""
+
+import numpy as np
+import pytest
+
+from repro.core.blocksize import (
+    balance_block_size_words,
+    fit_parabola_minimum,
+    optimal_block_size_words,
+    product_law_points,
+    product_law_spread,
+)
+from repro.core.metrics import BlockSizeCurve
+from repro.errors import AnalysisError
+
+
+def curve_from(exec_values, blocks=(2, 4, 8, 16, 32)):
+    exec_values = np.asarray(exec_values, dtype=float)
+    return BlockSizeCurve(
+        latency_ns=260.0, transfer_rate=1.0,
+        block_sizes_words=list(blocks),
+        execution_ns=exec_values,
+        load_miss_ratio=np.linspace(0.3, 0.05, len(blocks)),
+        ifetch_miss_ratio=np.linspace(0.1, 0.01, len(blocks)),
+    )
+
+
+class TestParabolaFit:
+    def test_exact_vertex(self):
+        # y = (x - 3)^2 + 1 through x = 2, 3, 4.
+        xs = [2.0, 3.0, 4.0]
+        ys = [(x - 3.0) ** 2 + 1.0 for x in xs]
+        assert fit_parabola_minimum(xs, ys) == pytest.approx(3.0)
+
+    def test_rejects_wrong_arity(self):
+        with pytest.raises(AnalysisError):
+            fit_parabola_minimum([1.0, 2.0], [1.0, 2.0])
+
+    def test_rejects_downward_parabola(self):
+        xs = [1.0, 2.0, 3.0]
+        ys = [-(x - 2.0) ** 2 for x in xs]
+        with pytest.raises(AnalysisError):
+            fit_parabola_minimum(xs, ys)
+
+
+class TestOptimalBlockSize:
+    def test_symmetric_minimum_recovers_sampled_point(self):
+        # Symmetric in log2 around 8W.
+        curve = curve_from([4.0, 2.0, 1.0, 2.0, 4.0])
+        assert optimal_block_size_words(curve) == pytest.approx(8.0)
+
+    def test_asymmetric_minimum_interpolates(self):
+        curve = curve_from([4.0, 2.0, 1.0, 1.2, 4.0])
+        opt = optimal_block_size_words(curve)
+        assert 8.0 < opt < 16.0
+
+    def test_edge_minimum_returns_edge(self):
+        rising = curve_from([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert optimal_block_size_words(rising) == 2.0
+        falling = curve_from([5.0, 4.0, 3.0, 2.0, 1.0])
+        assert optimal_block_size_words(falling) == 32.0
+
+    def test_requires_three_points(self):
+        curve = curve_from([2.0, 1.0], blocks=(2, 4))
+        with pytest.raises(AnalysisError):
+            optimal_block_size_words(curve)
+
+
+class TestBalanceLine:
+    def test_balance_is_product(self):
+        assert balance_block_size_words(6, 2.0) == pytest.approx(12.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(AnalysisError):
+            balance_block_size_words(0, 1.0)
+
+
+class TestProductLaw:
+    def _curves(self):
+        # Optima depend only on la*tr: construct two memories with the
+        # same product and identical curves, one with a different one.
+        same_a = curve_from([4.0, 2.0, 1.0, 2.0, 4.0])
+        same_b = curve_from([4.1, 2.1, 1.0, 2.1, 4.1])
+        other = curve_from([9.0, 4.0, 2.0, 1.0, 2.0])
+        return {
+            (4, 1.0): same_a,
+            (8, 0.5): same_b,
+            (16, 1.0): other,
+        }
+
+    def test_points_sorted_by_product(self):
+        points = product_law_points(self._curves())
+        products = [p.speed_product for p in points]
+        assert products == sorted(products)
+
+    def test_balance_column(self):
+        points = product_law_points(self._curves())
+        for p in points:
+            assert p.balance_block_words == pytest.approx(
+                p.latency_cycles * p.transfer_rate
+            )
+
+    def test_spread_small_when_law_holds(self):
+        points = product_law_points(self._curves())
+        assert product_law_spread(points) < 0.1
+
+    def test_spread_rejects_empty(self):
+        with pytest.raises(AnalysisError):
+            product_law_spread([])

@@ -1,0 +1,75 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.core.charts import ascii_chart, sparkline
+from repro.errors import AnalysisError
+
+
+class TestAsciiChart:
+    def test_dimensions(self):
+        text = ascii_chart(
+            {"a": [(1, 1), (2, 2), (3, 3)]}, width=20, height=6,
+        )
+        body = [l for l in text.splitlines() if "|" in l]
+        assert len(body) == 6
+        assert all(len(l.split("|")[1]) == 20 for l in body)
+
+    def test_markers_appear(self):
+        text = ascii_chart(
+            {"up": [(1, 1), (2, 2)], "down": [(1, 2), (2, 1)]},
+            width=10, height=5,
+        )
+        assert "o=up" in text and "x=down" in text
+        assert "o" in text and "x" in text
+
+    def test_monotone_series_renders_monotone(self):
+        text = ascii_chart({"a": [(i, i) for i in range(1, 9)]},
+                           width=16, height=8)
+        rows = [l.split("|")[1] for l in text.splitlines() if "|" in l]
+        columns = sorted(r.index("o") for r in rows if "o" in r)
+        # Higher rows (earlier lines) hold larger y -> larger x.
+        positions = [r.index("o") for r in rows if "o" in r]
+        assert positions == sorted(positions, reverse=True)
+
+    def test_log_axes(self):
+        text = ascii_chart(
+            {"a": [(1, 1), (10, 10), (100, 100)]},
+            width=12, height=5, log_x=True, log_y=True,
+        )
+        assert "(log x)" in text and "(log y)" in text
+
+    def test_log_rejects_nonpositive(self):
+        with pytest.raises(AnalysisError):
+            ascii_chart({"a": [(0, 1)]}, log_x=True)
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            ascii_chart({})
+        with pytest.raises(AnalysisError):
+            ascii_chart({"a": []})
+
+    def test_too_small_rejected(self):
+        with pytest.raises(AnalysisError):
+            ascii_chart({"a": [(1, 1)]}, width=2, height=2)
+
+    def test_title(self):
+        text = ascii_chart({"a": [(1, 1)]}, title="T")
+        assert text.splitlines()[0] == "T"
+
+
+class TestSparkline:
+    def test_monotone_values(self):
+        line = sparkline([1, 2, 3, 4, 5, 6, 7, 8])
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_flat_values(self):
+        assert sparkline([3, 3, 3]) == "▁▁▁"
+
+    def test_downsampling(self):
+        line = sparkline(list(range(100)), width=10)
+        assert len(line) == 10
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            sparkline([])

@@ -1,0 +1,120 @@
+"""Equal-performance analysis on grids with known analytic structure."""
+
+import numpy as np
+import pytest
+
+from repro.core.equal_performance import (
+    classify_regions,
+    cycle_time_for_level,
+    iso_performance_lines,
+    preferred_size_range,
+    slope_map,
+    slope_ns_per_doubling,
+)
+from tests.core.test_metrics import make_grid
+
+
+def linear_grid(sizes=(4096, 8192, 16384), cycles=(20.0, 40.0, 60.0, 80.0)):
+    """exec = cycle * (1 + overhead(size)) with halving overheads.
+
+    With overhead(size) = 8 / 2**i, the constant-performance slope is
+    analytically computable, which pins the interpolation code.
+    """
+
+    def exec_fn(i, j):
+        return cycles[j] * (1.0 + 8.0 / (2 ** i))
+
+    return make_grid(sizes=sizes, cycles=cycles, exec_fn=exec_fn)
+
+
+class TestCycleTimeForLevel:
+    def test_exact_grid_point(self):
+        grid = linear_grid()
+        level = grid.execution_ns[0, 1]  # size 0 at 40ns
+        assert cycle_time_for_level(grid, 0, level) == pytest.approx(40.0)
+
+    def test_interpolates_between_points(self):
+        grid = linear_grid()
+        level = (grid.execution_ns[0, 0] + grid.execution_ns[0, 1]) / 2
+        assert cycle_time_for_level(grid, 0, level) == pytest.approx(30.0)
+
+    def test_out_of_range_returns_none(self):
+        grid = linear_grid()
+        assert cycle_time_for_level(grid, 0, 1.0) is None
+        assert cycle_time_for_level(grid, 0, 1e9) is None
+
+    def test_non_monotone_column_uses_envelope(self):
+        # A quantization bump must not break the inversion.
+        grid = make_grid(
+            sizes=(4096, 8192), cycles=(20.0, 40.0, 60.0),
+            exec_fn=lambda i, j: [100.0, 90.0, 120.0][j] * (i + 1),
+        )
+        value = cycle_time_for_level(grid, 0, 110.0)
+        assert value is not None
+        assert 40.0 <= value <= 60.0
+
+
+class TestSlopes:
+    def test_analytic_slope(self):
+        # exec_small(t) = 9t; exec_big(t) = 5t.  At (size0, t): the big
+        # cache matches at t' = 9t/5, slope = t(9/5 - 1) = 0.8 t.
+        grid = linear_grid()
+        slope = slope_ns_per_doubling(grid, 0, 1)  # t = 40
+        assert slope == pytest.approx(32.0, rel=0.02)
+
+    def test_last_size_has_no_slope(self):
+        grid = linear_grid()
+        assert slope_ns_per_doubling(grid, 2, 0) is None
+
+    def test_slope_decreases_with_size(self):
+        grid = linear_grid()
+        s0 = slope_ns_per_doubling(grid, 0, 1)
+        s1 = slope_ns_per_doubling(grid, 1, 1)
+        assert s1 < s0
+
+    def test_slope_map_shape_and_nan_tail(self):
+        grid = linear_grid()
+        slopes = slope_map(grid)
+        assert slopes.shape == grid.execution_ns.shape
+        assert np.isnan(slopes[-1, :]).all()
+
+
+class TestRegions:
+    def test_classification_buckets(self):
+        grid = linear_grid()
+        regions = classify_regions(grid, boundaries=(2.5, 5.0, 7.5, 10.0))
+        # Size 0 slopes are far above 10ns -> bucket 4.
+        valid = regions[0][regions[0] >= 0]
+        assert (valid == 4).all()
+
+    def test_boundaries_must_be_sorted(self):
+        grid = linear_grid()
+        with pytest.raises(Exception):
+            classify_regions(grid, boundaries=(5.0, 2.5))
+
+
+class TestIsoLines:
+    def test_levels_spaced_as_requested(self):
+        grid = linear_grid()
+        lines = iso_performance_lines(grid, base_level=1.1, level_step=0.3,
+                                      n_levels=3)
+        assert [l.level for l in lines] == pytest.approx([1.1, 1.4, 1.7])
+
+    def test_points_have_rising_cycle_times_with_size(self):
+        # Bigger caches afford slower clocks at equal performance.
+        grid = linear_grid()
+        for line in iso_performance_lines(grid, n_levels=5):
+            cycles = [c for _s, c in line.points]
+            assert cycles == sorted(cycles)
+
+
+class TestPreferredRange:
+    def test_grow_and_stop(self):
+        grid = linear_grid()
+        grow_until, stop_at = preferred_size_range(
+            grid, low_slope_ns=10.0, high_slope_ns=15.0, cycle_index=1
+        )
+        # Slopes at 40ns: 32 (size0), ~17.8 (size1): both > 15 -> grow
+        # through the last size; none below 10 -> no stop.
+        assert grow_until == 16384
+        assert stop_at is None

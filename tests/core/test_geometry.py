@@ -1,0 +1,92 @@
+"""Cache geometry: derived constants and address decomposition."""
+
+import pytest
+
+from repro.core.geometry import CacheGeometry
+from repro.errors import ConfigurationError
+from repro.units import KB
+
+
+class TestDerived:
+    def test_paper_base_cache(self):
+        # "The split I and D caches are 64 kilobytes each, organized as
+        # 4K blocks of four words, direct mapped."
+        geometry = CacheGeometry(size_bytes=64 * KB, block_words=4, assoc=1)
+        assert geometry.n_blocks == 4096
+        assert geometry.n_sets == 4096
+        assert geometry.block_bytes == 16
+        assert geometry.fetch_words == 4
+
+    def test_associative_sets(self):
+        geometry = CacheGeometry(size_bytes=8 * KB, block_words=4, assoc=4)
+        assert geometry.n_sets == 128
+
+    def test_bits(self):
+        geometry = CacheGeometry(size_bytes=8 * KB, block_words=8, assoc=2)
+        assert geometry.offset_bits == 3
+        assert geometry.index_bits == 7
+
+
+class TestSplitAddress:
+    def test_decomposition(self):
+        geometry = CacheGeometry(size_bytes=4 * KB, block_words=4, assoc=1)
+        # 4KB = 256 blocks = 256 sets; offset 2 bits, index 8 bits.
+        tag, index, offset = geometry.split_address(0b1011_00001111_10)
+        assert offset == 0b10
+        assert index == 0b00001111
+        assert tag == 0b1011
+
+    def test_block_address_strips_offset(self):
+        geometry = CacheGeometry(size_bytes=4 * KB, block_words=4, assoc=1)
+        assert geometry.block_address(17) == 4
+
+    def test_round_trip(self):
+        geometry = CacheGeometry(size_bytes=8 * KB, block_words=8, assoc=2)
+        addr = 0x12345
+        tag, index, offset = geometry.split_address(addr)
+        rebuilt = ((tag << geometry.index_bits | index)
+                   << geometry.offset_bits) | offset
+        assert rebuilt == addr
+
+
+class TestValidation:
+    def test_rejects_non_power_of_two_block(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(size_bytes=4 * KB, block_words=3)
+
+    def test_rejects_size_not_multiple(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(size_bytes=4 * KB + 4, block_words=4)
+
+    def test_rejects_fetch_larger_than_block(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(size_bytes=4 * KB, block_words=4, fetch_words=8)
+
+    def test_rejects_zero_assoc(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(size_bytes=4 * KB, assoc=0)
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(size_bytes=48 * KB, block_words=4, assoc=1)
+
+    def test_sub_block_fetch_allowed(self):
+        geometry = CacheGeometry(size_bytes=4 * KB, block_words=8, fetch_words=4)
+        assert geometry.fetch_words == 4
+
+
+class TestVariants:
+    def test_with_assoc_keeps_capacity(self):
+        base = CacheGeometry(size_bytes=16 * KB, block_words=4, assoc=1)
+        two_way = base.with_assoc(2)
+        assert two_way.size_bytes == base.size_bytes
+        assert two_way.n_sets == base.n_sets // 2
+
+    def test_with_block_words_resets_fetch(self):
+        base = CacheGeometry(size_bytes=16 * KB, block_words=8, fetch_words=4)
+        changed = base.with_block_words(16)
+        assert changed.fetch_words == 16
+
+    def test_describe(self):
+        text = CacheGeometry(size_bytes=64 * KB, block_words=4).describe()
+        assert "64KB" in text and "1-way" in text and "4096 sets" in text

@@ -1,0 +1,146 @@
+"""Metrics containers and geometric-mean aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import (
+    BlockSizeCurve,
+    SpeedSizeGrid,
+    TraceRunSummary,
+    aggregate,
+    geometric_mean,
+)
+from repro.errors import AnalysisError
+
+
+def summary(trace="t", cycle_ns=40.0, cycles=1000, n_refs=500, miss=0.1):
+    return TraceRunSummary(
+        trace=trace, cycle_ns=cycle_ns, cycles=cycles, n_refs=n_refs,
+        read_miss_ratio=miss, load_miss_ratio=miss * 2,
+        ifetch_miss_ratio=miss / 2, read_traffic_ratio=miss * 4,
+        write_traffic_ratio_full=0.05, write_traffic_ratio_dirty=0.02,
+    )
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_single_value(self):
+        assert geometric_mean([7.0]) == pytest.approx(7.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(AnalysisError):
+            geometric_mean([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(AnalysisError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestTraceRunSummary:
+    def test_execution_time(self):
+        s = summary(cycles=1000, cycle_ns=40.0)
+        assert s.execution_time_ns == pytest.approx(40_000.0)
+
+    def test_cycles_per_reference(self):
+        assert summary(cycles=1000, n_refs=500).cycles_per_reference == 2.0
+
+
+class TestAggregate:
+    def test_geometric_means(self):
+        a = summary(cycles=1000)
+        b = summary(cycles=4000)
+        agg = aggregate([a, b])
+        assert agg.execution_time_ns == pytest.approx(
+            geometric_mean([a.execution_time_ns, b.execution_time_ns])
+        )
+        assert agg.n_traces == 2
+
+    def test_zero_ratio_floored_not_fatal(self):
+        s = summary(miss=0.0)
+        agg = aggregate([s])
+        assert agg.read_miss_ratio > 0.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(AnalysisError):
+            aggregate([])
+
+
+def make_grid(sizes=(4096, 8192), cycles=(20.0, 40.0), exec_fn=None):
+    exec_fn = exec_fn or (lambda i, j: 100.0 * (i + 1) * (j + 1))
+    execution = np.array(
+        [[exec_fn(i, j) for j in range(len(cycles))] for i in range(len(sizes))]
+    )
+    n = (len(sizes), len(cycles))
+    return SpeedSizeGrid(
+        total_sizes=list(sizes),
+        cycle_times_ns=list(cycles),
+        execution_ns=execution,
+        cycles_per_reference=np.ones(n),
+        read_miss_ratio=np.full(len(sizes), 0.1),
+        load_miss_ratio=np.full(len(sizes), 0.1),
+        ifetch_miss_ratio=np.full(len(sizes), 0.1),
+        read_traffic_ratio=np.full(len(sizes), 0.4),
+        write_traffic_ratio_full=np.full(len(sizes), 0.05),
+        write_traffic_ratio_dirty=np.full(len(sizes), 0.02),
+    )
+
+
+class TestSpeedSizeGrid:
+    def test_normalized_min_is_one(self):
+        grid = make_grid()
+        assert grid.normalized().min() == pytest.approx(1.0)
+
+    def test_indices(self):
+        grid = make_grid()
+        assert grid.size_index(8192) == 1
+        assert grid.cycle_index(40.0) == 1
+
+    def test_unknown_lookup_rejected(self):
+        grid = make_grid()
+        with pytest.raises(AnalysisError):
+            grid.size_index(999)
+        with pytest.raises(AnalysisError):
+            grid.cycle_index(999.0)
+
+    def test_shape_validated(self):
+        with pytest.raises(AnalysisError):
+            SpeedSizeGrid(
+                total_sizes=[1, 2],
+                cycle_times_ns=[1.0],
+                execution_ns=np.ones((1, 1)),
+                cycles_per_reference=np.ones((1, 1)),
+                read_miss_ratio=np.ones(2),
+                load_miss_ratio=np.ones(2),
+                ifetch_miss_ratio=np.ones(2),
+                read_traffic_ratio=np.ones(2),
+                write_traffic_ratio_full=np.ones(2),
+                write_traffic_ratio_dirty=np.ones(2),
+            )
+
+    def test_axes_must_be_sorted(self):
+        with pytest.raises(AnalysisError):
+            make_grid(sizes=(8192, 4096))
+
+
+class TestBlockSizeCurve:
+    def test_best_block(self):
+        curve = BlockSizeCurve(
+            latency_ns=260.0, transfer_rate=1.0,
+            block_sizes_words=[2, 4, 8],
+            execution_ns=np.array([3.0, 1.0, 2.0]),
+            load_miss_ratio=np.array([0.3, 0.2, 0.1]),
+            ifetch_miss_ratio=np.array([0.1, 0.05, 0.02]),
+        )
+        assert curve.best_block_size_words == 4
+
+    def test_parallel_arrays_enforced(self):
+        with pytest.raises(AnalysisError):
+            BlockSizeCurve(
+                latency_ns=260.0, transfer_rate=1.0,
+                block_sizes_words=[2, 4],
+                execution_ns=np.array([1.0]),
+                load_miss_ratio=np.array([0.1, 0.2]),
+                ifetch_miss_ratio=np.array([0.1, 0.2]),
+            )

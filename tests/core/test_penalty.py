@@ -1,0 +1,75 @@
+"""Table 3 analysis: penalty mapping and sensitivity slopes."""
+
+import pytest
+
+from repro.core.penalty import (
+    cycles_per_reference_slope,
+    penalty_table,
+    read_penalty_cycles,
+)
+from repro.core.timing import MemoryTiming
+from repro.errors import AnalysisError
+from tests.core.test_metrics import make_grid
+
+import numpy as np
+
+
+class TestReadPenalty:
+    def test_matches_table2(self):
+        memory = MemoryTiming()
+        assert read_penalty_cycles(memory, 4, 20.0) == 14
+        assert read_penalty_cycles(memory, 4, 40.0) == 10
+        assert read_penalty_cycles(memory, 4, 60.0) == 8
+
+
+class TestPenaltyTable:
+    def _grid(self):
+        sizes = (4096, 8192, 16384)
+        cycles = (20.0, 40.0, 60.0, 80.0)
+        grid = make_grid(
+            sizes=sizes, cycles=cycles,
+            exec_fn=lambda i, j: cycles[j] * (1.0 + 8.0 / 2 ** i),
+        )
+        # Give cycles/reference a penalty-dependent structure: small
+        # caches cost more cycles at faster clocks (larger penalty).
+        penalty = np.array(
+            [read_penalty_cycles(MemoryTiming(), 4, t) for t in cycles]
+        )
+        miss = np.array([0.2, 0.1, 0.05])
+        grid.cycles_per_reference = 1.0 + np.outer(miss, penalty)
+        return grid
+
+    def test_rows_grouped_by_penalty(self):
+        cells = penalty_table(self._grid(), MemoryTiming())
+        penalties = {c.read_penalty_cycles for c in cells}
+        # 20ns->14, 40ns->10, 60ns->8, 80ns->8: three groups.
+        assert penalties == {14, 10, 8}
+
+    def test_cycles_per_reference_increases_with_penalty(self):
+        cells = penalty_table(self._grid(), MemoryTiming())
+        per_size = {}
+        for c in cells:
+            per_size.setdefault(c.total_size_bytes, []).append(
+                (c.read_penalty_cycles, c.cycles_per_reference)
+            )
+        for rows in per_size.values():
+            rows.sort()
+            values = [v for _p, v in rows]
+            assert values == sorted(values)
+
+    def test_slope_larger_for_smaller_caches(self):
+        cells = penalty_table(self._grid(), MemoryTiming())
+        small = cycles_per_reference_slope(cells, 4096)
+        large = cycles_per_reference_slope(cells, 16384)
+        assert small > large
+        assert small == pytest.approx(0.2, rel=0.05)
+
+    def test_size_selection(self):
+        cells = penalty_table(self._grid(), MemoryTiming(), sizes=[8192])
+        assert {c.total_size_bytes for c in cells} == {8192}
+
+    def test_slope_needs_two_penalties(self):
+        cells = [c for c in penalty_table(self._grid(), MemoryTiming())
+                 if c.read_penalty_cycles == 10]
+        with pytest.raises(AnalysisError):
+            cycles_per_reference_slope(cells, 4096)

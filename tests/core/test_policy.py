@@ -1,0 +1,33 @@
+"""Policy bundle validation."""
+
+import pytest
+
+from repro.core.policy import (
+    CachePolicy,
+    MissHandling,
+    ReplacementKind,
+    WriteMissPolicy,
+    WritePolicy,
+)
+from repro.errors import ConfigurationError
+
+
+class TestCachePolicy:
+    def test_defaults_match_paper_base_system(self):
+        policy = CachePolicy()
+        assert policy.write_policy is WritePolicy.WRITE_BACK
+        assert policy.write_miss is WriteMissPolicy.NO_ALLOCATE
+        assert policy.replacement is ReplacementKind.RANDOM
+        assert policy.miss_handling is MissHandling.BLOCKING
+
+    def test_write_through_with_allocate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CachePolicy(
+                write_policy=WritePolicy.WRITE_THROUGH,
+                write_miss=WriteMissPolicy.FETCH_ON_WRITE,
+            )
+
+    def test_frozen(self):
+        policy = CachePolicy()
+        with pytest.raises(Exception):
+            policy.write_policy = WritePolicy.WRITE_THROUGH

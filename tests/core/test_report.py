@@ -1,0 +1,70 @@
+"""ASCII report rendering."""
+
+import numpy as np
+import pytest
+
+from repro.core.report import (
+    cycle_labels,
+    format_grid,
+    format_series,
+    format_table,
+    size_labels,
+)
+from repro.errors import AnalysisError
+from repro.units import KB, MB
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        text = format_table(["A", "Bee"], [[1, 2.5], ["x", None]])
+        lines = text.splitlines()
+        assert lines[0].endswith("Bee")
+        assert set(lines[1]) <= {"-", " "}
+        assert "-" in lines[1]
+        assert lines[-1].endswith("-")  # None renders as a dash
+
+    def test_title(self):
+        text = format_table(["A"], [[1]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_row_width_validated(self):
+        with pytest.raises(AnalysisError):
+            format_table(["A", "B"], [[1]])
+
+    def test_nan_renders_as_dash(self):
+        text = format_table(["A"], [[float("nan")]])
+        assert text.splitlines()[-1].strip() == "-"
+
+    def test_precision(self):
+        text = format_table(["A"], [[1.23456]], precision=2)
+        assert "1.23" in text and "1.235" not in text
+
+
+class TestFormatGrid:
+    def test_labels_and_values(self):
+        text = format_grid(["r1", "r2"], ["c1", "c2"],
+                           np.array([[1.0, 2.0], [3.0, 4.0]]),
+                           corner="X")
+        assert "X" in text and "r2" in text and "c2" in text
+
+    def test_shape_validated(self):
+        with pytest.raises(AnalysisError):
+            format_grid(["r1"], ["c1", "c2"], np.ones((2, 2)))
+
+
+class TestFormatSeries:
+    def test_two_columns(self):
+        text = format_series([1, 2], [10.0, 20.0], "x", "y")
+        assert "x" in text and "y" in text
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(AnalysisError):
+            format_series([1], [1, 2], "x", "y")
+
+
+class TestLabels:
+    def test_size_labels(self):
+        assert size_labels([4 * KB, 2 * MB]) == ["4KB", "2MB"]
+
+    def test_cycle_labels(self):
+        assert cycle_labels([20.0, 56.0]) == ["20ns", "56ns"]

@@ -1,0 +1,109 @@
+"""Sweep drivers: structure, determinism, and parallel equivalence."""
+
+import pytest
+
+from repro.core.sweep import (
+    run_associativity_sweeps,
+    run_blocksize_sweep,
+    run_functional_passes,
+    run_point,
+    run_speed_size_sweep,
+)
+from repro.errors import AnalysisError
+from repro.sim.config import baseline_config
+from repro.trace.suite import build_suite
+from repro.units import KB
+
+
+@pytest.fixture(scope="module")
+def small_suite():
+    return build_suite(length=15_000, names=["mu3", "rd2n4"])
+
+
+class TestSpeedSizeSweep:
+    def test_grid_structure(self, small_suite):
+        grid = run_speed_size_sweep(
+            small_suite, [2 * KB, 8 * KB], [20.0, 40.0]
+        )
+        assert grid.total_sizes == [4 * KB, 16 * KB]
+        assert grid.cycle_times_ns == [20.0, 40.0]
+        assert grid.execution_ns.shape == (2, 2)
+        assert (grid.execution_ns > 0).all()
+
+    def test_axes_get_sorted(self, small_suite):
+        grid = run_speed_size_sweep(
+            small_suite, [8 * KB, 2 * KB], [40.0, 20.0]
+        )
+        assert grid.total_sizes == [4 * KB, 16 * KB]
+
+    def test_deterministic(self, small_suite):
+        a = run_speed_size_sweep(small_suite, [2 * KB], [40.0])
+        b = run_speed_size_sweep(small_suite, [2 * KB], [40.0])
+        assert (a.execution_ns == b.execution_ns).all()
+
+    def test_accepts_mapping_or_sequence(self, small_suite):
+        a = run_speed_size_sweep(small_suite, [2 * KB], [40.0])
+        b = run_speed_size_sweep(
+            list(small_suite.values()), [2 * KB], [40.0]
+        )
+        assert (a.execution_ns == b.execution_ns).all()
+
+    def test_rejects_empty_traces(self):
+        with pytest.raises(AnalysisError):
+            run_speed_size_sweep([], [2 * KB], [40.0])
+
+    def test_parallel_equals_serial(self, small_suite):
+        serial = run_speed_size_sweep(
+            small_suite, [2 * KB, 8 * KB], [20.0, 40.0], n_jobs=1
+        )
+        parallel = run_speed_size_sweep(
+            small_suite, [2 * KB, 8 * KB], [20.0, 40.0], n_jobs=2
+        )
+        assert (serial.execution_ns == parallel.execution_ns).all()
+        assert (serial.read_miss_ratio == parallel.read_miss_ratio).all()
+
+
+class TestAssociativitySweeps:
+    def test_one_grid_per_assoc(self, small_suite):
+        grids = run_associativity_sweeps(
+            small_suite, [2 * KB], [40.0], assocs=(1, 2)
+        )
+        assert set(grids) == {1, 2}
+
+
+class TestBlocksizeSweep:
+    def test_keys_and_curves(self, small_suite):
+        curves = run_blocksize_sweep(
+            small_suite, [4, 8], [180.0], [1.0],
+            cache_size_each_bytes=8 * KB,
+        )
+        # 180ns at 40ns clock quantizes to 5 cycles (plus the address
+        # cycle inside the simulated read).
+        assert set(curves) == {(5, 1.0)}
+        curve = curves[(5, 1.0)]
+        assert curve.block_sizes_words == [4, 8]
+
+    def test_parallel_equals_serial(self, small_suite):
+        kwargs = dict(
+            block_sizes_words=[4, 8], latencies_ns=[180.0],
+            transfer_rates=[1.0], cache_size_each_bytes=8 * KB,
+        )
+        serial = run_blocksize_sweep(small_suite, n_jobs=1, **kwargs)
+        parallel = run_blocksize_sweep(small_suite, n_jobs=2, **kwargs)
+        for key in serial:
+            assert (
+                serial[key].execution_ns == parallel[key].execution_ns
+            ).all()
+
+
+class TestRunFunctionalPasses:
+    def test_serial_and_parallel_agree(self, small_suite):
+        trace = next(iter(small_suite.values()))
+        config = baseline_config(cache_size_bytes=2 * KB)
+        jobs = [(config, trace, 0), (config.with_cache_sizes(8 * KB), trace, 0)]
+        serial = run_functional_passes(jobs, n_jobs=1)
+        parallel = run_functional_passes(jobs, n_jobs=2)
+        for a, b in zip(serial, parallel):
+            assert a.ev_gap == b.ev_gap
+            assert a.icache == b.icache
+            assert a.dcache == b.dcache

@@ -1,0 +1,105 @@
+"""Temporal parameter tests — including the exact Table 2 reproduction."""
+
+import pytest
+
+from repro.core.timing import DEFAULT_CYCLE_NS, CacheTiming, MemoryTiming
+from repro.errors import ConfigurationError
+
+#: The paper's Table 2: cycle time -> (read, write, recovery) cycles for
+#: the 180/100/120 ns memory with 1 W/cycle transfer and 4 W blocks.
+PAPER_TABLE2 = {
+    20: (14, 10, 6),
+    24: (13, 10, 5),
+    28: (12, 9, 5),
+    32: (11, 9, 4),
+    36: (10, 8, 4),
+    40: (10, 8, 3),
+    48: (9, 8, 3),
+    52: (9, 7, 3),
+    60: (8, 7, 2),
+}
+
+
+class TestTable2:
+    @pytest.mark.parametrize("cycle_ns,expected", sorted(PAPER_TABLE2.items()))
+    def test_read_write_recovery_match_paper(self, cycle_ns, expected):
+        memory = MemoryTiming()
+        got = (
+            memory.read_cycles(4, cycle_ns),
+            memory.write_cycles(4, cycle_ns),
+            memory.recovery_cycles(cycle_ns),
+        )
+        assert got == expected
+
+    def test_default_latency_is_six_cycles_at_40ns(self):
+        # §2: "the latency becomes 1 + ceil(180ns/40ns) or 6 cycles".
+        assert MemoryTiming().latency_cycles(40.0) == 6
+
+    def test_footnote13_260ns_gives_12_cycle_read(self):
+        # Footnote 13: 260 ns latency -> 12-cycle read for a 4 W block.
+        memory = MemoryTiming().with_latency_ns(260.0)
+        assert memory.read_cycles(4, 40.0) == 12
+
+
+class TestTransferCycles:
+    def test_one_word_per_cycle(self):
+        assert MemoryTiming(transfer_rate=1.0).transfer_cycles(4) == 4
+
+    def test_fast_bus_minimum_one_cycle(self):
+        # "the minimum transfer time is one cycle, even if that is using
+        # only a quarter of backplane's capacity."
+        assert MemoryTiming(transfer_rate=4.0).transfer_cycles(1) == 1
+        assert MemoryTiming(transfer_rate=4.0).transfer_cycles(4) == 1
+        assert MemoryTiming(transfer_rate=4.0).transfer_cycles(8) == 2
+
+    def test_slow_bus(self):
+        assert MemoryTiming(transfer_rate=0.25).transfer_cycles(4) == 16
+
+    def test_fractional_rounds_up(self):
+        assert MemoryTiming(transfer_rate=4.0).transfer_cycles(6) == 2
+
+    def test_rejects_nonpositive_words(self):
+        with pytest.raises(ConfigurationError):
+            MemoryTiming().transfer_cycles(0)
+
+
+class TestWriteTiming:
+    def test_handoff_is_address_plus_transfer(self):
+        memory = MemoryTiming()
+        assert memory.write_handoff_cycles(4) == 5
+
+    def test_write_includes_internal_op(self):
+        memory = MemoryTiming()
+        # handoff (5) + ceil(100/40) (3) = 8 cycles at 40 ns.
+        assert memory.write_cycles(4, 40.0) == 8
+
+
+class TestVariants:
+    def test_with_latency_sets_all_three(self):
+        memory = MemoryTiming().with_latency_ns(260.0)
+        assert memory.latency_ns == memory.write_op_ns == memory.recovery_ns == 260.0
+
+    def test_with_transfer_rate(self):
+        assert MemoryTiming().with_transfer_rate(0.5).transfer_rate == 0.5
+
+    def test_speed_product(self):
+        # la (cycles, incl. address) x tr.
+        memory = MemoryTiming(transfer_rate=2.0)
+        assert memory.speed_product(40.0) == pytest.approx(12.0)
+
+
+class TestValidation:
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryTiming(latency_ns=-1.0)
+
+    def test_zero_transfer_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryTiming(transfer_rate=0.0)
+
+    def test_cache_timing_minimum_one_cycle(self):
+        with pytest.raises(ConfigurationError):
+            CacheTiming(read_hit_cycles=0)
+
+    def test_default_cycle(self):
+        assert DEFAULT_CYCLE_NS == 40.0

@@ -1,0 +1,81 @@
+"""Couplet pairing: the paper's simultaneous-issue CPU model."""
+
+
+from repro.cpu.processor import NO_REF, pair_couplets, sequentialize
+from repro.trace.record import RefKind, Trace
+
+I, L, S = int(RefKind.IFETCH), int(RefKind.LOAD), int(RefKind.STORE)
+
+
+def make_trace(kinds, warm=0):
+    addrs = list(range(100, 100 + len(kinds)))
+    return Trace(kinds, addrs, [1] * len(kinds), warm_boundary=warm)
+
+
+class TestPairing:
+    def test_ifetch_followed_by_data_pairs(self):
+        cs = pair_couplets(make_trace([I, L, I, S]))
+        assert len(cs) == 2
+        assert cs.i_addr == [100, 102]
+        assert cs.d_kind == [L, S]
+        assert cs.d_addr == [101, 103]
+
+    def test_back_to_back_ifetches_stay_single(self):
+        cs = pair_couplets(make_trace([I, I, I]))
+        assert len(cs) == 3
+        assert cs.d_kind == [NO_REF] * 3
+
+    def test_leading_data_forms_degenerate_couplet(self):
+        cs = pair_couplets(make_trace([L, I, S]))
+        assert len(cs) == 2
+        assert cs.i_addr[0] == NO_REF
+        assert cs.d_addr[0] == 100
+
+    def test_no_reordering(self):
+        # Data never jumps ahead of a later ifetch.
+        cs = pair_couplets(make_trace([I, I, L]))
+        assert cs.i_addr == [100, 101]
+        assert cs.d_addr == [NO_REF, 102]
+
+    def test_ref_count_preserved(self):
+        kinds = [I, L, I, I, S, L, I, S]
+        cs = pair_couplets(make_trace(kinds))
+        refs = sum(a != NO_REF for a in cs.i_addr) + sum(
+            k != NO_REF for k in cs.d_kind
+        )
+        assert refs == len(kinds)
+
+
+class TestWarmBoundary:
+    def test_warm_couplet_at_reference_boundary(self):
+        cs = pair_couplets(make_trace([I, L, I, S], warm=2))
+        assert cs.warm_couplet == 1
+
+    def test_warm_boundary_inside_couplet_rounds_up(self):
+        # Boundary at ref 1 (the data half of couplet 0): the first
+        # couplet starting at or beyond the boundary is couplet 1.
+        cs = pair_couplets(make_trace([I, L, I, S], warm=1))
+        assert cs.warm_couplet == 1
+
+    def test_zero_warm_measures_everything(self):
+        cs = pair_couplets(make_trace([I, L], warm=0))
+        assert cs.warm_couplet == 0
+        assert cs.n_warm_refs == 2
+
+    def test_n_warm_refs_counts_past_boundary(self):
+        cs = pair_couplets(make_trace([I, L, I, S], warm=2))
+        assert cs.n_warm_refs == 2
+
+
+class TestSequentialize:
+    def test_one_ref_per_couplet(self):
+        cs = sequentialize(make_trace([I, L, S]))
+        assert len(cs) == 3
+        assert cs.i_addr[0] == 100
+        assert cs.d_kind[0] == NO_REF
+        assert cs.d_addr[1] == 101
+        assert cs.d_kind[2] == S
+
+    def test_warm_couplet_equals_warm_boundary(self):
+        cs = sequentialize(make_trace([I, L, S, I], warm=2))
+        assert cs.warm_couplet == 2

@@ -1,0 +1,52 @@
+"""Every registered experiment runs end to end on tiny settings."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    ExperimentSettings,
+    clear_grid_cache,
+    list_experiments,
+    run_experiment,
+)
+
+TINY = ExperimentSettings(
+    trace_length=12_000, trace_names=("mu3", "rd2n4"), full=False
+)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _clear_cache_after():
+    yield
+    clear_grid_cache()
+
+
+class TestRegistry:
+    def test_sixteen_experiments_registered(self):
+        ids = list_experiments()
+        assert len(ids) == 16
+        assert ids[0] == "table1"
+        assert "fig3_4" in ids and "sec6" in ids and "scaling" in ids
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_experiment("fig9_9")
+
+
+@pytest.mark.parametrize("experiment_id", [
+    "table1", "table2", "fig3_1", "fig3_2", "fig3_3", "fig3_4",
+    "fig4_1", "fig4_2", "fig4_345", "fig5_1", "fig5_2", "fig5_3",
+    "fig5_4", "table3", "sec6", "scaling",
+])
+def test_experiment_runs_and_reports(experiment_id):
+    result = run_experiment(experiment_id, TINY)
+    assert result.experiment_id == experiment_id
+    assert result.text.strip()
+    assert result.data
+    assert str(result).startswith(f"== {experiment_id}")
+
+
+class TestTable2Exactness:
+    def test_no_mismatches_against_paper(self):
+        result = run_experiment("table2", TINY)
+        assert result.data["mismatches"] == []

@@ -1,0 +1,64 @@
+"""CLI: argument parsing and end-to-end subcommands."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_experiment_ids_listed_in_help(self):
+        parser = build_parser()
+        assert parser is not None
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestSubcommands:
+    def test_traces(self, capsys):
+        assert main(["traces", "--length", "5000"]) == 0
+        out = capsys.readouterr().out
+        assert "mu3" in out and "rd2n7" in out
+
+    def test_simulate_fastpath(self, capsys):
+        assert main([
+            "simulate", "--trace", "mu3", "--length", "8000",
+            "--size-kb", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "read miss ratio" in out
+
+    def test_simulate_engine_matches_fastpath(self, capsys):
+        args = ["simulate", "--trace", "mu3", "--length", "8000",
+                "--size-kb", "4"]
+        main(args)
+        fast_out = capsys.readouterr().out
+        main(args + ["--engine"])
+        engine_out = capsys.readouterr().out
+        assert fast_out.split("cycles:")[1] == engine_out.split("cycles:")[1]
+
+    def test_experiment_table2(self, capsys):
+        assert main(["experiment", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out and "MISMATCH" not in out
+
+    def test_experiment_with_reduced_settings(self, capsys):
+        assert main([
+            "experiment", "fig3_1", "--length", "10000",
+            "--traces", "mu3,rd2n4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "TotalL1" in out
+
+    def test_din_export_then_simulate(self, capsys, tmp_path):
+        path = str(tmp_path / "t.din")
+        assert main([
+            "din", path, "--export", "mu3", "--length", "6000",
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "din", path, "--size-kb", "4", "--warm-boundary", "1000",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "read miss ratio" in out

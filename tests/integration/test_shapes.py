@@ -1,0 +1,161 @@
+"""Integration: the paper's qualitative shapes hold on the suite.
+
+These are the scientific regression tests — each pins one published
+claim's *direction* on the synthetic suite (magnitudes are documented in
+EXPERIMENTS.md, not asserted, since the stimulus is synthetic).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.blocksize import optimal_block_size_words, product_law_points
+from repro.core.equal_performance import slope_ns_per_doubling
+from repro.core.sweep import (
+    run_blocksize_sweep,
+    run_point,
+    run_speed_size_sweep,
+)
+from repro.sim.config import baseline_config
+from repro.trace.suite import build_suite
+from repro.units import KB
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return build_suite(length=60_000, names=["mu3", "rd2n4", "rd1n3"])
+
+
+@pytest.fixture(scope="module")
+def grid(suite):
+    return run_speed_size_sweep(
+        suite,
+        sizes_each_bytes=[2 * KB, 8 * KB, 32 * KB, 128 * KB],
+        cycle_times_ns=[20.0, 40.0, 60.0, 80.0],
+    )
+
+
+class TestFig31Shapes:
+    def test_miss_ratio_decreases_with_size(self, grid):
+        miss = grid.read_miss_ratio
+        assert (np.diff(miss) < 0).all()
+
+    def test_diminishing_returns(self, grid):
+        # Absolute improvement shrinks with each doubling pair.
+        miss = grid.read_miss_ratio
+        drops = -np.diff(miss)
+        assert drops[-1] < drops[0]
+
+    def test_full_write_traffic_dominates_dirty(self, grid):
+        assert (
+            grid.write_traffic_ratio_full >= grid.write_traffic_ratio_dirty
+        ).all()
+
+
+class TestFig32_33Shapes:
+    def test_cycle_count_decreases_with_cycle_time(self, grid):
+        cpr = grid.cycles_per_reference
+        assert (np.diff(cpr, axis=1) <= 1e-9).all()
+
+    def test_execution_time_improves_with_size_at_fixed_clock(self, grid):
+        exec_ns = grid.execution_ns
+        assert (np.diff(exec_ns, axis=0) < 0).all()
+
+    def test_small_caches_gain_more_from_size(self, grid):
+        j = 1  # 40ns column
+        small_gain = grid.execution_ns[0, j] / grid.execution_ns[1, j]
+        large_gain = grid.execution_ns[-2, j] / grid.execution_ns[-1, j]
+        assert small_gain > large_gain
+
+
+class TestFig34Shapes:
+    def test_slopes_fall_with_size(self, grid):
+        j = 1
+        slopes = [
+            slope_ns_per_doubling(grid, i, j)
+            for i in range(grid.n_sizes - 1)
+        ]
+        slopes = [s for s in slopes if s is not None]
+        assert len(slopes) >= 2
+        assert slopes == sorted(slopes, reverse=True)
+
+    def test_slopes_roughly_clock_independent(self, grid):
+        """Figure 3-4's regions are nearly vertical: the ns-per-doubling
+        tradeoff changes far less with the clock than with size."""
+        by_clock = [
+            slope_ns_per_doubling(grid, 0, j) for j in range(grid.n_cycles - 1)
+        ]
+        by_clock = [s for s in by_clock if s is not None]
+        by_size = slope_ns_per_doubling(grid, 2, 1)
+        spread_clock = max(by_clock) - min(by_clock)
+        assert spread_clock < by_clock[0]  # same order across clocks
+        assert by_size < min(by_clock)  # size moves slopes much more
+
+
+class TestAssociativityShapes:
+    def test_two_way_reduces_misses_overall(self, suite):
+        sizes = [2 * KB, 8 * KB, 32 * KB]
+        dm = run_speed_size_sweep(suite, sizes, [40.0], assoc=1)
+        sa = run_speed_size_sweep(suite, sizes, [40.0], assoc=2)
+        assert sa.read_miss_ratio.mean() < dm.read_miss_ratio.mean()
+
+    def test_gains_above_two_ways_are_smaller(self, suite):
+        sizes = [2 * KB, 8 * KB]
+        grids = {
+            a: run_speed_size_sweep(suite, sizes, [40.0], assoc=a)
+            for a in (1, 2, 4)
+        }
+        drop_12 = grids[1].read_miss_ratio - grids[2].read_miss_ratio
+        drop_24 = grids[2].read_miss_ratio - grids[4].read_miss_ratio
+        assert drop_24.mean() < drop_12.mean()
+
+
+class TestBlockSizeShapes:
+    @pytest.fixture(scope="class")
+    def curves(self, suite):
+        return run_blocksize_sweep(
+            suite,
+            block_sizes_words=[2, 4, 8, 16, 32, 64],
+            latencies_ns=[100.0, 420.0],
+            transfer_rates=[4.0, 0.25],
+        )
+
+    def test_execution_curves_are_u_shaped(self, curves):
+        for curve in curves.values():
+            k = int(np.argmin(curve.execution_ns))
+            left = curve.execution_ns[: k + 1]
+            right = curve.execution_ns[k:]
+            assert (np.diff(left) <= 1e-9).all()
+            assert (np.diff(right) >= -1e-9).all()
+
+    def test_performance_optimum_below_miss_optimum(self, curves):
+        for curve in curves.values():
+            read_miss = curve.load_miss_ratio + curve.ifetch_miss_ratio
+            miss_best = curve.block_sizes_words[int(np.argmin(read_miss))]
+            assert optimal_block_size_words(curve) <= miss_best
+
+    def test_optimum_grows_with_speed_product(self, curves):
+        points = product_law_points(curves)
+        optima = [p.optimal_block_words for p in points]
+        # Sorted by product: optima must be non-decreasing overall
+        # (allow small local noise between adjacent points).
+        assert optima[-1] > optima[0]
+        assert np.corrcoef(
+            np.log2([p.speed_product for p in points]), np.log2(optima)
+        )[0, 1] > 0.8
+
+    def test_balance_line_crossover(self, curves):
+        """Low products sit above the balance line, high products below
+        (Figure 5-4's reading)."""
+        points = product_law_points(curves)
+        lowest = points[0]
+        highest = points[-1]
+        assert lowest.optimal_block_words > lowest.balance_block_words
+        assert highest.optimal_block_words < highest.balance_block_words
+
+
+class TestRunPoint:
+    def test_aggregate_over_suite(self, suite):
+        metrics = run_point(baseline_config(cache_size_bytes=8 * KB), suite)
+        assert metrics.n_traces == len(suite)
+        assert 0 < metrics.read_miss_ratio < 1
+        assert metrics.execution_time_ns > 0

@@ -1,0 +1,54 @@
+"""Bus presets and temporal scaling."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memory.buses import (
+    BUSES,
+    PRIVATE_BUS,
+    VME,
+    bus_by_name,
+    scaled_memory,
+)
+
+
+class TestPresets:
+    def test_paper_positioning(self):
+        # "The backplane has more than double the transfer rate of VME
+        # or MULTIBUS II, and memory latency is roughly a half that of
+        # commercially available boards for these busses."
+        assert PRIVATE_BUS.transfer_rate > 2 * VME.transfer_rate
+        assert PRIVATE_BUS.latency_ns <= 0.55 * VME.latency_ns
+
+    def test_lookup(self):
+        assert bus_by_name("VME") is VME
+        assert bus_by_name("private") is PRIVATE_BUS
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bus_by_name("futurebus")
+
+    def test_all_presets_valid(self):
+        for name, memory in BUSES.items():
+            assert memory.transfer_rate > 0, name
+            assert memory.latency_ns > 0, name
+
+
+class TestScaledMemory:
+    def test_scales_times_not_rate(self):
+        scaled = scaled_memory(PRIVATE_BUS, 0.5)
+        assert scaled.latency_ns == PRIVATE_BUS.latency_ns / 2
+        assert scaled.recovery_ns == PRIVATE_BUS.recovery_ns / 2
+        assert scaled.transfer_rate == PRIVATE_BUS.transfer_rate
+
+    def test_even_scaling_preserves_cycle_counts(self):
+        # Quantized cycle counts are invariant when clock and memory
+        # scale together — the §6 invariance at the timing level.
+        for cycle in (20.0, 40.0, 56.0):
+            base = PRIVATE_BUS.read_cycles(4, cycle)
+            scaled = scaled_memory(PRIVATE_BUS, 0.5).read_cycles(4, cycle / 2)
+            assert base == scaled
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            scaled_memory(PRIVATE_BUS, 0.0)

@@ -1,0 +1,82 @@
+"""Main-memory port timing: reads, writes, recovery, overlap."""
+
+import pytest
+
+from repro.core.timing import MemoryTiming
+from repro.errors import ConfigurationError
+from repro.memory.mainmemory import MainMemory
+
+
+def make_memory(cycle_ns=40.0, **kw):
+    return MainMemory(MemoryTiming(**kw), cycle_ns)
+
+
+class TestReads:
+    def test_base_read_is_ten_cycles_at_40ns(self):
+        mem = make_memory()
+        done, first = mem.read_block(1, 0, 4, now=0)
+        assert done == 10  # 1 addr + 5 latency + 4 transfer
+        assert first == 7  # first word after one transfer cycle
+
+    def test_recovery_separates_operations(self):
+        mem = make_memory()
+        mem.read_block(1, 0, 4, now=0)        # done 10, free at 13
+        done, _ = mem.read_block(1, 64, 4, now=10)
+        assert done == 23  # starts at 13
+
+    def test_idle_gap_larger_than_recovery(self):
+        mem = make_memory()
+        mem.read_block(1, 0, 4, now=0)
+        done, _ = mem.read_block(1, 64, 4, now=100)
+        assert done == 110
+
+    def test_overlap_hidden_when_shorter_than_latency(self):
+        # 4-word victim move (4 cycles) hides under the 6-cycle latency.
+        mem = make_memory()
+        done, _ = mem.read_block(1, 0, 4, now=0, overlap_cycles=4)
+        assert done == 10
+
+    def test_overlap_delays_when_longer_than_latency(self):
+        # A 16-word victim on the 1-word path takes 16 cycles > 6.
+        mem = make_memory()
+        done, _ = mem.read_block(1, 0, 16, now=0, overlap_cycles=16)
+        assert done == 0 + 16 + 16
+
+    def test_counters(self):
+        mem = make_memory()
+        mem.read_block(1, 0, 4, now=0)
+        mem.start_write(4, now=20)
+        assert mem.reads == 1
+        assert mem.writes == 1
+        assert mem.busy_cycles > 0
+
+
+class TestWrites:
+    def test_handoff_then_internal_busy(self):
+        mem = make_memory()
+        handoff = mem.start_write(4, now=0)
+        assert handoff == 5  # 1 addr + 4 transfer
+        # Internal op 3 cycles + recovery 3: next op at 11.
+        done, _ = mem.read_block(1, 0, 4, now=5)
+        assert done == 11 + 10
+
+    def test_write_block_protocol_alias(self):
+        mem = make_memory()
+        assert mem.write_block(1, 0, 4, now=0) == 5
+
+
+class TestReset:
+    def test_reset_clears_state(self):
+        mem = make_memory()
+        mem.read_block(1, 0, 4, now=0)
+        mem.reset()
+        assert mem.free_at == 0
+        assert mem.reads == 0
+        done, _ = mem.read_block(1, 0, 4, now=0)
+        assert done == 10
+
+
+class TestValidation:
+    def test_rejects_nonpositive_cycle(self):
+        with pytest.raises(ConfigurationError):
+            MainMemory(MemoryTiming(), 0.0)

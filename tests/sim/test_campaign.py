@@ -1,0 +1,83 @@
+"""Campaign persistence: round trips, caching, fingerprints."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.campaign import (
+    Campaign,
+    run_id,
+    stats_from_dict,
+    stats_to_dict,
+)
+from repro.sim.config import baseline_config
+from repro.sim.fastpath import fast_simulate
+from repro.units import KB
+
+
+class TestFingerprints:
+    def test_same_inputs_same_id(self, mu3_small):
+        config = baseline_config(cache_size_bytes=4 * KB)
+        assert run_id(config, mu3_small) == run_id(config, mu3_small)
+
+    def test_config_changes_id(self, mu3_small):
+        a = baseline_config(cache_size_bytes=4 * KB)
+        b = baseline_config(cache_size_bytes=8 * KB)
+        assert run_id(a, mu3_small) != run_id(b, mu3_small)
+
+    def test_cycle_time_changes_id(self, mu3_small):
+        a = baseline_config(cache_size_bytes=4 * KB)
+        assert run_id(a, mu3_small) != run_id(
+            a.with_cycle_ns(20.0), mu3_small
+        )
+
+    def test_trace_changes_id(self, mu3_small, rd2n4_small):
+        config = baseline_config(cache_size_bytes=4 * KB)
+        assert run_id(config, mu3_small) != run_id(config, rd2n4_small)
+
+
+class TestSerialization:
+    def test_round_trip(self, mu3_small):
+        config = baseline_config(cache_size_bytes=4 * KB)
+        stats = fast_simulate(config, mu3_small)
+        back = stats_from_dict(stats_to_dict(stats))
+        assert back == stats
+
+
+class TestCampaign:
+    def test_run_simulates_then_caches(self, tmp_path, mu3_small):
+        campaign = Campaign(tmp_path / "runs")
+        config = baseline_config(cache_size_bytes=4 * KB)
+        calls = []
+
+        def simulate_fn(cfg, trace):
+            calls.append(1)
+            return fast_simulate(cfg, trace)
+
+        first = campaign.run(config, mu3_small, simulate_fn)
+        second = campaign.run(config, mu3_small, simulate_fn)
+        assert len(calls) == 1
+        assert first == second
+        assert len(campaign) == 1
+
+    def test_results_iterates_everything(self, tmp_path, mu3_small):
+        campaign = Campaign(tmp_path / "runs")
+        for size in (4 * KB, 8 * KB):
+            campaign.run(
+                baseline_config(cache_size_bytes=size), mu3_small,
+                fast_simulate,
+            )
+        assert len(list(campaign.results())) == 2
+
+    def test_missing_run_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            Campaign(tmp_path / "runs").load("nope")
+
+    def test_survives_reopen(self, tmp_path, mu3_small):
+        config = baseline_config(cache_size_bytes=4 * KB)
+        stats = Campaign(tmp_path / "runs").run(
+            config, mu3_small, fast_simulate
+        )
+        reopened = Campaign(tmp_path / "runs")
+        identifier = run_id(config, mu3_small)
+        assert identifier in reopened
+        assert reopened.load(identifier) == stats

@@ -1,0 +1,98 @@
+"""System configuration validation and variants."""
+
+import pytest
+
+from repro.core.geometry import CacheGeometry
+from repro.core.timing import MemoryTiming
+from repro.errors import ConfigurationError
+from repro.sim.config import L1Spec, LowerLevelSpec, baseline_config
+from repro.units import KB
+
+
+class TestBaseline:
+    def test_paper_defaults(self):
+        config = baseline_config()
+        assert config.cycle_ns == 40.0
+        assert config.l1.total_size_bytes == 128 * KB
+        assert config.l1.write_buffer_depth == 4
+        assert config.l1.d_geometry.block_words == 4
+        assert not config.l1.unified
+        assert config.levels == ()
+
+    def test_describe_mentions_both_caches(self):
+        text = baseline_config().describe()
+        assert "I 64KB" in text and "D 64KB" in text and "40ns" in text
+
+
+class TestL1Spec:
+    def test_split_requires_i_geometry(self):
+        with pytest.raises(ConfigurationError):
+            L1Spec(d_geometry=CacheGeometry(size_bytes=4 * KB))
+
+    def test_unified_forbids_i_geometry(self):
+        with pytest.raises(ConfigurationError):
+            L1Spec(
+                d_geometry=CacheGeometry(size_bytes=4 * KB),
+                i_geometry=CacheGeometry(size_bytes=4 * KB),
+                unified=True,
+            )
+
+    def test_unified_total_size(self):
+        spec = L1Spec(
+            d_geometry=CacheGeometry(size_bytes=8 * KB), unified=True
+        )
+        assert spec.total_size_bytes == 8 * KB
+
+    def test_buffer_depth_validated(self):
+        with pytest.raises(ConfigurationError):
+            L1Spec(
+                d_geometry=CacheGeometry(size_bytes=4 * KB),
+                i_geometry=CacheGeometry(size_bytes=4 * KB),
+                write_buffer_depth=0,
+            )
+
+
+class TestVariants:
+    def test_with_cache_sizes(self):
+        config = baseline_config().with_cache_sizes(8 * KB)
+        assert config.l1.total_size_bytes == 16 * KB
+
+    def test_with_assoc_preserves_total(self):
+        config = baseline_config().with_assoc(4)
+        assert config.l1.d_geometry.assoc == 4
+        assert config.l1.total_size_bytes == 128 * KB
+
+    def test_with_block_words(self):
+        config = baseline_config().with_block_words(16)
+        assert config.l1.d_geometry.block_words == 16
+        assert config.l1.d_geometry.fetch_words == 16
+
+    def test_with_cycle_ns(self):
+        assert baseline_config().with_cycle_ns(25.0).cycle_ns == 25.0
+
+    def test_with_memory(self):
+        memory = MemoryTiming(latency_ns=420.0)
+        assert baseline_config().with_memory(memory).memory is memory
+
+
+class TestLevelValidation:
+    def test_lower_block_must_cover_upper(self):
+        level = LowerLevelSpec(
+            geometry=CacheGeometry(size_bytes=64 * KB, block_words=2)
+        )
+        with pytest.raises(ConfigurationError):
+            baseline_config().with_levels((level,))
+
+    def test_nonpositive_cycle_rejected(self):
+        with pytest.raises(ConfigurationError):
+            baseline_config().with_cycle_ns(0.0)
+
+    def test_descending_blocks_across_levels_rejected(self):
+        l2 = LowerLevelSpec(
+            geometry=CacheGeometry(size_bytes=64 * KB, block_words=16)
+        )
+        l3 = LowerLevelSpec(
+            geometry=CacheGeometry(size_bytes=256 * KB, block_words=8)
+        )
+        with pytest.raises(ConfigurationError):
+            baseline_config().with_levels((l2, l3))

@@ -1,0 +1,202 @@
+"""Reference engine: hand-computed timing scenarios.
+
+Each test builds a tiny trace whose cycle count can be derived by hand
+from the paper's timing rules (Table 2 semantics at a 40 ns clock:
+read miss 10 cycles, write handoff 2, write-op 3, recovery 3).
+"""
+
+import pytest
+
+from repro.core.geometry import CacheGeometry
+from repro.core.policy import CachePolicy, MissHandling, ReplacementKind
+from repro.core.timing import MemoryTiming
+from repro.errors import ConfigurationError
+from repro.sim.config import L1Spec, LowerLevelSpec, SystemConfig, baseline_config
+from repro.sim.engine import simulate
+from repro.trace.record import RefKind, Trace
+from repro.units import KB
+
+I, L, S = int(RefKind.IFETCH), int(RefKind.LOAD), int(RefKind.STORE)
+
+
+def trace_of(refs, warm=0):
+    kinds = [k for k, _a in refs]
+    addrs = [a for _k, a in refs]
+    return Trace(kinds, addrs, [1] * len(refs), warm_boundary=warm)
+
+
+def run(refs, config=None, **config_kw):
+    config = config or baseline_config(cache_size_bytes=4 * KB, **config_kw)
+    return simulate(config, trace_of(refs))
+
+
+class TestSingleLevelTiming:
+    def test_read_miss_costs_table2_read_time(self):
+        stats = run([(I, 0)])
+        assert stats.cycles == 10  # 1 addr + 5 latency + 4 transfer
+
+    def test_read_hit_costs_one_cycle(self):
+        stats = run([(I, 0), (I, 1)])
+        assert stats.cycles == 11
+
+    def test_write_hit_costs_two_cycles(self):
+        # Load allocates the block; the store then hits.
+        stats = run([(L, 0), (S, 1)])
+        assert stats.cycles == 12
+
+    def test_write_miss_bypass_costs_two_cycles(self):
+        stats = run([(S, 0)])
+        assert stats.cycles == 2
+
+    def test_couplet_completes_at_latest_half(self):
+        # ifetch hit (1 cycle) + store hit would be 2; the couplet costs
+        # max of the halves.
+        stats = run([(I, 0), (I, 1), (L, 100), (I, 2), (S, 100)])
+        # c1: I0 miss -> 10; c2: (I1 hit, L100 miss): load starts at 10
+        # but memory recovers until 13 -> done 23; c3: (I2 hit, S100
+        # hit): max(1, 2) = 2 -> 25.
+        assert stats.cycles == 25
+
+    def test_memory_recovery_delays_back_to_back_misses(self):
+        stats = run([(I, 0), (I, 1024)])
+        # Second miss waits for recovery: starts at 13, done at 23.
+        assert stats.cycles == 23
+
+    def test_dirty_victim_writeback_hidden_under_latency(self):
+        # 4KB direct-mapped D-cache = 1024 words; load 0, dirty it,
+        # then load 1024 (same index): the victim moves to the write
+        # buffer during the 6-cycle latency (4-cycle move), so the
+        # refill is not delayed.
+        stats = run([(L, 0), (S, 0), (L, 1024)])
+        # c1: 10; c2: store hit 2 -> 12; c3: miss starts max(12, 13)=13,
+        # done 23.
+        assert stats.cycles == 23
+        assert stats.dcache.writeback_blocks == 1
+        assert stats.dcache.writeback_words_dirty == 1
+        assert stats.dcache.writeback_words_full == 4
+
+    def test_read_match_stall_drains_buffered_write(self):
+        # Keep memory busy so the bypassed store cannot drain, then
+        # load the same block: the read must wait for the write.
+        stats = run([(L, 100), (S, 0), (L, 0)])
+        # c1: miss done 10, memory free at 13.
+        # c2: store miss bypass at 11 -> buffered; done 12.
+        # c3: load 0 misses; matches the buffered word; drain starts at
+        # 13, handoff 13+2=15, memory busy 15+3+3=21; read starts 21,
+        # done 31.
+        assert stats.cycles == 31
+        assert stats.buffer.match_stalls == 1
+
+    def test_warm_boundary_excludes_startup(self):
+        trace = trace_of([(I, 0), (I, 1), (I, 2)], warm=1)
+        stats = simulate(baseline_config(cache_size_bytes=4 * KB), trace)
+        # Couplet 0 (the 10-cycle miss) is warm-up; measured: 2 hits.
+        assert stats.cycles == 2
+        assert stats.icache.reads == 2
+        assert stats.icache.read_misses == 0
+
+    def test_warm_boundary_consuming_everything_rejected(self):
+        trace = trace_of([(I, 0)], warm=1)
+        with pytest.raises(ConfigurationError):
+            simulate(baseline_config(cache_size_bytes=4 * KB), trace)
+
+
+class TestMissHandlingModes:
+    def _config(self, mode):
+        base = baseline_config(cache_size_bytes=4 * KB)
+        policy = CachePolicy(
+            replacement=ReplacementKind.RANDOM, miss_handling=mode
+        )
+        return base.with_policy(policy)
+
+    def test_load_forward_resumes_after_first_word(self):
+        # Miss on the last word of a block: blocking waits 10 cycles;
+        # load forwarding resumes after latency + 1 word = 7.
+        stats = simulate(self._config(MissHandling.LOAD_FORWARD),
+                         trace_of([(I, 3)]))
+        assert stats.cycles == 7
+
+    def test_early_continuation_waits_for_streamed_word(self):
+        # Block streams from word 0; word 3 goes past at latency + 4.
+        stats = simulate(self._config(MissHandling.EARLY_CONTINUATION),
+                         trace_of([(I, 3)]))
+        assert stats.cycles == 10
+
+    def test_early_continuation_first_word(self):
+        stats = simulate(self._config(MissHandling.EARLY_CONTINUATION),
+                         trace_of([(I, 0)]))
+        assert stats.cycles == 7
+
+    def test_modes_never_slower_than_blocking(self):
+        refs = [(I, i * 3 % 512) for i in range(200)]
+        blocking = simulate(self._config(MissHandling.BLOCKING),
+                            trace_of(refs))
+        for mode in (MissHandling.EARLY_CONTINUATION,
+                     MissHandling.LOAD_FORWARD):
+            assert simulate(self._config(mode),
+                            trace_of(refs)).cycles <= blocking.cycles
+
+
+class TestUnifiedCache:
+    def test_unified_serializes_references(self):
+        config = SystemConfig(
+            l1=L1Spec(
+                d_geometry=CacheGeometry(size_bytes=4 * KB),
+                unified=True,
+                policy=CachePolicy(replacement=ReplacementKind.RANDOM),
+            ),
+        )
+        stats = simulate(config, trace_of([(I, 0), (L, 1)]))
+        # Miss (10 cycles) then a hit in a separate couplet (1 cycle).
+        assert stats.cycles == 11
+
+
+class TestTwoLevel:
+    def _two_level_config(self, l2_latency_ns=40.0):
+        base = baseline_config(cache_size_bytes=2 * KB, cycle_ns=40.0)
+        level = LowerLevelSpec(
+            geometry=CacheGeometry(size_bytes=64 * KB, block_words=16),
+            port=MemoryTiming(
+                latency_ns=l2_latency_ns, transfer_rate=1.0,
+                write_op_ns=0.0, recovery_ns=0.0, address_cycles=1,
+            ),
+        )
+        return base.with_levels((level,))
+
+    def test_l2_miss_path_timing(self):
+        stats = simulate(self._two_level_config(), trace_of([(I, 0)]))
+        # L2 lookup: start 0; miss; memory read of the 16W L2 block
+        # issued at 1: 1 + max(6, 0) + 16 = 23; L1 block forwarded in 4
+        # cycles: done 27.
+        assert stats.cycles == 27
+
+    def test_l2_hit_is_much_cheaper_than_memory(self):
+        stats = simulate(
+            self._two_level_config(),
+            trace_of([(I, 0), (I, 8)]),
+        )
+        # Second ifetch: a different L1 block but inside the 16W L2
+        # block fetched by the first miss — an L2 hit: 2 cycles latency
+        # (incl. address) + 4 transfer = 6 cycles.
+        assert stats.cycles == 27 + 6
+        assert stats.lower is not None
+        assert stats.lower.reads == 2
+        assert stats.lower.read_misses == 1
+
+    def test_l2_reduces_execution_time_on_real_trace(self, rd2n4_small):
+        base = baseline_config(cache_size_bytes=2 * KB, cycle_ns=20.0)
+        no_l2 = simulate(base, rd2n4_small)
+        with_l2 = simulate(self._two_level_config(), rd2n4_small)
+        # Same cycle count basis: both run the same trace; the L2 one
+        # uses 40ns in the helper, so rebuild at 20ns for fairness.
+        level = self._two_level_config().levels
+        with_l2 = simulate(base.with_levels(level), rd2n4_small)
+        assert with_l2.cycles < no_l2.cycles
+
+    def test_block_size_validation_across_levels(self):
+        base = baseline_config(cache_size_bytes=2 * KB, block_words=16)
+        level = LowerLevelSpec(
+            geometry=CacheGeometry(size_bytes=64 * KB, block_words=4),
+        )
+        with pytest.raises(ConfigurationError):
+            base.with_levels((level,))

@@ -1,0 +1,118 @@
+"""Extended engine coverage: write-allocate, three levels, utilization."""
+
+
+from repro.core.geometry import CacheGeometry
+from repro.core.policy import CachePolicy, ReplacementKind, WriteMissPolicy
+from repro.core.timing import MemoryTiming
+from repro.sim.config import LowerLevelSpec, baseline_config
+from repro.sim.engine import simulate
+from repro.trace.record import RefKind, Trace
+from repro.units import KB
+
+I, L, S = int(RefKind.IFETCH), int(RefKind.LOAD), int(RefKind.STORE)
+
+
+def trace_of(refs, warm=0):
+    kinds = [k for k, _a in refs]
+    addrs = [a for _k, a in refs]
+    return Trace(kinds, addrs, [1] * len(refs), warm_boundary=warm)
+
+
+class TestWriteAllocate:
+    def _config(self):
+        policy = CachePolicy(
+            write_miss=WriteMissPolicy.FETCH_ON_WRITE,
+            replacement=ReplacementKind.RANDOM,
+        )
+        return baseline_config(cache_size_bytes=4 * KB).with_policy(policy)
+
+    def test_write_miss_fetches_then_writes(self):
+        # Write-allocate miss: block read (10 cycles at 40ns) plus one
+        # data cycle.
+        stats = simulate(self._config(), trace_of([(S, 0)]))
+        assert stats.cycles == 11
+        assert stats.dcache.write_misses == 1
+        assert stats.dcache.fetched_words == 4
+
+    def test_subsequent_load_hits(self):
+        stats = simulate(self._config(), trace_of([(S, 0), (L, 1)]))
+        assert stats.cycles == 12
+        assert stats.dcache.read_misses == 0
+
+    def test_dirty_victim_from_write_allocate(self):
+        # 4KB DM cache = 1024 words; stores to 0 and 1024 collide.
+        stats = simulate(
+            self._config(), trace_of([(S, 0), (S, 1024)])
+        )
+        assert stats.dcache.writeback_blocks == 1
+        assert stats.dcache.writeback_words_dirty == 1
+
+
+class TestThreeLevels:
+    def _config(self):
+        l2 = LowerLevelSpec(
+            geometry=CacheGeometry(size_bytes=32 * KB, block_words=8),
+            port=MemoryTiming(latency_ns=40.0, transfer_rate=1.0,
+                              write_op_ns=0.0, recovery_ns=0.0),
+        )
+        l3 = LowerLevelSpec(
+            geometry=CacheGeometry(size_bytes=256 * KB, block_words=16),
+            port=MemoryTiming(latency_ns=80.0, transfer_rate=1.0,
+                              write_op_ns=0.0, recovery_ns=0.0),
+        )
+        return baseline_config(
+            cache_size_bytes=2 * KB, cycle_ns=20.0
+        ).with_levels((l2, l3))
+
+    def test_three_level_miss_path(self):
+        stats = simulate(self._config(), trace_of([(I, 0)]))
+        # L1 miss -> L2 miss -> L3 miss -> memory; each level adds its
+        # address/latency/transfer; the exact count just needs to be
+        # deterministic and beyond a single-level miss.
+        single = simulate(
+            baseline_config(cache_size_bytes=2 * KB, cycle_ns=20.0),
+            trace_of([(I, 0)]),
+        )
+        assert stats.cycles > single.cycles
+
+    def test_refill_from_l2_cheaper_than_memory(self):
+        # Touch block 0, evict it from the 2KB L1 with same-set strided
+        # reads (stride = L1 size), then re-touch.  Measure only the
+        # re-touch via the warm boundary: the hierarchy refills it from
+        # L2, far cheaper than the memory refill the flat machine pays.
+        refs = [(I, 0)] + [(I, 512 * k) for k in range(1, 20)] + [(I, 0)]
+        warm = len(refs) - 1
+        deep = simulate(self._config(), trace_of(refs, warm=warm))
+        flat = simulate(
+            baseline_config(cache_size_bytes=2 * KB, cycle_ns=20.0),
+            trace_of(refs, warm=warm),
+        )
+        assert deep.icache.read_misses == 1
+        assert flat.icache.read_misses == 1
+        assert deep.cycles < flat.cycles
+
+    def test_lower_counters_reported_for_first_level_below(self):
+        stats = simulate(self._config(), trace_of([(I, 0), (I, 1)]))
+        assert stats.lower is not None
+        assert stats.lower.reads == 1
+
+
+class TestMemoryUtilization:
+    def test_busy_cycles_bounded_by_total(self, mu3_small):
+        stats = simulate(
+            baseline_config(cache_size_bytes=2 * KB), mu3_small
+        )
+        assert 0 < stats.memory_busy_cycles
+        # Busy time cannot exceed wall-clock including warm-up.
+        assert stats.memory_busy_cycles <= stats.total_cycles
+
+    def test_small_caches_keep_memory_busier(self, mu3_small):
+        small = simulate(
+            baseline_config(cache_size_bytes=2 * KB), mu3_small
+        )
+        large = simulate(
+            baseline_config(cache_size_bytes=64 * KB), mu3_small
+        )
+        small_util = small.memory_busy_cycles / small.total_cycles
+        large_util = large.memory_busy_cycles / large.total_cycles
+        assert small_util > large_util

@@ -1,0 +1,132 @@
+"""Fastpath validation: cycle-for-cycle equality with the engine.
+
+This is the license for every design-space sweep in the repository:
+the two-phase functional-pass + timing-replay simulator must agree with
+the reference engine *exactly* — cycle counts, miss counters, write-back
+traffic, buffer stalls and memory operation counts — across cache
+organizations, clocks, memory speeds and buffer depths.
+"""
+
+import pytest
+
+from repro.core.timing import MemoryTiming
+from repro.errors import ConfigurationError
+from repro.sim.config import baseline_config
+from repro.sim.engine import simulate
+from repro.sim.fastpath import (
+    assemble_stats,
+    check_fastpath_supported,
+    fast_simulate,
+    functional_pass,
+    replay,
+)
+from repro.units import KB
+
+
+def assert_stats_equal(engine_stats, fast_stats):
+    assert engine_stats.cycles == fast_stats.cycles
+    assert engine_stats.total_cycles == fast_stats.total_cycles
+    assert engine_stats.warm_cycles == fast_stats.warm_cycles
+    for side in ("icache", "dcache"):
+        e = getattr(engine_stats, side)
+        f = getattr(fast_stats, side)
+        assert e == f, f"{side} counters differ"
+    assert engine_stats.memory_reads == fast_stats.memory_reads
+    assert engine_stats.memory_writes == fast_stats.memory_writes
+    assert engine_stats.buffer == fast_stats.buffer
+
+
+@pytest.mark.parametrize("size_kb", [2, 8, 32])
+@pytest.mark.parametrize("cycle_ns", [20.0, 40.0, 56.0, 80.0])
+def test_equality_across_sizes_and_clocks(mu3_small, size_kb, cycle_ns):
+    config = baseline_config(
+        cache_size_bytes=size_kb * KB, cycle_ns=cycle_ns
+    )
+    assert_stats_equal(
+        simulate(config, mu3_small), fast_simulate(config, mu3_small)
+    )
+
+
+@pytest.mark.parametrize("assoc", [1, 2, 4])
+def test_equality_across_associativities(rd2n4_small, assoc):
+    config = baseline_config(cache_size_bytes=8 * KB, assoc=assoc)
+    assert_stats_equal(
+        simulate(config, rd2n4_small), fast_simulate(config, rd2n4_small)
+    )
+
+
+@pytest.mark.parametrize("block_words", [2, 8, 32])
+def test_equality_across_block_sizes(mu3_small, block_words):
+    config = baseline_config(
+        cache_size_bytes=8 * KB, block_words=block_words
+    )
+    assert_stats_equal(
+        simulate(config, mu3_small), fast_simulate(config, mu3_small)
+    )
+
+
+@pytest.mark.parametrize("latency_ns,transfer_rate", [
+    (100.0, 4.0), (260.0, 1.0), (420.0, 0.25),
+])
+def test_equality_across_memory_speeds(rd2n4_small, latency_ns, transfer_rate):
+    memory = MemoryTiming().with_latency_ns(latency_ns).with_transfer_rate(
+        transfer_rate
+    )
+    config = baseline_config(cache_size_bytes=8 * KB, memory=memory)
+    assert_stats_equal(
+        simulate(config, rd2n4_small), fast_simulate(config, rd2n4_small)
+    )
+
+
+@pytest.mark.parametrize("depth", [1, 2, 8])
+def test_equality_across_buffer_depths(mu3_small, depth):
+    config = baseline_config(cache_size_bytes=4 * KB, write_buffer_depth=depth)
+    assert_stats_equal(
+        simulate(config, mu3_small), fast_simulate(config, mu3_small)
+    )
+
+
+def test_one_pass_replays_to_many_clocks(mu3_small):
+    """A single functional pass re-priced at several clocks must equal a
+    fresh engine run at each clock — the sweep drivers rely on this."""
+    config = baseline_config(cache_size_bytes=8 * KB)
+    stream = functional_pass(config, mu3_small)
+    for cycle_ns in (24.0, 36.0, 52.0, 64.0):
+        outcome = replay(stream, config.memory, cycle_ns)
+        fast = assemble_stats(stream, outcome, cycle_ns)
+        engine = simulate(config.with_cycle_ns(cycle_ns), mu3_small)
+        assert_stats_equal(engine, fast)
+
+
+class TestSupportChecks:
+    def test_unified_rejected(self):
+        from repro.core.geometry import CacheGeometry
+        from repro.sim.config import L1Spec, SystemConfig
+
+        config = SystemConfig(
+            l1=L1Spec(d_geometry=CacheGeometry(size_bytes=4 * KB), unified=True)
+        )
+        with pytest.raises(ConfigurationError):
+            check_fastpath_supported(config)
+
+    def test_multilevel_rejected(self):
+        from repro.core.geometry import CacheGeometry
+        from repro.sim.config import LowerLevelSpec
+
+        config = baseline_config(cache_size_bytes=4 * KB).with_levels(
+            (LowerLevelSpec(geometry=CacheGeometry(size_bytes=64 * KB, block_words=4)),)
+        )
+        with pytest.raises(ConfigurationError):
+            check_fastpath_supported(config)
+
+    def test_write_through_rejected(self):
+        from repro.core.policy import CachePolicy, WritePolicy
+
+        config = baseline_config(cache_size_bytes=4 * KB).with_policy(
+            CachePolicy(write_policy=WritePolicy.WRITE_THROUGH)
+        )
+        with pytest.raises(ConfigurationError):
+            check_fastpath_supported(config)
+
+    def test_base_config_supported(self):
+        check_fastpath_supported(baseline_config())

@@ -1,0 +1,69 @@
+"""Statistics containers: snapshots and derived metrics."""
+
+import pytest
+
+from repro.sim.statistics import CacheCounters, SimStats
+
+
+class TestCacheCounters:
+    def test_snapshot_is_independent(self):
+        counters = CacheCounters(reads=5)
+        snap = counters.snapshot()
+        counters.reads = 10
+        assert snap.reads == 5
+
+    def test_since(self):
+        counters = CacheCounters(reads=10, read_misses=4)
+        snap = CacheCounters(reads=6, read_misses=1)
+        delta = counters.since(snap)
+        assert delta.reads == 4
+        assert delta.read_misses == 3
+
+    def test_miss_ratio(self):
+        assert CacheCounters(reads=10, read_misses=2).read_miss_ratio == 0.2
+        assert CacheCounters().read_miss_ratio == 0.0
+
+
+def make_stats(**kw):
+    defaults = dict(
+        trace_name="t", config_summary="c", cycle_ns=40.0,
+        cycles=1000, total_cycles=1500, warm_cycles=500,
+        n_refs=400, n_couplets=300,
+        icache=CacheCounters(reads=200, read_misses=10, fetched_words=40),
+        dcache=CacheCounters(
+            reads=100, read_misses=20, writes=100, write_misses=30,
+            bypass_writes=30, fetched_words=80, writeback_blocks=5,
+            writeback_words_full=20, writeback_words_dirty=8,
+        ),
+    )
+    defaults.update(kw)
+    return SimStats(**defaults)
+
+
+class TestSimStats:
+    def test_read_aggregates(self):
+        stats = make_stats()
+        assert stats.reads == 300
+        assert stats.read_misses == 30
+        assert stats.read_miss_ratio == pytest.approx(0.1)
+
+    def test_per_cache_ratios(self):
+        stats = make_stats()
+        assert stats.ifetch_miss_ratio == pytest.approx(0.05)
+        assert stats.load_miss_ratio == pytest.approx(0.2)
+
+    def test_traffic_ratios(self):
+        stats = make_stats()
+        assert stats.read_traffic_ratio == pytest.approx(120 / 300)
+        assert stats.write_traffic_ratio_full == pytest.approx((20 + 30) / 400)
+        assert stats.write_traffic_ratio_dirty == pytest.approx((8 + 30) / 400)
+
+    def test_execution_time(self):
+        stats = make_stats()
+        assert stats.execution_time_ns == pytest.approx(40_000.0)
+        assert stats.cycles_per_reference == pytest.approx(2.5)
+
+    def test_zero_refs_safe(self):
+        stats = make_stats(n_refs=0)
+        assert stats.cycles_per_reference == 0.0
+        assert stats.write_traffic_ratio_full == 0.0

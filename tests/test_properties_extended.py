@@ -1,0 +1,82 @@
+"""Additional property-based tests: spec round trips, reuse distances,
+timing monotonicities."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.reuse import reuse_profile
+from repro.core.policy import ReplacementKind
+from repro.core.timing import MemoryTiming
+from repro.sim.config import baseline_config
+from repro.sim.fastpath import fast_simulate
+from repro.sim.specfiles import config_from_dict, config_to_dict
+from repro.trace.record import RefKind, Trace
+from repro.units import KB
+
+FAST = settings(max_examples=25, deadline=None)
+MEDIUM = settings(max_examples=10, deadline=None)
+
+L = int(RefKind.LOAD)
+
+
+# Random-but-valid configurations of the fastpath family.
+config_strategy = st.builds(
+    baseline_config,
+    cache_size_bytes=st.sampled_from([2 * KB, 8 * KB, 64 * KB]),
+    block_words=st.sampled_from([2, 4, 16]),
+    assoc=st.sampled_from([1, 2, 4]),
+    cycle_ns=st.sampled_from([20.0, 40.0, 56.0]),
+    replacement=st.sampled_from(list(ReplacementKind)),
+    write_buffer_depth=st.integers(1, 8),
+    memory=st.builds(
+        MemoryTiming,
+        latency_ns=st.sampled_from([100.0, 180.0, 420.0]),
+        transfer_rate=st.sampled_from([0.25, 1.0, 4.0]),
+    ),
+)
+
+
+@FAST
+@given(config=config_strategy)
+def test_spec_round_trip_any_config(config):
+    """Any constructible configuration survives spec serialization."""
+    assert config_from_dict(config_to_dict(config)) == config
+
+
+@MEDIUM
+@given(
+    addrs=st.lists(st.integers(0, 2047), min_size=8, max_size=300),
+    latencies=st.permutations([100.0, 260.0, 420.0]),
+)
+def test_execution_time_monotone_in_memory_latency(addrs, latencies):
+    """A slower memory can never make the machine faster."""
+    trace = Trace([L] * len(addrs), addrs, [0] * len(addrs))
+    config = baseline_config(cache_size_bytes=1 * KB)
+    by_latency = {}
+    for latency_ns in latencies:
+        memory = MemoryTiming().with_latency_ns(latency_ns)
+        by_latency[latency_ns] = fast_simulate(
+            config.with_memory(memory), trace
+        ).cycles
+    assert by_latency[100.0] <= by_latency[260.0] <= by_latency[420.0]
+
+
+@MEDIUM
+@given(addrs=st.lists(st.integers(0, 1023), min_size=4, max_size=200))
+def test_reuse_profile_conserves_references(addrs):
+    """Cold + histogram counts must equal the reference count."""
+    trace = Trace([L] * len(addrs), addrs, [0] * len(addrs))
+    profile = reuse_profile(trace, block_words=4)
+    assert profile.cold + sum(profile.histogram.values()) == len(addrs)
+    # Cold count equals the number of distinct blocks.
+    assert profile.cold == len({a >> 2 for a in addrs})
+
+
+@MEDIUM
+@given(addrs=st.lists(st.integers(0, 1023), min_size=4, max_size=200))
+def test_reuse_curve_matches_infinite_cache_floor(addrs):
+    """At capacity >= distinct blocks, only cold misses remain."""
+    trace = Trace([L] * len(addrs), addrs, [0] * len(addrs))
+    profile = reuse_profile(trace, block_words=4)
+    distinct = len({a >> 2 for a in addrs})
+    assert profile.miss_ratio_at(distinct + 1) * len(addrs) == \
+        profile.cold

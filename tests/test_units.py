@@ -1,0 +1,103 @@
+"""Unit helpers: conversions and synchronous quantization."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.units import (
+    BYTES_PER_WORD,
+    KB,
+    MB,
+    bytes_to_words,
+    ceil_div,
+    format_size,
+    is_power_of_two,
+    log2_exact,
+    quantize_ns,
+    words_to_bytes,
+)
+
+
+class TestCeilDiv:
+    def test_exact(self):
+        assert ceil_div(8, 4) == 2
+
+    def test_rounds_up(self):
+        assert ceil_div(9, 4) == 3
+
+    def test_zero_numerator(self):
+        assert ceil_div(0, 4) == 0
+
+    def test_rejects_zero_denominator(self):
+        with pytest.raises(ConfigurationError):
+            ceil_div(1, 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            ceil_div(-1, 2)
+
+
+class TestPowersOfTwo:
+    def test_powers(self):
+        for k in range(20):
+            assert is_power_of_two(1 << k)
+
+    def test_non_powers(self):
+        for value in (0, -2, 3, 6, 12, 100):
+            assert not is_power_of_two(value)
+
+    def test_log2_exact(self):
+        assert log2_exact(1) == 0
+        assert log2_exact(4096) == 12
+
+    def test_log2_rejects_non_power(self):
+        with pytest.raises(ConfigurationError):
+            log2_exact(12)
+
+
+class TestWordConversions:
+    def test_round_trip(self):
+        assert bytes_to_words(words_to_bytes(17)) == 17
+
+    def test_bytes_per_word(self):
+        assert words_to_bytes(1) == BYTES_PER_WORD == 4
+
+    def test_unaligned_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bytes_to_words(6)
+
+
+class TestQuantizeNs:
+    def test_exact_multiple_not_rounded_up(self):
+        # 180/20 must be exactly 9, not 10 — the Table 2 pitfall.
+        assert quantize_ns(180.0, 20.0) == 9
+
+    def test_rounds_up(self):
+        assert quantize_ns(180.0, 40.0) == 5
+        assert quantize_ns(100.0, 40.0) == 3
+
+    def test_zero_duration(self):
+        assert quantize_ns(0.0, 40.0) == 0
+
+    def test_covers_duration(self):
+        for duration in (1.0, 33.0, 119.9, 180.0, 421.0):
+            for cycle in (7.0, 20.0, 40.0, 56.0):
+                cycles = quantize_ns(duration, cycle)
+                assert cycles * cycle >= duration - 1e-6
+                if cycles:
+                    assert (cycles - 1) * cycle < duration
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            quantize_ns(10.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            quantize_ns(-1.0, 10.0)
+
+
+class TestFormatSize:
+    def test_kb_mb_bytes(self):
+        assert format_size(4 * KB) == "4KB"
+        assert format_size(2 * MB) == "2MB"
+        assert format_size(100) == "100B"
+
+    def test_non_integral_kb_falls_back(self):
+        assert format_size(KB + 1) == "1025B"

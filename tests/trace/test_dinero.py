@@ -1,0 +1,73 @@
+"""Trace file IO: din and dinp formats."""
+
+import io
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.dinero import read_din, round_trip_equal, write_din
+from repro.trace.record import RefKind, Trace
+
+I, L, S = int(RefKind.IFETCH), int(RefKind.LOAD), int(RefKind.STORE)
+
+
+def sample_trace():
+    return Trace([I, L, S], [0, 0x100, 0x2345], [1, 2, 3], name="t")
+
+
+class TestRoundTrip:
+    def test_dinp_round_trips_everything(self):
+        trace = sample_trace()
+        buffer = io.StringIO()
+        write_din(trace, buffer, with_pids=True)
+        buffer.seek(0)
+        back = read_din(buffer)
+        assert round_trip_equal(trace, back)
+
+    def test_din_drops_pids(self):
+        trace = sample_trace()
+        buffer = io.StringIO()
+        write_din(trace, buffer)
+        buffer.seek(0)
+        back = read_din(buffer)
+        assert (back.pids == 0).all()
+        assert (back.addrs == trace.addrs).all()
+
+    def test_file_path_io(self, tmp_path):
+        path = str(tmp_path / "trace.din")
+        write_din(sample_trace(), path, with_pids=True)
+        back = read_din(path, name="disk")
+        assert back.name == "disk"
+        assert round_trip_equal(sample_trace(), back)
+
+
+class TestFormat:
+    def test_byte_addresses_on_disk(self):
+        buffer = io.StringIO()
+        write_din(Trace([L], [3]), buffer)
+        # Word 3 is byte address 0xc.
+        assert buffer.getvalue().strip() == "0 c"
+
+    def test_labels(self):
+        buffer = io.StringIO()
+        write_din(sample_trace(), buffer)
+        labels = [line.split()[0] for line in buffer.getvalue().splitlines()]
+        assert labels == ["2", "0", "1"]  # ifetch, read, write
+
+    def test_comments_and_blanks_skipped(self):
+        back = read_din(io.StringIO("# header\n\n2 10\n"))
+        assert len(back) == 1
+        assert back[0].kind is RefKind.IFETCH
+
+
+class TestErrors:
+    @pytest.mark.parametrize("line", [
+        "2",                # too few fields
+        "2 10 1 9",         # too many fields
+        "9 10",             # unknown label
+        "2 zz",             # unparsable address
+        "2 -4",             # negative address
+    ])
+    def test_malformed_lines_rejected(self, line):
+        with pytest.raises(TraceError):
+            read_din(io.StringIO(line + "\n"))

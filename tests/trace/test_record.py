@@ -1,0 +1,119 @@
+"""Trace container and reference records."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.record import Reference, RefKind, Trace
+
+
+class TestRefKind:
+    def test_reads_are_loads_and_ifetches(self):
+        assert RefKind.IFETCH.is_read
+        assert RefKind.LOAD.is_read
+        assert not RefKind.STORE.is_read
+
+    def test_data_kinds(self):
+        assert RefKind.LOAD.is_data
+        assert RefKind.STORE.is_data
+        assert not RefKind.IFETCH.is_data
+
+
+class TestReference:
+    def test_rejects_negative_address(self):
+        with pytest.raises(TraceError):
+            Reference(RefKind.LOAD, -1)
+
+    def test_rejects_negative_pid(self):
+        with pytest.raises(TraceError):
+            Reference(RefKind.LOAD, 0, pid=-2)
+
+
+class TestTraceConstruction:
+    def test_from_references_round_trip(self):
+        refs = [
+            Reference(RefKind.IFETCH, 10, 1),
+            Reference(RefKind.STORE, 20, 2),
+        ]
+        trace = Trace.from_references(refs, name="t")
+        assert list(trace) == refs
+
+    def test_default_pids_are_zero(self):
+        trace = Trace([0, 1], [5, 6])
+        assert trace[0].pid == 0
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(TraceError):
+            Trace([0, 1], [5])
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(TraceError):
+            Trace([7], [5])
+
+    def test_rejects_negative_address(self):
+        with pytest.raises(TraceError):
+            Trace([0], [-5])
+
+    def test_rejects_bad_warm_boundary(self):
+        with pytest.raises(TraceError):
+            Trace([0], [5], warm_boundary=2)
+
+    def test_concatenate(self):
+        a = Trace([0], [1])
+        b = Trace([1], [2])
+        combined = Trace.concatenate([a, b], name="ab")
+        assert len(combined) == 2
+        assert combined[1].kind is RefKind.LOAD
+
+    def test_concatenate_empty_rejected(self):
+        with pytest.raises(TraceError):
+            Trace.concatenate([])
+
+
+class TestTraceViews:
+    def test_slice(self):
+        trace = Trace([0, 1, 2], [1, 2, 3], warm_boundary=2)
+        part = trace.slice(1, 3)
+        assert len(part) == 2
+        assert part.warm_boundary == 0
+
+    def test_slice_bounds_checked(self):
+        with pytest.raises(TraceError):
+            Trace([0], [1]).slice(0, 2)
+
+    def test_getitem_rejects_slices(self):
+        with pytest.raises(TypeError):
+            Trace([0], [1])[0:1]
+
+    def test_with_warm_boundary(self):
+        trace = Trace([0, 1], [1, 2]).with_warm_boundary(1)
+        assert trace.warm_boundary == 1
+
+    def test_with_name(self):
+        assert Trace([0], [1]).with_name("x").name == "x"
+
+    def test_as_lists(self):
+        trace = Trace([0, 2], [1, 2], [3, 4])
+        kinds, addrs, pids = trace.as_lists()
+        assert kinds == [0, 2] and addrs == [1, 2] and pids == [3, 4]
+
+
+class TestAggregates:
+    def test_kind_counts(self):
+        trace = Trace([0, 0, 1, 2], [1, 2, 3, 4])
+        assert trace.n_ifetches == 2
+        assert trace.n_loads == 1
+        assert trace.n_stores == 1
+        assert trace.n_reads == 3
+
+    def test_unique_addresses_respect_pid(self):
+        trace = Trace([1, 1], [100, 100], [1, 2])
+        assert trace.n_unique_addresses == 2
+
+    def test_n_processes(self):
+        trace = Trace([1, 1, 1], [1, 2, 3], [5, 5, 9])
+        assert trace.n_processes == 2
+
+    def test_empty_trace(self):
+        trace = Trace([], [])
+        assert trace.n_unique_addresses == 0
+        assert trace.n_processes == 0

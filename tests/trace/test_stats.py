@@ -1,0 +1,72 @@
+"""Trace statistics (Table 1 columns)."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.record import RefKind, Trace
+from repro.trace.stats import (
+    compute_stats,
+    stats_table,
+    unique_addresses_over_time,
+)
+
+I, L, S = int(RefKind.IFETCH), int(RefKind.LOAD), int(RefKind.STORE)
+
+
+def sample_trace():
+    return Trace(
+        [I, L, I, S, I, L],
+        [0, 100, 1, 100, 0, 200],
+        [1, 1, 2, 2, 1, 1],
+        name="sample",
+        warm_boundary=2,
+    )
+
+
+class TestComputeStats:
+    def test_counts(self):
+        stats = compute_stats(sample_trace())
+        assert stats.length == 6
+        assert stats.n_ifetches == 3
+        assert stats.n_loads == 2
+        assert stats.n_stores == 1
+        assert stats.n_reads == 5
+        assert stats.n_processes == 2
+        assert stats.warm_boundary == 2
+
+    def test_unique_kwords(self):
+        stats = compute_stats(sample_trace())
+        # Unique (pid, addr): (1,0),(1,100),(2,1),(2,100),(1,200) = 5.
+        assert stats.n_unique_kwords == pytest.approx(5 / 1024)
+
+    def test_fractions(self):
+        stats = compute_stats(sample_trace())
+        assert stats.data_ref_fraction == pytest.approx(3 / 6)
+        assert stats.store_fraction == pytest.approx(1 / 6)
+
+    def test_empty_trace_fractions(self):
+        stats = compute_stats(Trace([], []))
+        assert stats.data_ref_fraction == 0.0
+        assert stats.store_fraction == 0.0
+
+
+class TestUniqueOverTime:
+    def test_monotone_nondecreasing(self):
+        trace = sample_trace()
+        counts = unique_addresses_over_time(trace, n_points=3)
+        assert counts == sorted(counts)
+        assert counts[-1] == trace.n_unique_addresses
+
+    def test_empty_trace(self):
+        assert unique_addresses_over_time(Trace([], []), 4) == [0, 0, 0, 0]
+
+    def test_rejects_zero_points(self):
+        with pytest.raises(TraceError):
+            unique_addresses_over_time(sample_trace(), 0)
+
+
+class TestStatsTable:
+    def test_renders_all_traces(self):
+        table = stats_table([compute_stats(sample_trace())])
+        assert "sample" in table
+        assert "Procs" in table

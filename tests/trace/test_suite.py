@@ -1,0 +1,76 @@
+"""The eight-trace suite."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.trace.suite import (
+    ALL_TRACES,
+    RISC_TRACES,
+    TRACE_PROGRAMS,
+    VAX_TRACES,
+    VAX_WARM_FRACTION,
+    build_suite,
+    build_trace,
+)
+
+
+class TestComposition:
+    def test_eight_traces(self):
+        assert len(ALL_TRACES) == 8
+        assert set(VAX_TRACES) | set(RISC_TRACES) == set(ALL_TRACES)
+
+    def test_process_counts_follow_table1(self):
+        # Table 1: mu3 has 7 processes, mu6 11, mu10 14, savec 6;
+        # rd1n3 3, rd2n4 4, rd1n5 5, rd2n7 7.
+        expected = {
+            "mu3": 7, "mu6": 11, "mu10": 14, "savec": 6,
+            "rd1n3": 3, "rd2n4": 4, "rd1n5": 5, "rd2n7": 7,
+        }
+        for name, count in expected.items():
+            assert len(TRACE_PROGRAMS[name]) == count
+
+
+class TestBuildTrace:
+    def test_vax_trace_warm_fraction(self):
+        trace = build_trace("mu3", length=10_000)
+        assert len(trace) == 10_000
+        assert trace.warm_boundary == int(10_000 * VAX_WARM_FRACTION)
+
+    def test_risc_trace_has_prefix(self):
+        trace = build_trace("rd1n3", length=10_000)
+        assert len(trace) > 10_000  # prefix prepended
+        assert trace.warm_boundary == len(trace) - 10_000
+
+    def test_deterministic(self):
+        a = build_trace("savec", length=5000, seed=11)
+        b = build_trace("savec", length=5000, seed=11)
+        assert (a.addrs == b.addrs).all()
+        assert (a.kinds == b.kinds).all()
+
+    def test_seed_changes_stream(self):
+        a = build_trace("savec", length=5000, seed=1)
+        b = build_trace("savec", length=5000, seed=2)
+        assert not (a.addrs == b.addrs).all()
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_trace("mu99")
+
+    def test_nonpositive_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_trace("mu3", length=0)
+
+
+class TestBuildSuite:
+    def test_subset_selection(self):
+        suite = build_suite(length=4000, names=["mu3", "rd2n4"])
+        assert set(suite) == {"mu3", "rd2n4"}
+
+    def test_caching_returns_same_object(self):
+        a = build_suite(length=4000, names=["mu3"])["mu3"]
+        b = build_suite(length=4000, names=["mu3"])["mu3"]
+        assert a is b
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_suite(names=["bogus"])

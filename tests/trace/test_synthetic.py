@@ -1,0 +1,165 @@
+"""Synthetic address-stream models."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.trace.synthetic import (
+    DATA_BASE,
+    STACK_BASE,
+    TEXT_BASE,
+    DataModel,
+    InstructionModel,
+    SegmentLayout,
+    ZeroingSweep,
+    _RecencyRing,
+)
+
+
+class TestRecencyRing:
+    def test_remember_and_sample(self):
+        ring = _RecencyRing(4, 1.0, 2.0, 0.5, 0.3, random.Random(0))
+        for item in (10, 20, 30):
+            ring.remember(item)
+        assert ring.sample() in (10, 20, 30)
+
+    def test_wraps_at_capacity(self):
+        ring = _RecencyRing(2, 1.0, 2.0, 0.5, 0.3, random.Random(0))
+        for item in range(5):
+            ring.remember(item)
+        assert len(ring) == 2
+        assert ring.sample() in (3, 4)
+
+    def test_empty_sample_rejected(self):
+        ring = _RecencyRing(2, 1.0, 2.0, 0.5, 0.3, random.Random(0))
+        with pytest.raises(ConfigurationError):
+            ring.sample()
+
+    def test_bad_mixture_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _RecencyRing(2, 1.0, 2.0, 0.7, 0.7, random.Random(0))
+
+
+class TestInstructionModel:
+    def test_addresses_within_segment(self):
+        model = InstructionModel(code_words=1024, rng=random.Random(1))
+        for _ in range(5000):
+            addr = model.next_address()
+            assert TEXT_BASE <= addr < TEXT_BASE + 1024
+
+    def test_deterministic_given_seed(self):
+        a = InstructionModel(code_words=1024, rng=random.Random(7))
+        b = InstructionModel(code_words=1024, rng=random.Random(7))
+        assert [a.next_address() for _ in range(500)] == [
+            b.next_address() for _ in range(500)
+        ]
+
+    def test_sequentiality(self):
+        # A loop-structured PC is mostly sequential: the majority of
+        # address deltas are +1.
+        model = InstructionModel(code_words=4096, rng=random.Random(2))
+        addrs = [model.next_address() for _ in range(5000)]
+        deltas = [b - a for a, b in zip(addrs, addrs[1:])]
+        assert sum(d == 1 for d in deltas) / len(deltas) > 0.7
+
+    def test_rejects_tiny_code(self):
+        with pytest.raises(ConfigurationError):
+            InstructionModel(code_words=4)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ConfigurationError):
+            InstructionModel(code_words=64, p_far_jump=1.5)
+
+
+class TestDataModel:
+    def test_addresses_within_segments(self):
+        model = DataModel(data_words=4096, rng=random.Random(1))
+        span = 1
+        while span < 4096:
+            span <<= 1
+        for _ in range(5000):
+            addr = model.next_address()
+            in_data = DATA_BASE <= addr < DATA_BASE + span
+            in_stack = STACK_BASE <= addr < STACK_BASE + model.stack_span
+            assert in_data or in_stack
+
+    def test_deterministic_given_seed(self):
+        a = DataModel(data_words=4096, rng=random.Random(5))
+        b = DataModel(data_words=4096, rng=random.Random(5))
+        assert [a.next_address() for _ in range(500)] == [
+            b.next_address() for _ in range(500)
+        ]
+
+    def test_reuse_dominates(self):
+        # Most references revisit already-touched words.
+        model = DataModel(data_words=65536, rng=random.Random(3))
+        seen = set()
+        revisits = 0
+        n = 8000
+        for _ in range(n):
+            addr = model.next_address()
+            if addr in seen:
+                revisits += 1
+            seen.add(addr)
+        assert revisits / n > 0.5
+
+    def test_init_sweep_runs_first(self):
+        model = DataModel(
+            data_words=4096, init_words=64, p_stack=0.0,
+            rng=random.Random(4),
+        )
+        assert model.in_init
+        init_addrs = [model.next_address() for _ in range(64)]
+        assert not model.in_init
+        # The sweep is ascending in logical space; scattered addresses
+        # are still unique.
+        assert len(set(init_addrs)) == 64
+
+    def test_scatter_is_bijective(self):
+        model = DataModel(data_words=4096, rng=random.Random(0))
+        space = model._cluster_count << model._cluster_bits
+        mapped = {model._scatter(a) for a in range(space)}
+        assert len(mapped) == space
+        assert min(mapped) >= 0 and max(mapped) < space
+
+    def test_scatter_preserves_intra_cluster_adjacency(self):
+        model = DataModel(data_words=4096, rng=random.Random(0))
+        cluster = 1 << model._cluster_bits
+        base = model._scatter(0)
+        for offset in range(1, cluster):
+            assert model._scatter(offset) == base + offset
+
+    def test_rejects_bad_mixture(self):
+        with pytest.raises(ConfigurationError):
+            DataModel(data_words=64, p_sequential=0.6, p_reuse=0.6)
+
+    def test_rejects_oversized_init(self):
+        with pytest.raises(ConfigurationError):
+            DataModel(data_words=64, init_words=100)
+
+
+class TestZeroingSweep:
+    def test_sequential_and_exhausts(self):
+        sweep = ZeroingSweep(4, base=100)
+        assert [sweep.next_address() for _ in range(4)] == [100, 101, 102, 103]
+        assert sweep.exhausted
+        with pytest.raises(ConfigurationError):
+            sweep.next_address()
+
+    def test_zero_span_is_immediately_exhausted(self):
+        assert ZeroingSweep(0).exhausted
+
+    def test_rejects_negative_span(self):
+        with pytest.raises(ConfigurationError):
+            ZeroingSweep(-1)
+
+
+class TestSegmentLayout:
+    def test_ordering_enforced(self):
+        with pytest.raises(ConfigurationError):
+            SegmentLayout(text=100, data=50, stack=200)
+
+    def test_defaults_ordered(self):
+        layout = SegmentLayout()
+        assert layout.text < layout.data < layout.stack

@@ -1,0 +1,91 @@
+"""Workload presets and program generation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.trace.record import RefKind
+from repro.trace.synthetic import STACK_BASE
+from repro.trace.workloads import (
+    PRESETS,
+    Program,
+    WorkloadSpec,
+    default_layout,
+    make_program,
+)
+
+I, L, S = int(RefKind.IFETCH), int(RefKind.LOAD), int(RefKind.STORE)
+
+
+class TestPresets:
+    def test_all_presets_instantiate(self):
+        for name in PRESETS:
+            program = make_program(name, pid=1, seed=0)
+            kinds, addrs = program.generate(200)
+            assert len(kinds) == len(addrs) >= 200
+
+    def test_mixtures_sum_to_at_most_one(self):
+        for name, spec in PRESETS.items():
+            assert spec.p_sequential + spec.p_reuse <= 1.0, name
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_program("nonesuch", pid=1, seed=0)
+
+    def test_scaled_shrinks_footprints(self):
+        spec = PRESETS["spice"].scaled(0.25)
+        assert spec.code_words == PRESETS["spice"].code_words // 4
+        assert spec.init_words == PRESETS["spice"].init_words // 4
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            PRESETS["spice"].scaled(0.0)
+
+    def test_spec_validates_probabilities(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(name="bad", p_data=1.5)
+
+
+class TestProgramGeneration:
+    def test_reference_mix_tracks_spec(self):
+        program = make_program("fortran_compile", pid=1, seed=1)
+        kinds, _addrs = program.generate(20_000)
+        n = len(kinds)
+        ifetch_frac = kinds.count(I) / n
+        spec = PRESETS["fortran_compile"]
+        expected_ifetch = 1.0 / (1.0 + spec.p_data)
+        assert abs(ifetch_frac - expected_ifetch) < 0.05
+
+    def test_data_follows_ifetch(self):
+        program = make_program("ccom", pid=1, seed=2)
+        kinds, _ = program.generate(2000)
+        for prev, cur in zip(kinds, kinds[1:]):
+            if cur in (L, S):
+                assert prev == I, "data references pair with an ifetch"
+
+    def test_state_persists_across_chunks(self):
+        a = make_program("emacs", pid=1, seed=3)
+        b = make_program("emacs", pid=1, seed=3)
+        whole_kinds, whole_addrs = a.generate(4000)
+        part_kinds, part_addrs = [], []
+        while len(part_kinds) < 4000:
+            k, ad = b.generate(500)
+            part_kinds.extend(k)
+            part_addrs.extend(ad)
+        assert whole_kinds[:4000] == part_kinds[:4000]
+        assert whole_addrs[:4000] == part_addrs[:4000]
+
+    def test_zeroing_programs_start_with_stores(self):
+        program = make_program("egrep", pid=1, seed=4)
+        kinds, _ = program.generate(400)
+        data_kinds = [k for k in kinds[:200] if k != I]
+        assert data_kinds and all(k == S for k in data_kinds)
+
+    def test_pid_affects_layout(self):
+        a = default_layout(1)
+        b = default_layout(2)
+        assert a.data != b.data
+
+    def test_stack_addresses_present(self):
+        program = make_program("ccom", pid=1, seed=5)
+        _, addrs = program.generate(20_000)
+        assert any(addr >= STACK_BASE for addr in addrs)

@@ -1,0 +1,80 @@
+"""Page mapping and the §4 physical-cache constraint."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.units import KB
+from repro.vm.paging import (
+    PageMapper,
+    max_physical_cache_bytes,
+    min_assoc_for_physical_cache,
+)
+
+
+class TestPageMapper:
+    def test_offset_preserved(self):
+        mapper = PageMapper(page_words=1024)
+        paddr = mapper.translate(1, 1024 + 17)
+        assert paddr % 1024 == 17
+
+    def test_stable_mapping(self):
+        mapper = PageMapper()
+        first = mapper.translate(1, 5000)
+        again = mapper.translate(1, 5000)
+        assert first == again
+
+    def test_same_page_same_frame(self):
+        mapper = PageMapper(page_words=1024)
+        a = mapper.translate(1, 2048)
+        b = mapper.translate(1, 2048 + 100)
+        assert a >> 10 == b >> 10
+
+    def test_pids_get_distinct_frames(self):
+        mapper = PageMapper()
+        a = mapper.translate(1, 0)
+        b = mapper.translate(2, 0)
+        assert a != b
+
+    def test_deterministic_given_seed(self):
+        a = PageMapper(seed=3)
+        b = PageMapper(seed=3)
+        for addr in (0, 5000, 123456):
+            assert a.translate(1, addr) == b.translate(1, addr)
+
+    def test_pages_mapped_counts(self):
+        mapper = PageMapper(page_words=1024)
+        mapper.translate(1, 0)
+        mapper.translate(1, 100)   # same page
+        mapper.translate(1, 2048)  # new page
+        assert mapper.pages_mapped == 2
+
+    def test_frames_within_pool(self):
+        mapper = PageMapper(page_words=64, memory_frames=8)
+        for vpage in range(50):
+            paddr = mapper.translate(1, vpage * 64)
+            assert paddr >> 6 < 8
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PageMapper(page_words=100)
+        with pytest.raises(ConfigurationError):
+            PageMapper(memory_frames=0)
+        with pytest.raises(ConfigurationError):
+            PageMapper().translate(-1, 0)
+
+
+class TestConstraint:
+    def test_ibm_3033_example(self):
+        # §4: the IBM 3033 carries a 16-way 64KB cache because of the
+        # virtual-memory constraint (4KB pages).
+        assert max_physical_cache_bytes(4 * KB, 16) == 64 * KB
+        assert min_assoc_for_physical_cache(64 * KB, 4 * KB) == 16
+
+    def test_direct_mapped_capped_at_page(self):
+        assert max_physical_cache_bytes(4 * KB, 1) == 4 * KB
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            max_physical_cache_bytes(0, 1)
+        with pytest.raises(ConfigurationError):
+            min_assoc_for_physical_cache(0, 4 * KB)

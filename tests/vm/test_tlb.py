@@ -1,0 +1,55 @@
+"""TLB behaviour."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.vm.tlb import TLB
+
+
+class TestTLB:
+    def test_miss_then_hit(self):
+        tlb = TLB(entries=4)
+        assert not tlb.access(1, 10)
+        assert tlb.access(1, 10)
+
+    def test_pid_tagged(self):
+        tlb = TLB(entries=4)
+        tlb.access(1, 10)
+        assert not tlb.access(2, 10)
+
+    def test_lru_eviction_fully_associative(self):
+        tlb = TLB(entries=2)
+        tlb.access(1, 1)
+        tlb.access(1, 2)
+        tlb.access(1, 1)   # 2 becomes LRU
+        tlb.access(1, 3)   # evicts 2
+        assert tlb.access(1, 1)
+        assert not tlb.access(1, 2)
+
+    def test_set_associative_indexing(self):
+        tlb = TLB(entries=4, assoc=2)  # 2 sets
+        # Pages 0 and 2 share set 0; pages 1 and 3 share set 1.
+        tlb.access(1, 0)
+        tlb.access(1, 2)
+        tlb.access(1, 4)  # evicts page 0 from set 0
+        assert not tlb.access(1, 0)
+
+    def test_miss_ratio(self):
+        tlb = TLB(entries=4)
+        tlb.access(1, 1)
+        tlb.access(1, 1)
+        assert tlb.miss_ratio == pytest.approx(0.5)
+
+    def test_flush(self):
+        tlb = TLB(entries=4)
+        tlb.access(1, 1)
+        tlb.flush()
+        assert not tlb.access(1, 1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TLB(entries=0)
+        with pytest.raises(ConfigurationError):
+            TLB(entries=6, assoc=4)
+        with pytest.raises(ConfigurationError):
+            TLB(entries=12, assoc=2)  # 6 sets, not a power of two
