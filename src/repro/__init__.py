@@ -21,15 +21,22 @@ from .core import (
 )
 from .errors import (
     AnalysisError,
+    CampaignError,
     ConfigurationError,
+    CorruptResultError,
     ReproError,
+    RunTimeoutError,
     SimulationError,
     TraceError,
 )
 from .sim import (
+    Campaign,
+    CampaignExecutor,
     Engine,
     L1Spec,
     LowerLevelSpec,
+    RetryPolicy,
+    RunJob,
     SimStats,
     SystemConfig,
     baseline_config,
@@ -37,6 +44,7 @@ from .sim import (
     functional_pass,
     replay,
     simulate,
+    sweep_jobs,
 )
 from .analysis import (
     ThreeCBreakdown,
@@ -96,10 +104,18 @@ __all__ = [
     "WriteMissPolicy",
     "WritePolicy",
     "AnalysisError",
+    "CampaignError",
     "ConfigurationError",
+    "CorruptResultError",
     "ReproError",
+    "RunTimeoutError",
     "SimulationError",
     "TraceError",
+    "Campaign",
+    "CampaignExecutor",
+    "RetryPolicy",
+    "RunJob",
+    "sweep_jobs",
     "Engine",
     "L1Spec",
     "LowerLevelSpec",

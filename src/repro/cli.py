@@ -1,14 +1,21 @@
 """Command-line interface: ``repro-sim``.
 
-Three subcommands:
+Main subcommands:
 
-* ``repro-sim experiment <id|all> [--full] [--length N] [--traces a,b]``
-  — regenerate one of the paper's tables/figures (see DESIGN.md §5);
+* ``repro-sim experiment <id|all> [--full] [--length N] [--traces a,b]
+  [--keep-going]`` — regenerate one of the paper's tables/figures (see
+  DESIGN.md §5);
 * ``repro-sim simulate [--size-kb N] [--assoc A] [--block-words W]
   [--cycle-ns T] [--trace NAME] [--engine]`` — run one configuration on
   one trace and print its statistics;
 * ``repro-sim traces [--length N]`` — print the Table 1 analogue for the
-  synthetic suite.
+  synthetic suite;
+* ``repro-sim campaign run|status|fsck <dir>`` — fault-tolerant sweep
+  execution over a persisted campaign directory: ``run`` executes a
+  (size x cycle-time) sweep with worker isolation, per-run timeouts and
+  retries (``--jobs/--timeout/--retries/--keep-going``); ``status``
+  prints the manifest journal; ``fsck`` validates every stored result's
+  checksum and optionally quarantines corruption (``--repair``).
 """
 
 from __future__ import annotations
@@ -39,14 +46,25 @@ def _settings_from(args: argparse.Namespace) -> ExperimentSettings:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    from .errors import ReproError
+    from .experiments.common import failed_result
+
     settings = _settings_from(args)
     ids = list_experiments() if args.id == "all" else [args.id]
+    failures = 0
     for experiment_id in ids:
-        result = run_experiment(experiment_id, settings)
+        try:
+            result = run_experiment(experiment_id, settings)
+        except ReproError as exc:
+            if not args.keep_going:
+                raise
+            result = failed_result(experiment_id, exc)
+        if not result.ok:
+            failures += 1
         print(f"== {result.experiment_id}: {result.title} ==")
         print(result.text)
         print()
-    return 0
+    return 1 if failures else 0
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -142,6 +160,9 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--traces", default="",
                      help="comma-separated subset of trace names")
     exp.add_argument("--seed", type=int, default=0)
+    exp.add_argument("--keep-going", action="store_true",
+                     help="render failed experiments as flagged "
+                          "placeholders instead of aborting the batch")
     exp.set_defaults(func=_cmd_experiment)
 
     simp = sub.add_parser("simulate", help="run one configuration")
@@ -207,7 +228,148 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--traces", default="")
     rep.add_argument("--seed", type=int, default=0)
     rep.set_defaults(func=_cmd_report)
+
+    camp = sub.add_parser(
+        "campaign",
+        help="fault-tolerant sweep execution over a results directory",
+    )
+    csub = camp.add_subparsers(dest="campaign_command", required=True)
+
+    crun = csub.add_parser(
+        "run", help="execute a (size x cycle time) sweep resiliently"
+    )
+    crun.add_argument("directory", help="campaign results directory")
+    crun.add_argument("--sizes-kb", default="4,16,64",
+                      help="comma-separated per-cache sizes in KB")
+    crun.add_argument("--cycles-ns", default="20,40,80",
+                      help="comma-separated cycle times in ns")
+    crun.add_argument("--assoc", type=int, default=1)
+    crun.add_argument("--block-words", type=int, default=4)
+    crun.add_argument("--traces", default="",
+                      help="comma-separated subset of trace names")
+    crun.add_argument("--length", type=int, default=120_000)
+    crun.add_argument("--seed", type=int, default=0)
+    crun.add_argument("--jobs", type=int, default=1,
+                      help="concurrent isolated worker processes")
+    crun.add_argument("--timeout", type=float, default=None,
+                      help="per-run wall-clock timeout in seconds")
+    crun.add_argument("--retries", type=int, default=2,
+                      help="retries after a failed attempt "
+                           "(max attempts = retries + 1)")
+    crun.add_argument("--keep-going", action="store_true",
+                      help="finish the sweep even when runs exhaust "
+                           "their retries; failures stay journaled in "
+                           "the manifest")
+    crun.add_argument("--engine", action="store_true",
+                      help="use the reference engine (supports "
+                           "cooperative timeout cancellation)")
+    crun.set_defaults(func=_cmd_campaign_run)
+
+    cstat = csub.add_parser(
+        "status", help="print the campaign manifest journal"
+    )
+    cstat.add_argument("directory")
+    cstat.set_defaults(func=_cmd_campaign_status)
+
+    cfsck = csub.add_parser(
+        "fsck", help="validate every stored result's checksum"
+    )
+    cfsck.add_argument("directory")
+    cfsck.add_argument("--repair", action="store_true",
+                       help="quarantine corrupt files and delete stray "
+                            "temp files instead of only reporting them")
+    cfsck.set_defaults(func=_cmd_campaign_fsck)
     return parser
+
+
+def _parse_float_list(raw: str, flag: str) -> List[float]:
+    from .errors import ConfigurationError
+
+    values = []
+    for item in raw.split(","):
+        item = item.strip()
+        if not item:
+            raise ConfigurationError(f"{flag}: empty value in {raw!r}")
+        try:
+            values.append(float(item))
+        except ValueError:
+            raise ConfigurationError(f"{flag}: invalid number {item!r}")
+    return values
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    from .errors import CampaignError, ConfigurationError
+    from .sim.campaign import Campaign
+    from .sim.resilience import CampaignExecutor, RetryPolicy, sweep_jobs
+
+    try:
+        names = tuple(
+            t.strip() for t in args.traces.split(",")
+        ) if args.traces else ALL_TRACES
+        suite = build_suite(length=args.length, names=names, seed=args.seed)
+        configs = [
+            baseline_config(
+                cache_size_bytes=int(size_kb * KB),
+                block_words=args.block_words,
+                assoc=args.assoc,
+                cycle_ns=cycle_ns,
+            )
+            for size_kb in _parse_float_list(args.sizes_kb, "--sizes-kb")
+            for cycle_ns in _parse_float_list(args.cycles_ns, "--cycles-ns")
+        ]
+    except ConfigurationError as exc:
+        print(f"repro-sim campaign run: error: {exc}", file=sys.stderr)
+        return 2
+    simulate_fn = simulate if args.engine else fast_simulate
+    jobs = sweep_jobs(
+        configs, list(suite.values()), simulate_fn=simulate_fn,
+        seed=args.seed,
+    )
+    campaign = Campaign(args.directory)
+    executor = CampaignExecutor(
+        campaign,
+        jobs=args.jobs,
+        timeout_s=args.timeout,
+        retry=RetryPolicy(max_attempts=args.retries + 1),
+        keep_going=args.keep_going,
+    )
+    try:
+        report = executor.run_sweep(jobs)
+    except CampaignError as exc:
+        print(executor.manifest.render())
+        print(f"campaign aborted: {exc}")
+        return 1
+    print(report.render())
+    return 0 if report.all_ok else 1
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    from .sim.campaign import Campaign
+    from .sim.resilience import CampaignManifest
+
+    campaign = Campaign(args.directory)
+    manifest = CampaignManifest.for_campaign(campaign)
+    if not manifest.runs:
+        print(f"{args.directory}: no manifest "
+              f"({len(campaign)} result file(s) on disk)")
+        return 0
+    print(manifest.render())
+    stored = len(campaign)
+    if stored != len(manifest.runs):
+        print(f"note: {stored} result file(s) on disk vs "
+              f"{len(manifest.runs)} journaled run(s)")
+    return 0 if not manifest.incomplete() else 1
+
+
+def _cmd_campaign_fsck(args: argparse.Namespace) -> int:
+    from .sim.campaign import Campaign
+
+    campaign = Campaign(args.directory)
+    report = campaign.fsck(repair=args.repair)
+    print(report.render())
+    if report.clean or args.repair:
+        return 0
+    return 1
 
 
 def _cmd_report(args: argparse.Namespace) -> int:

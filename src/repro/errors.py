@@ -39,3 +39,31 @@ class AnalysisError(ReproError):
     outside of the simulated cycle-time range, or when a parabola fit is
     requested on fewer than three block-size points.
     """
+
+
+class CampaignError(ReproError):
+    """A campaign-level failure: a sweep aborted, a manifest could not be
+    journaled, or a run exhausted its retry budget with ``keep_going``
+    disabled."""
+
+
+class CorruptResultError(CampaignError):
+    """A persisted campaign artifact is unreadable or fails validation.
+
+    Raised when a stored result file contains malformed JSON, is missing
+    required keys, or its content checksum does not match the payload.
+    The offending path (when known) is carried on :attr:`path` so callers
+    can quarantine it.
+    """
+
+    def __init__(self, message: str, path=None) -> None:
+        super().__init__(message)
+        self.path = path
+
+
+class RunTimeoutError(CampaignError):
+    """A single simulation run exceeded its wall-clock budget.
+
+    Raised cooperatively by the engine's cancellation hook, or recorded
+    by the campaign executor after terminating a hung worker process.
+    """

@@ -93,15 +93,34 @@ class ExperimentSettings:
 @dataclass
 class ExperimentResult:
     """What every experiment returns: an id, a rendered report, and the
-    structured numbers behind it (for tests and EXPERIMENTS.md)."""
+    structured numbers behind it (for tests and EXPERIMENTS.md).
+
+    ``ok`` is False for a placeholder produced by a failed experiment in
+    a keep-going batch (see :func:`failed_result`): the batch renders
+    the failure explicitly instead of aborting the remaining artifacts.
+    """
 
     experiment_id: str
     title: str
     text: str
     data: Dict[str, object]
+    ok: bool = True
 
     def __str__(self) -> str:
         return f"== {self.experiment_id}: {self.title} ==\n{self.text}"
+
+
+def failed_result(
+    experiment_id: str, error: Exception
+) -> ExperimentResult:
+    """Placeholder for an experiment that failed in a keep-going batch."""
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title="(failed)",
+        text=f"FAILED: {type(error).__name__}: {error}",
+        data={"error": str(error), "error_type": type(error).__name__},
+        ok=False,
+    )
 
 
 def suite_for(settings: ExperimentSettings) -> Dict[str, Trace]:

@@ -8,8 +8,8 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
-from ..errors import ConfigurationError
-from .common import ExperimentResult, ExperimentSettings
+from ..errors import ConfigurationError, ReproError
+from .common import ExperimentResult, ExperimentSettings, failed_result
 from . import (
     fig3_1,
     fig3_2,
@@ -62,6 +62,21 @@ def run_experiment(
 
 def run_all(
     settings: Optional[ExperimentSettings] = None,
+    keep_going: bool = False,
 ) -> List[ExperimentResult]:
-    """Run every experiment (used to assemble EXPERIMENTS.md)."""
-    return [run(settings) for run in EXPERIMENTS.values()]
+    """Run every experiment (used to assemble EXPERIMENTS.md).
+
+    With ``keep_going=True`` a failing experiment yields a placeholder
+    :class:`ExperimentResult` (``ok=False``) flagging the failure, and
+    the remaining artifacts still run — a partial report with the
+    missing points marked beats no report at all.
+    """
+    results = []
+    for experiment_id, run in EXPERIMENTS.items():
+        try:
+            results.append(run(settings))
+        except ReproError as exc:
+            if not keep_going:
+                raise
+            results.append(failed_result(experiment_id, exc))
+    return results

@@ -1,5 +1,7 @@
-"""Simulators: system configuration, reference engine, fastpath, stats."""
+"""Simulators: system configuration, reference engine, fastpath, stats,
+and the fault-tolerant campaign layer."""
 
+from .campaign import Campaign, atomic_write_text, run_id
 from .config import L1Spec, LowerLevelSpec, SystemConfig, baseline_config
 from .engine import Engine, LowerCacheLevel, simulate
 from .fastpath import (
@@ -10,6 +12,16 @@ from .fastpath import (
     fast_simulate,
     functional_pass,
     replay,
+)
+from .resilience import (
+    CampaignExecutor,
+    CampaignManifest,
+    CampaignReport,
+    RetryPolicy,
+    RunJob,
+    RunRecord,
+    make_deadline_check,
+    sweep_jobs,
 )
 from .statistics import BufferCounters, CacheCounters, SimStats
 
@@ -31,4 +43,15 @@ __all__ = [
     "BufferCounters",
     "CacheCounters",
     "SimStats",
+    "Campaign",
+    "atomic_write_text",
+    "run_id",
+    "CampaignExecutor",
+    "CampaignManifest",
+    "CampaignReport",
+    "RetryPolicy",
+    "RunJob",
+    "RunRecord",
+    "make_deadline_check",
+    "sweep_jobs",
 ]

@@ -1,4 +1,4 @@
-"""Simulation campaigns: persist and reload run results.
+"""Simulation campaigns: persist and reload run results, crash-safely.
 
 The paper's workflow stored an "18KB raw data file" of up to ~400
 statistics per simulation, from which "a custom program reads in the raw
@@ -7,20 +7,97 @@ data files and generates the graphs and tables".  A
 land on disk as JSON, keyed by a deterministic run id derived from the
 configuration and trace, so analysis can be re-run — or extended —
 without re-simulating, and interrupted sweeps resume where they stopped.
+
+Long sweeps fail in ways short ones never show, so persistence is
+defensive throughout:
+
+* every write goes through :func:`atomic_write_text` — write to a
+  temporary file in the same directory, fsync, then ``os.replace`` — so
+  a crash mid-save never leaves a partial ``*.json`` visible;
+* payloads carry a schema version and a SHA-256 checksum of the
+  canonicalized statistics, so bitrot, truncation and foreign files are
+  detected on load (:exc:`~repro.errors.CorruptResultError`) rather than
+  surfacing as :exc:`json.JSONDecodeError` or :exc:`KeyError`;
+* corrupt files are *quarantined* (moved to ``<dir>/quarantine/``) and
+  re-simulated instead of poisoning or aborting the campaign
+  (:meth:`Campaign.run`, :meth:`Campaign.results`, :meth:`Campaign.fsck`).
+
+The orchestration side — worker isolation, timeouts, retries, the
+campaign manifest — lives in :mod:`repro.sim.resilience`.
 """
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import hashlib
 import json
+import os
 from pathlib import Path
-from typing import Callable, Dict, Iterator, Union
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, CorruptResultError
 from ..trace.record import Trace
 from .config import SystemConfig
 from .statistics import BufferCounters, CacheCounters, SimStats
+
+#: Version of the on-disk result payload.  Version 1 (the original
+#: ``{"run_id", "stats"}`` shape) is still readable; version 2 adds the
+#: ``schema`` and ``checksum`` fields.  Readers tolerate *newer*
+#: versions as long as the checksum validates and the known statistics
+#: fields are present.
+SCHEMA_VERSION = 2
+
+#: Name of the per-campaign status journal (see
+#: :class:`repro.sim.resilience.CampaignManifest`).  Excluded from the
+#: result-file namespace.
+MANIFEST_NAME = "manifest.json"
+
+#: Subdirectory corrupt result files are moved into.
+QUARANTINE_DIRNAME = "quarantine"
+
+#: Prefix of the temporary files :func:`atomic_write_text` stages writes
+#: in.  They never match the ``*.json`` result glob; ``fsck`` sweeps any
+#: that a hard crash left behind.
+_TMP_PREFIX = ".tmp."
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + rename).
+
+    The temporary file lives in the target directory so the final
+    ``os.replace`` is a same-filesystem rename — the file either exists
+    with its complete contents or not at all, even across a crash or
+    power loss mid-write.  Data is fsynced before the rename; the
+    directory entry is fsynced best-effort after it.
+    """
+    path = Path(path)
+    tmp = path.parent / f"{_TMP_PREFIX}{path.name}.{os.getpid()}"
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            tmp.unlink()
+        raise
+    try:
+        dir_fd = os.open(path.parent, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)
+
+
+#: Signature of the writer hook :class:`Campaign` persists through.
+#: Injectable so the fault harness can simulate ENOSPC and kill-9.
+WriterFn = Callable[[Path, str], None]
 
 
 def _config_fingerprint(config: SystemConfig) -> str:
@@ -62,49 +139,217 @@ def stats_to_dict(stats: SimStats) -> Dict:
     return dataclasses.asdict(stats)
 
 
+def _known_fields(cls, payload: Dict) -> Dict:
+    """Drop keys a newer schema may have added before rebuilding ``cls``."""
+    names = {f.name for f in dataclasses.fields(cls)}
+    return {k: v for k, v in payload.items() if k in names}
+
+
 def stats_from_dict(payload: Dict) -> SimStats:
-    """Inverse of :func:`stats_to_dict`."""
-    payload = dict(payload)
-    payload["icache"] = CacheCounters(**payload["icache"])
-    payload["dcache"] = CacheCounters(**payload["dcache"])
-    payload["lower"] = (
-        CacheCounters(**payload["lower"]) if payload.get("lower") else None
+    """Inverse of :func:`stats_to_dict`.
+
+    Tolerates unknown keys written by newer schema versions (they are
+    ignored); a payload missing required fields or with wrongly-shaped
+    values raises :exc:`~repro.errors.CorruptResultError` rather than a
+    bare :exc:`KeyError`/:exc:`TypeError`.
+    """
+    if not isinstance(payload, dict):
+        raise CorruptResultError(
+            f"stats payload is {type(payload).__name__}, expected object"
+        )
+    try:
+        payload = dict(payload)
+        payload["icache"] = CacheCounters(
+            **_known_fields(CacheCounters, payload["icache"])
+        )
+        payload["dcache"] = CacheCounters(
+            **_known_fields(CacheCounters, payload["dcache"])
+        )
+        payload["lower"] = (
+            CacheCounters(**_known_fields(CacheCounters, payload["lower"]))
+            if payload.get("lower")
+            else None
+        )
+        payload["buffer"] = BufferCounters(
+            **_known_fields(BufferCounters, payload["buffer"])
+        )
+        return SimStats(**_known_fields(SimStats, payload))
+    except (KeyError, TypeError, AttributeError) as exc:
+        raise CorruptResultError(
+            f"stats payload is malformed: {exc!r}"
+        ) from exc
+
+
+def payload_checksum(stats_payload: Dict) -> str:
+    """SHA-256 over the canonical JSON encoding of a stats payload."""
+    canonical = json.dumps(
+        stats_payload, sort_keys=True, separators=(",", ":")
     )
-    payload["buffer"] = BufferCounters(**payload["buffer"])
-    return SimStats(**payload)
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+@dataclasses.dataclass
+class FsckReport:
+    """Outcome of :meth:`Campaign.fsck`."""
+
+    ok: List[str]
+    corrupt: List[Tuple[Path, str]]
+    quarantined: List[Path]
+    stray_tmp: List[Path]
+
+    @property
+    def clean(self) -> bool:
+        return not self.corrupt and not self.stray_tmp
+
+    def render(self) -> str:
+        lines = [
+            f"{len(self.ok)} result(s) ok, {len(self.corrupt)} corrupt, "
+            f"{len(self.stray_tmp)} stray temp file(s)"
+        ]
+        for path, reason in self.corrupt:
+            lines.append(f"  corrupt: {path.name}: {reason}")
+        for path in self.quarantined:
+            lines.append(f"  quarantined -> {path}")
+        for path in self.stray_tmp:
+            lines.append(f"  stray temp: {path.name}")
+        return "\n".join(lines)
 
 
 class Campaign:
     """A directory of persisted simulation results.
 
     ``campaign.run(config, trace, simulate_fn)`` returns the cached
-    result when the run id is already on disk and simulates (then
-    persists) otherwise.
+    result when the run id is already on disk — after validating it —
+    and simulates (then persists) otherwise.  A stored file that fails
+    validation is quarantined and transparently re-simulated.
+
+    ``writer`` overrides the persistence primitive (default
+    :func:`atomic_write_text`); the fault-injection harness uses this to
+    simulate ENOSPC and kill-9 during saves.
     """
 
-    def __init__(self, directory: Union[str, Path]) -> None:
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        writer: Optional[WriterFn] = None,
+    ) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self._writer: WriterFn = writer or atomic_write_text
 
     def _path(self, identifier: str) -> Path:
         return self.directory / f"{identifier}.json"
+
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.directory / QUARANTINE_DIRNAME
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.directory / MANIFEST_NAME
+
+    def _result_paths(self) -> Iterator[Path]:
+        for path in sorted(self.directory.glob("*.json")):
+            if path.name != MANIFEST_NAME:
+                yield path
 
     def __contains__(self, identifier: str) -> bool:
         return self._path(identifier).exists()
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.directory.glob("*.json"))
+        return sum(1 for _ in self._result_paths())
 
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
     def save(self, identifier: str, stats: SimStats) -> None:
-        payload = {"run_id": identifier, "stats": stats_to_dict(stats)}
-        self._path(identifier).write_text(json.dumps(payload, indent=1))
+        """Persist one result atomically, with schema and checksum."""
+        stats_payload = stats_to_dict(stats)
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "run_id": identifier,
+            "checksum": payload_checksum(stats_payload),
+            "stats": stats_payload,
+        }
+        self._writer(self._path(identifier), json.dumps(payload, indent=1))
+
+    def _read_payload(self, path: Path) -> Dict:
+        """Read and validate one result file; raise on any corruption."""
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise CorruptResultError(
+                f"{path.name}: unreadable: {exc}", path=path
+            ) from exc
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise CorruptResultError(
+                f"{path.name}: malformed JSON: {exc}", path=path
+            ) from exc
+        if not isinstance(payload, dict) or "stats" not in payload:
+            raise CorruptResultError(
+                f"{path.name}: missing 'stats' payload", path=path
+            )
+        schema = payload.get("schema", 1)
+        if not isinstance(schema, int) or schema < 1:
+            raise CorruptResultError(
+                f"{path.name}: bad schema marker {schema!r}", path=path
+            )
+        if schema >= 2 or "checksum" in payload:
+            stored = payload.get("checksum")
+            actual = payload_checksum(payload["stats"])
+            if stored != actual:
+                raise CorruptResultError(
+                    f"{path.name}: checksum mismatch "
+                    f"(stored {str(stored)[:12]}…, computed {actual[:12]}…)",
+                    path=path,
+                )
+        return payload
 
     def load(self, identifier: str) -> SimStats:
+        """Load one stored result, validating checksum and shape."""
         path = self._path(identifier)
         if not path.exists():
             raise ConfigurationError(f"no stored run {identifier!r}")
-        payload = json.loads(path.read_text())
-        return stats_from_dict(payload["stats"])
+        payload = self._read_payload(path)
+        stored_id = payload.get("run_id")
+        if stored_id is not None and stored_id != identifier:
+            raise CorruptResultError(
+                f"{path.name}: run id mismatch "
+                f"(stored {stored_id!r}, expected {identifier!r})",
+                path=path,
+            )
+        try:
+            return stats_from_dict(payload["stats"])
+        except CorruptResultError as exc:
+            raise CorruptResultError(
+                f"{path.name}: {exc}", path=path
+            ) from exc
+
+    def verify(self, identifier: str) -> None:
+        """Validate one stored result without returning it.
+
+        Raises :exc:`~repro.errors.CorruptResultError` on corruption and
+        :exc:`~repro.errors.ConfigurationError` when the run is absent.
+        """
+        self.load(identifier)
+
+    def quarantine(self, identifier_or_path: Union[str, Path]) -> Path:
+        """Move a corrupt file into ``quarantine/``; return its new home."""
+        path = (
+            identifier_or_path
+            if isinstance(identifier_or_path, Path)
+            else self._path(identifier_or_path)
+        )
+        self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+        target = self.quarantine_dir / path.name
+        serial = 0
+        while target.exists():
+            serial += 1
+            target = self.quarantine_dir / f"{path.name}.{serial}"
+        os.replace(path, target)
+        return target
 
     def run(
         self,
@@ -112,15 +357,78 @@ class Campaign:
         trace: Trace,
         simulate_fn: Callable[[SystemConfig, Trace], SimStats],
     ) -> SimStats:
-        """Return the stored result for this run, simulating on a miss."""
+        """Return the stored result for this run, simulating on a miss.
+
+        A stored file that fails validation is quarantined and the run
+        re-simulated — a corrupt archive degrades to extra work, never to
+        a crash or a silently wrong result.
+        """
         identifier = run_id(config, trace)
         if identifier in self:
-            return self.load(identifier)
+            try:
+                return self.load(identifier)
+            except CorruptResultError:
+                self.quarantine(identifier)
         stats = simulate_fn(config, trace)
         self.save(identifier, stats)
         return stats
 
-    def results(self) -> Iterator[SimStats]:
-        """Iterate every stored result (arbitrary order)."""
-        for path in sorted(self.directory.glob("*.json")):
-            yield stats_from_dict(json.loads(path.read_text())["stats"])
+    def results(self, on_corrupt: str = "quarantine") -> Iterator[SimStats]:
+        """Iterate every stored result (sorted by run id).
+
+        ``on_corrupt`` selects the degradation policy for bad files:
+        ``"quarantine"`` (default) moves them aside and continues,
+        ``"skip"`` leaves them in place and continues, ``"raise"``
+        propagates :exc:`~repro.errors.CorruptResultError`.
+        """
+        if on_corrupt not in ("quarantine", "skip", "raise"):
+            raise ConfigurationError(
+                f"on_corrupt must be quarantine|skip|raise, "
+                f"got {on_corrupt!r}"
+            )
+        for path in list(self._result_paths()):
+            try:
+                yield stats_from_dict(self._read_payload(path)["stats"])
+            except CorruptResultError:
+                if on_corrupt == "raise":
+                    raise
+                if on_corrupt == "quarantine":
+                    self.quarantine(path)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def fsck(self, repair: bool = False) -> FsckReport:
+        """Validate every stored result's checksum and payload shape.
+
+        With ``repair=True``, corrupt files are quarantined and stray
+        temp files (left by a crash between write and rename) deleted;
+        otherwise they are only reported.
+        """
+        ok: List[str] = []
+        corrupt: List[Tuple[Path, str]] = []
+        quarantined: List[Path] = []
+        for path in list(self._result_paths()):
+            try:
+                payload = self._read_payload(path)
+                stats_from_dict(payload["stats"])
+                stored_id = payload.get("run_id")
+                if stored_id is not None and f"{stored_id}.json" != path.name:
+                    raise CorruptResultError(
+                        f"{path.name}: run id {stored_id!r} does not match "
+                        f"file name",
+                        path=path,
+                    )
+                ok.append(path.stem)
+            except CorruptResultError as exc:
+                corrupt.append((path, str(exc)))
+                if repair:
+                    quarantined.append(self.quarantine(path))
+        stray = sorted(self.directory.glob(f"{_TMP_PREFIX}*"))
+        if repair:
+            for path in stray:
+                with contextlib.suppress(OSError):
+                    path.unlink()
+        return FsckReport(
+            ok=ok, corrupt=corrupt, quarantined=quarantined, stray_tmp=stray
+        )

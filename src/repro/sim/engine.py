@@ -32,7 +32,7 @@ for single-word bypass writes, whose effect on timing is negligible.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from ..cache.cache import Cache, key_block_addr, key_pid
 from ..cache.writebuffer import TimedWriteBuffer
@@ -327,13 +327,27 @@ class Engine:
                 below, self.wb, l1.policy.miss_handling, self.translator,
             )
 
+    #: Couplets between cooperative-cancellation checks; a power of two
+    #: so the hot loop's test is a single mask.
+    CANCEL_CHECK_MASK = 0x0FFF
+
     def run(
-        self, trace: Trace, couplets: Optional[CoupletStream] = None
+        self,
+        trace: Trace,
+        couplets: Optional[CoupletStream] = None,
+        cancel_check: Optional[Callable[[], None]] = None,
     ) -> SimStats:
         """Simulate one trace; return warm-start statistics.
 
         ``couplets`` may be passed to reuse a prepaired stream across
         engine instances (the pairing is configuration independent).
+
+        ``cancel_check`` is a cooperative-cancellation hook, invoked
+        every :data:`CANCEL_CHECK_MASK` + 1 couplets; it aborts the run
+        by raising (typically :exc:`~repro.errors.RunTimeoutError` from
+        :func:`repro.sim.resilience.make_deadline_check`), which lets a
+        campaign executor stop a over-budget simulation from inside the
+        worker instead of killing the process.
         """
         config = self.config
         if couplets is None:
@@ -359,7 +373,10 @@ class Engine:
         if warm_k == 0:
             snap_mem = (self.memory.reads, self.memory.writes,
                         self.memory.busy_cycles)
+        check_mask = self.CANCEL_CHECK_MASK
         for k in range(len(i_addr)):
+            if cancel_check is not None and not (k & check_mask):
+                cancel_check()
             if k == warm_k:
                 warm_cycles = now
                 snap_i = iport.counters.snapshot()
@@ -419,6 +436,9 @@ def simulate(
     trace: Trace,
     couplets: Optional[CoupletStream] = None,
     seed: int = 0,
+    cancel_check: Optional[Callable[[], None]] = None,
 ) -> SimStats:
     """One-shot convenience wrapper: build an engine and run one trace."""
-    return Engine(config, seed=seed).run(trace, couplets=couplets)
+    return Engine(config, seed=seed).run(
+        trace, couplets=couplets, cancel_check=cancel_check
+    )

@@ -1,0 +1,230 @@
+"""Deterministic fault injection for the campaign resilience layer.
+
+Resilience code that is only exercised by real failures is untested
+code.  This module injects every failure mode the executor and the
+persistence layer claim to survive — worker crashes, hangs, transient
+exceptions, ENOSPC-style write failures, truncated and corrupted result
+files, and kill-9 mid-save — *deterministically*: a :class:`FaultPlan`
+maps job indices to :class:`FaultSpec` entries that fire on chosen
+attempt numbers, so a test can script "job 7 crashes on its first
+attempt and succeeds on its second" with no real clocks, signals or
+flaky sleeps involved.
+
+The plan is consulted by :class:`~repro.sim.resilience.CampaignExecutor`
+at three seams:
+
+* ``worker_faults(index, attempt)`` — inside the worker process, before
+  simulation: ``crash`` calls ``os._exit`` (a hard death the parent
+  only sees as a silent exit code), ``error`` raises a transient
+  exception, ``sleep`` hangs the worker for real (exercising the
+  terminate-on-timeout path);
+* ``is_simulated_hang(index, attempt)`` — in the parent, before
+  launching: a virtual-clock timeout that exercises the retry/backoff
+  bookkeeping without waiting on wall time;
+* ``save_faults`` / ``post_save_faults`` — in the parent, around
+  persistence: ``enospc`` raises :class:`OSError` before the write,
+  ``corrupt`` / ``truncate`` damage the file *after* a successful save,
+  the way bitrot or a torn write would.
+
+Everything here is picklable, so plans travel into worker processes
+unchanged.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Mapping, Sequence, Tuple, Union
+
+from .campaign import atomic_write_text
+from .resilience import CRASH_EXIT_CODE
+
+#: Fault kinds a :class:`FaultSpec` can carry.
+CRASH = "crash"          # worker: hard os._exit, no message to the parent
+ERROR = "error"          # worker: raises InjectedWorkerError
+SLEEP = "sleep"          # worker: real hang; parent must terminate it
+HANG = "hang"            # parent: simulated timeout (no wall time passes)
+ENOSPC = "enospc"        # parent: save raises OSError(ENOSPC)
+CORRUPT = "corrupt"      # parent: garbage written into the saved file
+TRUNCATE = "truncate"    # parent: saved file cut in half
+
+KINDS = (CRASH, ERROR, SLEEP, HANG, ENOSPC, CORRUPT, TRUNCATE)
+
+#: How long a ``sleep`` fault hangs the worker.  Far longer than any
+#: test timeout, so the outcome (terminated by the parent) is
+#: deterministic, while the test itself only waits out its own timeout.
+SLEEP_FAULT_SECONDS = 600.0
+
+
+class InjectedWorkerError(RuntimeError):
+    """The transient in-worker failure an ``error`` fault raises."""
+
+
+class InjectedCrash(BaseException):
+    """Simulates an untrappable death (kill -9, power loss).
+
+    Derives from :class:`BaseException` so ordinary ``except Exception``
+    recovery code cannot accidentally swallow it — just as nothing can
+    catch a real SIGKILL.
+    """
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault: what goes wrong and on which attempts it fires."""
+
+    kind: str
+    attempts: Tuple[int, ...] = (1,)
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; one of {KINDS}"
+            )
+
+    def fires(self, attempt: int) -> bool:
+        return attempt in self.attempts
+
+
+def always(kind: str, max_attempts: int = 16) -> FaultSpec:
+    """A permanent fault: fires on every attempt a policy could make."""
+    return FaultSpec(kind, attempts=tuple(range(1, max_attempts + 1)))
+
+
+class FaultPlan:
+    """Maps job index -> faults; consulted by the executor at each seam."""
+
+    def __init__(
+        self,
+        by_index: Mapping[int, Union[FaultSpec, Iterable[FaultSpec]]] = (),
+    ) -> None:
+        plan: Dict[int, Tuple[FaultSpec, ...]] = {}
+        for index, specs in dict(by_index).items():
+            if isinstance(specs, FaultSpec):
+                specs = (specs,)
+            plan[index] = tuple(specs)
+        self._plan = plan
+
+    def should(self, index: int, kind: str, attempt: int) -> bool:
+        return any(
+            spec.kind == kind and spec.fires(attempt)
+            for spec in self._plan.get(index, ())
+        )
+
+    @property
+    def faulty_indices(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._plan))
+
+    # -- worker-side ----------------------------------------------------
+    def worker_faults(self, index: int, attempt: int) -> None:
+        """Called inside the worker process before simulation."""
+        if self.should(index, CRASH, attempt):
+            os._exit(CRASH_EXIT_CODE)
+        if self.should(index, SLEEP, attempt):
+            time.sleep(SLEEP_FAULT_SECONDS)
+        if self.should(index, ERROR, attempt):
+            raise InjectedWorkerError(
+                f"injected transient failure (job {index}, "
+                f"attempt {attempt})"
+            )
+
+    # -- parent-side ----------------------------------------------------
+    def is_simulated_hang(self, index: int, attempt: int) -> bool:
+        return self.should(index, HANG, attempt)
+
+    def save_faults(self, index: int, attempt: int) -> None:
+        if self.should(index, ENOSPC, attempt):
+            raise OSError(
+                errno.ENOSPC,
+                f"injected: no space left on device (job {index}, "
+                f"attempt {attempt})",
+            )
+
+    def post_save_faults(
+        self, index: int, attempt: int, path: Union[str, Path]
+    ) -> None:
+        if self.should(index, CORRUPT, attempt):
+            corrupt_file(path)
+        if self.should(index, TRUNCATE, attempt):
+            truncate_file(path)
+
+
+# ----------------------------------------------------------------------
+# File damage primitives
+# ----------------------------------------------------------------------
+def corrupt_file(path: Union[str, Path]) -> None:
+    """Overwrite the middle of a file with garbage bytes.
+
+    The garbage contains raw control characters, which are invalid both
+    as JSON tokens and inside JSON strings, so a damaged result file is
+    guaranteed not to parse — the detection path under test is the
+    loader's, not a lucky accident of where the damage landed.
+    """
+    path = Path(path)
+    data = bytearray(path.read_bytes())
+    garbage = b"\x00<CORRUPTED>\x00"
+    mid = max(0, len(data) // 2 - len(garbage) // 2)
+    data[mid:mid + len(garbage)] = garbage
+    path.write_bytes(bytes(data))
+
+
+def truncate_file(path: Union[str, Path]) -> None:
+    """Cut a file in half, as a torn write or full disk would."""
+    path = Path(path)
+    data = path.read_bytes()
+    path.write_bytes(data[: len(data) // 2])
+
+
+# ----------------------------------------------------------------------
+# Writer sabotage (kill -9 during Campaign.save)
+# ----------------------------------------------------------------------
+def kill9_writer(when: str = "mid-write"):
+    """A :class:`~repro.sim.campaign.Campaign` writer that dies mid-save.
+
+    ``when="mid-write"`` writes half the payload to the staging temp
+    file and raises :class:`InjectedCrash` — the process "died" before
+    the atomic rename, so the target must never appear.
+    ``when="pre-replace"`` completes the temp write through the real
+    atomic writer, then dies just before it would have renamed.
+    """
+    if when not in ("mid-write", "pre-replace"):
+        raise ValueError(f"when must be mid-write|pre-replace, got {when!r}")
+
+    def writer(path, text: str) -> None:
+        path = Path(path)
+        if when == "mid-write":
+            tmp = path.parent / f".tmp.{path.name}.killed"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write(text[: len(text) // 2])
+            raise InjectedCrash(f"kill -9 mid-write of {path.name}")
+        atomic_write_text(
+            path.parent / f".tmp.{path.name}.killed", text
+        )
+        raise InjectedCrash(f"kill -9 before rename of {path.name}")
+
+    return writer
+
+
+def flaky_writer(fail_first: int = 1, base=atomic_write_text):
+    """A writer whose first ``fail_first`` calls raise ENOSPC, then heal.
+
+    Unlike :class:`FaultPlan`'s per-job ``enospc`` fault, this sabotages
+    the persistence layer directly — for testing :class:`Campaign`
+    without an executor in the loop.
+    """
+    state = {"calls": 0}
+
+    def writer(path, text: str) -> None:
+        state["calls"] += 1
+        if state["calls"] <= fail_first:
+            raise OSError(
+                errno.ENOSPC,
+                f"injected: no space left on device "
+                f"(call {state['calls']})",
+            )
+        base(path, text)
+
+    return writer

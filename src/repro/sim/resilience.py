@@ -1,0 +1,559 @@
+"""Fault-tolerant campaign execution.
+
+The paper's methodology is a sweep: hundreds of (configuration, trace)
+simulations whose raw files are re-read by analysis.  At that scale the
+failure modes stop being hypothetical — a hung run, a worker OOM, a
+truncated file, a full disk — and a single one must not lose or poison
+the campaign.  This module is the orchestration half of the resilience
+story (the persistence half lives in :mod:`repro.sim.campaign`):
+
+* :class:`CampaignExecutor` runs each (config, trace) job in its own
+  worker *process* with a wall-clock timeout, so a crash or hang is
+  contained to that run; failed runs are retried with exponential
+  backoff and deterministic jitter (:class:`RetryPolicy`);
+* :class:`CampaignManifest` journals per-run status
+  (``ok | failed | timeout | quarantined``) to ``manifest.json`` after
+  every run, atomically, so an interrupted sweep reports exactly what it
+  has and analysis can flag missing points instead of aborting;
+* results are verified immediately after saving; a corrupt file is
+  quarantined and the run re-simulated, so every ``ok`` entry in the
+  manifest is backed by a validated, byte-deterministic result file.
+
+Fault injection hooks (``fault_plan``) are consulted at each seam —
+worker start, save, post-save — so the whole layer is testable without
+real crashes, clock time, or flaky sleeps; see :mod:`repro.sim.faults`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+import multiprocessing
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import CampaignError, CorruptResultError, RunTimeoutError
+from ..trace.record import Trace
+from .campaign import Campaign, atomic_write_text, run_id
+from .config import SystemConfig
+from .fastpath import fast_simulate
+from .statistics import SimStats
+
+#: Final statuses a run can journal.
+STATUS_OK = "ok"
+STATUS_FAILED = "failed"
+STATUS_TIMEOUT = "timeout"
+STATUS_QUARANTINED = "quarantined"
+STATUSES = (STATUS_OK, STATUS_FAILED, STATUS_TIMEOUT, STATUS_QUARANTINED)
+
+#: Exit code a deliberately crashed worker dies with (fault injection).
+CRASH_EXIT_CODE = 113
+
+
+# ----------------------------------------------------------------------
+# Retry policy
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff and deterministic jitter.
+
+    The jitter is derived from a hash of (run id, attempt) rather than a
+    random source, so two executions of the same sweep back off
+    identically — reproducibility extends to the failure paths.
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    jitter: float = 0.25
+
+    def delay_s(self, identifier: str, attempt: int) -> float:
+        """Backoff before retrying ``attempt`` (1-based) of a run."""
+        base = min(
+            self.backoff_cap_s, self.backoff_base_s * (2 ** (attempt - 1))
+        )
+        digest = hashlib.sha256(f"{identifier}:{attempt}".encode()).digest()
+        unit = int.from_bytes(digest[:4], "big") / 2**32
+        return base * (1.0 + self.jitter * unit)
+
+
+# ----------------------------------------------------------------------
+# Manifest
+# ----------------------------------------------------------------------
+@dataclass
+class RunRecord:
+    """One run's journal entry in the campaign manifest."""
+
+    run_id: str
+    status: str = STATUS_FAILED
+    trace: str = ""
+    config: str = ""
+    attempts: int = 0
+    quarantines: int = 0
+    cached: bool = False
+    error: str = ""
+
+    def to_dict(self) -> Dict:
+        return {
+            "status": self.status,
+            "trace": self.trace,
+            "config": self.config,
+            "attempts": self.attempts,
+            "quarantines": self.quarantines,
+            "cached": self.cached,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, identifier: str, payload: Dict) -> "RunRecord":
+        record = cls(run_id=identifier)
+        for name in (
+            "status", "trace", "config", "attempts", "quarantines",
+            "cached", "error",
+        ):
+            if name in payload:
+                setattr(record, name, payload[name])
+        return record
+
+
+class CampaignManifest:
+    """Per-run status journal, persisted atomically after every update.
+
+    Loading is tolerant by design: a missing manifest starts empty and a
+    corrupt one is moved aside (``manifest.json.corrupt``) and rebuilt —
+    the journal exists to survive crashes, so it must never be the thing
+    that crashes a resumed sweep.
+    """
+
+    SCHEMA = 1
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.runs: Dict[str, RunRecord] = {}
+
+    @classmethod
+    def for_campaign(cls, campaign: Campaign) -> "CampaignManifest":
+        return cls.load(campaign.manifest_path)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "CampaignManifest":
+        manifest = cls(path)
+        if not manifest.path.exists():
+            return manifest
+        try:
+            payload = json.loads(manifest.path.read_text(encoding="utf-8"))
+            runs = payload["runs"]
+            if not isinstance(runs, dict):
+                raise TypeError("runs is not an object")
+        except (OSError, ValueError, KeyError, TypeError):
+            aside = manifest.path.with_name(manifest.path.name + ".corrupt")
+            serial = 0
+            while aside.exists():
+                serial += 1
+                aside = manifest.path.with_name(
+                    f"{manifest.path.name}.corrupt.{serial}"
+                )
+            manifest.path.replace(aside)
+            return manifest
+        for identifier, entry in runs.items():
+            if isinstance(entry, dict):
+                manifest.runs[identifier] = RunRecord.from_dict(
+                    identifier, entry
+                )
+        return manifest
+
+    def save(self) -> None:
+        payload = {
+            "schema": self.SCHEMA,
+            "runs": {
+                identifier: record.to_dict()
+                for identifier, record in sorted(self.runs.items())
+            },
+        }
+        atomic_write_text(self.path, json.dumps(payload, indent=1))
+
+    def record(self, record: RunRecord) -> None:
+        """Journal one run's (latest) outcome and persist immediately."""
+        self.runs[record.run_id] = record
+        self.save()
+
+    def counts(self) -> Dict[str, int]:
+        tally = {status: 0 for status in STATUSES}
+        for record in self.runs.values():
+            tally[record.status] = tally.get(record.status, 0) + 1
+        return tally
+
+    def incomplete(self) -> List[RunRecord]:
+        """Runs whose final status is anything but ``ok`` — the missing
+        points an analysis over this campaign must flag."""
+        return [
+            record
+            for _, record in sorted(self.runs.items())
+            if record.status != STATUS_OK
+        ]
+
+    def render(self) -> str:
+        counts = self.counts()
+        total = len(self.runs)
+        lines = [
+            f"{total} run(s): "
+            + ", ".join(f"{counts.get(s, 0)} {s}" for s in STATUSES)
+        ]
+        for record in self.incomplete():
+            detail = f" [{record.error}]" if record.error else ""
+            lines.append(
+                f"  {record.status:>11}  {record.run_id}"
+                f"  ({record.attempts} attempt(s)){detail}"
+            )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Worker protocol
+# ----------------------------------------------------------------------
+def make_deadline_check(
+    timeout_s: float, clock: Callable[[], float] = time.monotonic
+) -> Callable[[], None]:
+    """A cooperative-cancellation hook for :meth:`Engine.run`.
+
+    Raises :exc:`~repro.errors.RunTimeoutError` once ``timeout_s`` of
+    wall-clock time has elapsed since creation.
+    """
+    deadline = clock() + timeout_s
+
+    def check() -> None:
+        if clock() > deadline:
+            raise RunTimeoutError(
+                f"run exceeded {timeout_s:g}s (cooperative cancel)"
+            )
+
+    return check
+
+
+def _supports_kwarg(fn: Callable, name: str) -> bool:
+    try:
+        return name in inspect.signature(fn).parameters
+    except (TypeError, ValueError):
+        return False
+
+
+def _worker_main(
+    conn,
+    config: SystemConfig,
+    trace: Trace,
+    simulate_fn: Callable,
+    seed: int,
+    fault_plan,
+    job_index: int,
+    attempt: int,
+    timeout_s: Optional[float],
+) -> None:
+    """Entry point of one isolated simulation worker process."""
+    try:
+        if fault_plan is not None:
+            fault_plan.worker_faults(job_index, attempt)
+        kwargs = {}
+        if seed and _supports_kwarg(simulate_fn, "seed"):
+            kwargs["seed"] = seed
+        if timeout_s and _supports_kwarg(simulate_fn, "cancel_check"):
+            kwargs["cancel_check"] = make_deadline_check(timeout_s)
+        stats = simulate_fn(config, trace, **kwargs)
+        conn.send(("ok", stats))
+    except RunTimeoutError as exc:
+        _best_effort_send(conn, ("timeout", str(exc)))
+    except BaseException as exc:  # noqa: BLE001 — full containment
+        _best_effort_send(conn, ("failed", f"{type(exc).__name__}: {exc}"))
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+def _best_effort_send(conn, message) -> None:
+    try:
+        conn.send(message)
+    except Exception:
+        pass
+
+
+# ----------------------------------------------------------------------
+# Executor
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RunJob:
+    """One (configuration, trace) cell of a sweep."""
+
+    config: SystemConfig
+    trace: Trace
+    simulate_fn: Callable[..., SimStats] = fast_simulate
+    seed: int = 0
+
+
+def sweep_jobs(
+    configs: Sequence[SystemConfig],
+    traces: Sequence[Trace],
+    simulate_fn: Callable[..., SimStats] = fast_simulate,
+    seed: int = 0,
+) -> List[RunJob]:
+    """The cartesian (config x trace) job list of a campaign sweep."""
+    return [
+        RunJob(config=config, trace=trace, simulate_fn=simulate_fn, seed=seed)
+        for config in configs
+        for trace in traces
+    ]
+
+
+@dataclass
+class CampaignReport:
+    """What a sweep returns: every run's journal entry, in job order."""
+
+    records: List[RunRecord] = field(default_factory=list)
+
+    def counts(self) -> Dict[str, int]:
+        tally = {status: 0 for status in STATUSES}
+        for record in self.records:
+            tally[record.status] = tally.get(record.status, 0) + 1
+        return tally
+
+    @property
+    def all_ok(self) -> bool:
+        return all(r.status == STATUS_OK for r in self.records)
+
+    def render(self) -> str:
+        counts = self.counts()
+        lines = [
+            f"{len(self.records)} run(s): "
+            + ", ".join(f"{counts.get(s, 0)} {s}" for s in STATUSES)
+        ]
+        for record in self.records:
+            if record.status != STATUS_OK:
+                detail = f" [{record.error}]" if record.error else ""
+                lines.append(
+                    f"  {record.status:>11}  {record.run_id}"
+                    f"  ({record.attempts} attempt(s)){detail}"
+                )
+        return "\n".join(lines)
+
+
+class CampaignExecutor:
+    """Run a sweep with worker isolation, timeouts and bounded retries.
+
+    Each job runs in a dedicated worker process (fork/spawn per the
+    platform default), so a segfault, OOM kill or runaway loop is
+    contained to that run: the parent records ``failed`` or ``timeout``
+    in the manifest and the sweep continues (``keep_going=True``) or
+    stops scheduling further work and raises
+    :exc:`~repro.errors.CampaignError` (``keep_going=False``).
+
+    ``sleep_fn`` injects the backoff sleep (tests pass a recorder, so no
+    test ever waits on a real clock); ``fault_plan`` injects
+    deterministic failures (see :mod:`repro.sim.faults`).
+    """
+
+    def __init__(
+        self,
+        campaign: Campaign,
+        jobs: int = 1,
+        timeout_s: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+        keep_going: bool = True,
+        fault_plan=None,
+        sleep_fn: Callable[[float], None] = time.sleep,
+        mp_context: Optional[multiprocessing.context.BaseContext] = None,
+        grace_s: float = 5.0,
+    ) -> None:
+        if jobs < 1:
+            raise CampaignError(f"jobs must be >= 1, got {jobs}")
+        if timeout_s is not None and timeout_s <= 0:
+            raise CampaignError(f"timeout must be positive, got {timeout_s}")
+        self.campaign = campaign
+        self.jobs = jobs
+        self.timeout_s = timeout_s
+        #: Extra wall time past ``timeout_s`` before the parent
+        #: terminates a worker — room for a simulator that honors the
+        #: cooperative cancel hook to report its own RunTimeoutError
+        #: (a cleaner death than SIGTERM).
+        self.grace_s = max(0.0, grace_s)
+        self.retry = retry or RetryPolicy()
+        self.keep_going = keep_going
+        self.fault_plan = fault_plan
+        self._sleep = sleep_fn
+        self._mp = mp_context or multiprocessing.get_context()
+        self.manifest = CampaignManifest.for_campaign(campaign)
+        self._manifest_lock = threading.Lock()
+        self._abort = threading.Event()
+
+    # -- one isolated attempt ------------------------------------------
+    def _execute_attempt(
+        self, job: RunJob, job_index: int, attempt: int
+    ) -> Tuple[str, object]:
+        """Run one attempt in a worker process.
+
+        Returns ``("ok", stats)``, ``("timeout", message)`` or
+        ``("failed", message)``; never raises for worker-side faults.
+        """
+        receiver, sender = self._mp.Pipe(duplex=False)
+        proc = self._mp.Process(
+            target=_worker_main,
+            args=(
+                sender, job.config, job.trace, job.simulate_fn, job.seed,
+                self.fault_plan, job_index, attempt, self.timeout_s,
+            ),
+            daemon=True,
+        )
+        try:
+            proc.start()
+            sender.close()
+            proc.join(
+                None if self.timeout_s is None
+                else self.timeout_s + self.grace_s
+            )
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(5.0)
+                if proc.is_alive():  # pragma: no cover — stuck in kernel
+                    proc.kill()
+                    proc.join()
+                return (
+                    STATUS_TIMEOUT,
+                    f"worker exceeded {self.timeout_s:g}s wall clock; "
+                    f"terminated",
+                )
+            try:
+                # poll() is also true at EOF — a worker that died hard
+                # closed its end without sending; recv then raises.
+                message = receiver.recv() if receiver.poll() else None
+            except (EOFError, OSError):
+                message = None
+        finally:
+            receiver.close()
+        if message is None:
+            return (
+                STATUS_FAILED,
+                f"worker died without a result (exit code {proc.exitcode})",
+            )
+        kind, payload = message
+        if kind == "ok":
+            return (STATUS_OK, payload)
+        if kind == "timeout":
+            return (STATUS_TIMEOUT, payload)
+        return (STATUS_FAILED, payload)
+
+    # -- one run with retries ------------------------------------------
+    def _run_one(self, job_index: int, job: RunJob) -> RunRecord:
+        identifier = run_id(job.config, job.trace)
+        record = RunRecord(
+            run_id=identifier,
+            trace=job.trace.name,
+            config=job.config.describe(),
+        )
+        plan = self.fault_plan
+
+        # Cached result: trust it only after validation.
+        if identifier in self.campaign:
+            try:
+                self.campaign.verify(identifier)
+                record.status = STATUS_OK
+                record.cached = True
+                self._journal(record)
+                return record
+            except CorruptResultError:
+                self.campaign.quarantine(identifier)
+                record.quarantines += 1
+
+        last_status, last_error = STATUS_FAILED, "never attempted"
+        for attempt in range(1, self.retry.max_attempts + 1):
+            record.attempts = attempt
+            if attempt > 1:
+                self._sleep(self.retry.delay_s(identifier, attempt - 1))
+            if plan is not None and plan.is_simulated_hang(job_index, attempt):
+                last_status = STATUS_TIMEOUT
+                last_error = "injected hang (simulated timeout)"
+                continue
+            status, payload = self._execute_attempt(job, job_index, attempt)
+            if status != STATUS_OK:
+                last_status, last_error = status, str(payload)
+                continue
+            try:
+                if plan is not None:
+                    plan.save_faults(job_index, attempt)
+                self.campaign.save(identifier, payload)
+                if plan is not None:
+                    plan.post_save_faults(
+                        job_index, attempt, self.campaign._path(identifier)
+                    )
+                self.campaign.verify(identifier)
+            except OSError as exc:
+                last_status = STATUS_FAILED
+                last_error = f"save failed: {exc}"
+                continue
+            except CorruptResultError as exc:
+                self.campaign.quarantine(identifier)
+                record.quarantines += 1
+                last_status = STATUS_QUARANTINED
+                last_error = str(exc)
+                continue
+            record.status = STATUS_OK
+            record.error = ""
+            self._journal(record)
+            return record
+
+        record.status = (
+            STATUS_TIMEOUT if last_status == STATUS_TIMEOUT else last_status
+        )
+        record.error = last_error
+        self._journal(record)
+        if not self.keep_going:
+            self._abort.set()
+        return record
+
+    def _journal(self, record: RunRecord) -> None:
+        with self._manifest_lock:
+            self.manifest.record(record)
+
+    # -- the sweep ------------------------------------------------------
+    def run_sweep(self, jobs: Sequence[RunJob]) -> CampaignReport:
+        """Execute every job; return the per-run journal.
+
+        With ``keep_going=False`` the first exhausted run stops new jobs
+        from being scheduled and the sweep raises
+        :exc:`~repro.errors.CampaignError` once in-flight work settles.
+        """
+        jobs = list(jobs)
+        self._abort.clear()
+        slots: List[Optional[RunRecord]] = [None] * len(jobs)
+
+        def guarded(index: int, job: RunJob) -> Optional[RunRecord]:
+            if self._abort.is_set():
+                return None
+            return self._run_one(index, job)
+
+        if self.jobs <= 1 or len(jobs) <= 1:
+            for index, job in enumerate(jobs):
+                slots[index] = guarded(index, job)
+        else:
+            with ThreadPoolExecutor(max_workers=self.jobs) as pool:
+                futures = [
+                    pool.submit(guarded, index, job)
+                    for index, job in enumerate(jobs)
+                ]
+                for index, future in enumerate(futures):
+                    slots[index] = future.result()
+        report = CampaignReport(
+            records=[record for record in slots if record is not None]
+        )
+        if not self.keep_going and not report.all_ok:
+            bad = [r for r in report.records if r.status != STATUS_OK]
+            skipped = len(jobs) - len(report.records)
+            raise CampaignError(
+                f"{len(bad)} run(s) did not complete "
+                f"({skipped} never scheduled); first: "
+                f"{bad[0].run_id}: {bad[0].status}: {bad[0].error}"
+            )
+        return report

@@ -71,29 +71,55 @@ def read_din(
     name: str = "din",
     warm_boundary: int = 0,
 ) -> Trace:
-    """Read a din or dinp trace; byte addresses are truncated to words."""
+    """Read a din or dinp trace; byte addresses are truncated to words.
+
+    Malformed lines raise :class:`~repro.errors.TraceError` naming the
+    file and 1-based line number.  A final line that the writer cut off
+    mid-record (no terminating newline and unparsable content — the
+    signature of a truncated transfer or a crashed tracer) is reported
+    as truncation rather than dropped or misdiagnosed.
+    """
     stream, owned = _open_for_read(source)
+    where = source if isinstance(source, str) else getattr(
+        stream, "name", name
+    )
     kinds: List[int] = []
     addrs: List[int] = []
     pids: List[int] = []
+
+    def fail(lineno: int, terminated: bool, detail: str) -> TraceError:
+        if not terminated:
+            return TraceError(
+                f"{where}: truncated final line {lineno}: {detail}"
+            )
+        return TraceError(f"{where}: line {lineno}: {detail}")
+
     try:
-        for lineno, line in enumerate(stream, start=1):
-            line = line.strip()
+        for lineno, raw in enumerate(stream, start=1):
+            # Only a file's last line can lack its newline; when it also
+            # fails to parse, report truncation, not a format error.
+            terminated = raw.endswith("\n")
+            line = raw.strip()
             if not line or line.startswith("#"):
                 continue
             parts = line.split()
             if len(parts) not in (2, 3):
-                raise TraceError(f"line {lineno}: expected 2 or 3 fields, got {line!r}")
+                raise fail(
+                    lineno, terminated,
+                    f"expected 2 or 3 fields, got {line!r}",
+                )
             try:
                 label = int(parts[0])
                 byte_addr = int(parts[1], 16)
                 pid = int(parts[2]) if len(parts) == 3 else 0
             except ValueError as exc:
-                raise TraceError(f"line {lineno}: unparsable field in {line!r}") from exc
+                raise fail(
+                    lineno, terminated, f"unparsable field in {line!r}"
+                ) from exc
             if label not in _DIN_TO_KIND:
-                raise TraceError(f"line {lineno}: unknown din label {label}")
+                raise fail(lineno, terminated, f"unknown din label {label}")
             if byte_addr < 0 or pid < 0:
-                raise TraceError(f"line {lineno}: negative address or pid")
+                raise fail(lineno, terminated, "negative address or pid")
             kinds.append(_DIN_TO_KIND[label])
             addrs.append(byte_addr // BYTES_PER_WORD)
             pids.append(pid)

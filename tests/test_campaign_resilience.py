@@ -1,0 +1,696 @@
+"""Fault-tolerant campaign execution, end to end.
+
+Every failure mode the resilience layer claims to survive is injected
+deterministically here — worker crashes, hangs, transient errors,
+ENOSPC, corrupted and truncated result files, kill-9 mid-save — with no
+real clocks or sleeps in the loop (backoff goes through a recording
+``sleep_fn``; "hangs" are virtual except for one real terminate-a-worker
+check).  The flagship test is the 30-run sweep: >20% of runs are
+sabotaged and the sweep must still complete, quarantine every corrupt
+file, account for every run in the manifest, and leave all ``ok``
+results byte-identical to a fault-free sweep.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import (
+    CampaignError,
+    ConfigurationError,
+    CorruptResultError,
+    RunTimeoutError,
+)
+from repro.sim import faults
+from repro.sim.campaign import (
+    Campaign,
+    payload_checksum,
+    run_id,
+    stats_from_dict,
+    stats_to_dict,
+)
+from repro.sim.config import baseline_config
+from repro.sim.engine import simulate
+from repro.sim.fastpath import fast_simulate
+from repro.sim.resilience import (
+    CampaignExecutor,
+    CampaignManifest,
+    RetryPolicy,
+    RunRecord,
+    make_deadline_check,
+    sweep_jobs,
+)
+from repro.trace.suite import build_trace
+from repro.units import KB
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return build_trace("mu3", length=2_000, seed=1)
+
+
+@pytest.fixture(scope="module")
+def trace_b():
+    return build_trace("rd2n4", length=2_000, seed=1)
+
+
+@pytest.fixture(scope="module")
+def trace_c():
+    return build_trace("savec", length=2_000, seed=1)
+
+
+@pytest.fixture()
+def config():
+    return baseline_config(cache_size_bytes=4 * KB)
+
+
+@pytest.fixture()
+def stats(config, trace):
+    return fast_simulate(config, trace)
+
+
+def make_executor(campaign, **kwargs):
+    """An executor whose backoff sleeps are recorded, never slept."""
+    sleeps = []
+    kwargs.setdefault("sleep_fn", sleeps.append)
+    kwargs.setdefault("retry", RetryPolicy(max_attempts=3))
+    return CampaignExecutor(campaign, **kwargs), sleeps
+
+
+# ----------------------------------------------------------------------
+# Corruption detection on load (satellite: no bare JSONDecodeError/KeyError)
+# ----------------------------------------------------------------------
+class TestLoadValidation:
+    def test_malformed_json_raises_corrupt(self, tmp_path, config, trace,
+                                           stats):
+        campaign = Campaign(tmp_path)
+        identifier = run_id(config, trace)
+        campaign.save(identifier, stats)
+        campaign._path(identifier).write_text("{ not json")
+        with pytest.raises(CorruptResultError):
+            campaign.load(identifier)
+
+    def test_missing_keys_raise_corrupt(self, tmp_path, config, trace):
+        campaign = Campaign(tmp_path)
+        identifier = run_id(config, trace)
+        campaign._path(identifier).write_text(json.dumps({"run_id": identifier}))
+        with pytest.raises(CorruptResultError):
+            campaign.load(identifier)
+
+    def test_missing_stats_fields_raise_corrupt(self, tmp_path, config,
+                                                trace, stats):
+        campaign = Campaign(tmp_path)
+        identifier = run_id(config, trace)
+        campaign.save(identifier, stats)
+        payload = json.loads(campaign._path(identifier).read_text())
+        del payload["stats"]["icache"]
+        payload["checksum"] = payload_checksum(payload["stats"])
+        campaign._path(identifier).write_text(json.dumps(payload))
+        with pytest.raises(CorruptResultError):
+            campaign.load(identifier)
+
+    def test_checksum_mismatch_detected(self, tmp_path, config, trace,
+                                        stats):
+        campaign = Campaign(tmp_path)
+        identifier = run_id(config, trace)
+        campaign.save(identifier, stats)
+        payload = json.loads(campaign._path(identifier).read_text())
+        payload["stats"]["cycles"] += 1  # silent bitflip in the data
+        campaign._path(identifier).write_text(json.dumps(payload))
+        with pytest.raises(CorruptResultError, match="checksum"):
+            campaign.load(identifier)
+
+    def test_run_id_mismatch_detected(self, tmp_path, config, trace, stats):
+        campaign = Campaign(tmp_path)
+        identifier = run_id(config, trace)
+        campaign.save("some-other-id", stats)
+        campaign._path("some-other-id").rename(campaign._path(identifier))
+        with pytest.raises(CorruptResultError, match="run id"):
+            campaign.load(identifier)
+
+    def test_legacy_schema1_still_loads(self, tmp_path, config, trace,
+                                        stats):
+        campaign = Campaign(tmp_path)
+        identifier = run_id(config, trace)
+        # The original on-disk shape: no schema, no checksum.
+        campaign._path(identifier).write_text(json.dumps(
+            {"run_id": identifier, "stats": stats_to_dict(stats)}
+        ))
+        assert campaign.load(identifier) == stats
+
+    def test_missing_run_still_configuration_error(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            Campaign(tmp_path).load("nope")
+
+    def test_stats_from_dict_tolerates_unknown_keys(self, stats):
+        payload = stats_to_dict(stats)
+        payload["from_the_future"] = {"v": 3}
+        payload["icache"]["novel_counter"] = 7
+        payload["buffer"]["novel_counter"] = 7
+        assert stats_from_dict(payload) == stats
+
+    def test_stats_from_dict_rejects_non_dict(self):
+        with pytest.raises(CorruptResultError):
+            stats_from_dict([1, 2, 3])
+
+
+# ----------------------------------------------------------------------
+# Atomic persistence (acceptance: kill -9 never leaves a partial *.json)
+# ----------------------------------------------------------------------
+class TestAtomicSave:
+    def test_kill9_mid_write_leaves_no_partial_result(self, tmp_path,
+                                                      config, trace, stats):
+        campaign = Campaign(tmp_path, writer=faults.kill9_writer("mid-write"))
+        identifier = run_id(config, trace)
+        with pytest.raises(faults.InjectedCrash):
+            campaign.save(identifier, stats)
+        assert identifier not in campaign
+        assert len(campaign) == 0
+        assert list(campaign.results()) == []
+
+    def test_kill9_before_rename_leaves_no_partial_result(self, tmp_path,
+                                                          config, trace,
+                                                          stats):
+        campaign = Campaign(
+            tmp_path, writer=faults.kill9_writer("pre-replace")
+        )
+        identifier = run_id(config, trace)
+        with pytest.raises(faults.InjectedCrash):
+            campaign.save(identifier, stats)
+        assert len(campaign) == 0
+        # The fully-written-but-unrenamed temp file is invisible to
+        # results() and swept by fsck --repair.
+        report = Campaign(tmp_path).fsck(repair=True)
+        assert report.stray_tmp
+        assert not list(tmp_path.glob(".tmp.*"))
+
+    def test_save_recovers_after_transient_enospc(self, tmp_path, config,
+                                                  trace, stats):
+        campaign = Campaign(tmp_path, writer=faults.flaky_writer(fail_first=1))
+        identifier = run_id(config, trace)
+        with pytest.raises(OSError):
+            campaign.save(identifier, stats)
+        assert len(campaign) == 0  # failed write left nothing behind
+        campaign.save(identifier, stats)  # second call heals
+        assert campaign.load(identifier) == stats
+
+    def test_saved_bytes_are_deterministic(self, tmp_path, config, trace,
+                                           stats):
+        a, b = Campaign(tmp_path / "a"), Campaign(tmp_path / "b")
+        identifier = run_id(config, trace)
+        a.save(identifier, stats)
+        b.save(identifier, stats)
+        assert (a._path(identifier).read_bytes()
+                == b._path(identifier).read_bytes())
+
+
+# ----------------------------------------------------------------------
+# Quarantine and re-simulation
+# ----------------------------------------------------------------------
+class TestQuarantine:
+    def test_run_resimulates_corrupt_file(self, tmp_path, config, trace):
+        campaign = Campaign(tmp_path)
+        identifier = run_id(config, trace)
+        campaign.run(config, trace, fast_simulate)
+        clean = campaign._path(identifier).read_bytes()
+        faults.truncate_file(campaign._path(identifier))
+        calls = []
+
+        def counting(cfg, tr):
+            calls.append(1)
+            return fast_simulate(cfg, tr)
+
+        stats = campaign.run(config, trace, counting)
+        assert calls, "corrupt cache entry must be re-simulated"
+        assert stats == fast_simulate(config, trace)
+        assert campaign._path(identifier).read_bytes() == clean
+        assert len(list(campaign.quarantine_dir.glob("*.json"))) == 1
+
+    def test_results_quarantines_and_continues(self, tmp_path, trace):
+        campaign = Campaign(tmp_path)
+        for size in (2 * KB, 4 * KB, 8 * KB):
+            campaign.run(
+                baseline_config(cache_size_bytes=size), trace, fast_simulate
+            )
+        victim = next(iter(campaign._result_paths()))
+        faults.corrupt_file(victim)
+        assert len(list(campaign.results())) == 2  # default: quarantine
+        assert len(campaign) == 2
+        assert len(list(campaign.quarantine_dir.glob("*"))) == 1
+
+    def test_results_raise_mode(self, tmp_path, config, trace):
+        campaign = Campaign(tmp_path)
+        campaign.run(config, trace, fast_simulate)
+        faults.corrupt_file(next(iter(campaign._result_paths())))
+        with pytest.raises(CorruptResultError):
+            list(campaign.results(on_corrupt="raise"))
+
+    def test_quarantine_names_never_collide(self, tmp_path, config, trace,
+                                            stats):
+        campaign = Campaign(tmp_path)
+        identifier = run_id(config, trace)
+        homes = []
+        for _ in range(3):
+            campaign.save(identifier, stats)
+            homes.append(campaign.quarantine(identifier))
+        assert len({h.name for h in homes}) == 3
+
+    def test_fsck_reports_then_repairs(self, tmp_path, trace):
+        campaign = Campaign(tmp_path)
+        for size in (2 * KB, 4 * KB):
+            campaign.run(
+                baseline_config(cache_size_bytes=size), trace, fast_simulate
+            )
+        faults.corrupt_file(next(iter(campaign._result_paths())))
+        report = campaign.fsck()
+        assert len(report.ok) == 1 and len(report.corrupt) == 1
+        assert not report.clean
+        assert len(campaign) == 2  # report-only mode touches nothing
+        repaired = campaign.fsck(repair=True)
+        assert len(repaired.quarantined) == 1
+        assert campaign.fsck().clean
+
+
+# ----------------------------------------------------------------------
+# Retry policy
+# ----------------------------------------------------------------------
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially(self):
+        policy = RetryPolicy(backoff_base_s=0.1, backoff_cap_s=100.0,
+                             jitter=0.0)
+        delays = [policy.delay_s("r", a) for a in (1, 2, 3, 4)]
+        assert delays == [0.1, 0.2, 0.4, 0.8]
+
+    def test_backoff_caps(self):
+        policy = RetryPolicy(backoff_base_s=1.0, backoff_cap_s=2.0,
+                             jitter=0.0)
+        assert policy.delay_s("r", 10) == 2.0
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(backoff_base_s=1.0, jitter=0.5)
+        once = policy.delay_s("some-run", 1)
+        assert once == policy.delay_s("some-run", 1)
+        assert 1.0 <= once <= 1.5
+        assert once != policy.delay_s("other-run", 1)
+
+
+# ----------------------------------------------------------------------
+# Executor: isolation, timeout, retries
+# ----------------------------------------------------------------------
+class TestExecutor:
+    def test_transient_crash_is_retried_to_success(self, tmp_path, config,
+                                                   trace):
+        campaign = Campaign(tmp_path)
+        plan = faults.FaultPlan({0: faults.FaultSpec(faults.CRASH)})
+        executor, sleeps = make_executor(campaign, fault_plan=plan)
+        report = executor.run_sweep(sweep_jobs([config], [trace]))
+        (record,) = report.records
+        assert record.status == "ok"
+        assert record.attempts == 2
+        assert len(sleeps) == 1
+        assert sleeps[0] == executor.retry.delay_s(record.run_id, 1)
+        assert campaign.load(record.run_id) == fast_simulate(config, trace)
+
+    def test_permanent_crash_contained_as_failed(self, tmp_path, trace):
+        configs = [baseline_config(cache_size_bytes=s)
+                   for s in (2 * KB, 4 * KB)]
+        campaign = Campaign(tmp_path)
+        plan = faults.FaultPlan({0: faults.always(faults.CRASH)})
+        executor, _ = make_executor(campaign, fault_plan=plan)
+        report = executor.run_sweep(sweep_jobs(configs, [trace]))
+        assert [r.status for r in report.records] == ["failed", "ok"]
+        assert "exit code" in report.records[0].error
+        assert report.records[0].attempts == 3
+
+    def test_transient_worker_error_is_retried(self, tmp_path, config,
+                                               trace):
+        campaign = Campaign(tmp_path)
+        plan = faults.FaultPlan({0: faults.FaultSpec(faults.ERROR)})
+        executor, _ = make_executor(campaign, fault_plan=plan)
+        report = executor.run_sweep(sweep_jobs([config], [trace]))
+        assert report.records[0].status == "ok"
+        assert report.records[0].attempts == 2
+
+    def test_simulated_hang_exhausts_to_timeout(self, tmp_path, config,
+                                                trace):
+        campaign = Campaign(tmp_path)
+        plan = faults.FaultPlan({0: faults.always(faults.HANG)})
+        executor, sleeps = make_executor(
+            campaign, fault_plan=plan, timeout_s=30.0
+        )
+        report = executor.run_sweep(sweep_jobs([config], [trace]))
+        (record,) = report.records
+        assert record.status == "timeout"
+        assert record.attempts == 3
+        assert len(sleeps) == 2  # backoff between the three attempts
+
+    def test_real_hang_is_terminated(self, tmp_path, config, trace):
+        # The one test that spends real wall time: a worker sleeping far
+        # past the deadline is terminated by the parent (~0.3 s total).
+        campaign = Campaign(tmp_path)
+        plan = faults.FaultPlan({0: faults.always(faults.SLEEP)})
+        executor, _ = make_executor(
+            campaign, fault_plan=plan, timeout_s=0.3, grace_s=0.0,
+            retry=RetryPolicy(max_attempts=1),
+        )
+        report = executor.run_sweep(sweep_jobs([config], [trace]))
+        assert report.records[0].status == "timeout"
+        assert "terminated" in report.records[0].error
+
+    def test_enospc_on_save_is_retried(self, tmp_path, config, trace):
+        campaign = Campaign(tmp_path)
+        plan = faults.FaultPlan({0: faults.FaultSpec(faults.ENOSPC)})
+        executor, _ = make_executor(campaign, fault_plan=plan)
+        report = executor.run_sweep(sweep_jobs([config], [trace]))
+        assert report.records[0].status == "ok"
+        assert report.records[0].attempts == 2
+        assert len(campaign) == 1
+
+    def test_corrupted_save_is_quarantined_and_retried(self, tmp_path,
+                                                       config, trace):
+        campaign = Campaign(tmp_path)
+        plan = faults.FaultPlan({0: faults.FaultSpec(faults.CORRUPT)})
+        executor, _ = make_executor(campaign, fault_plan=plan)
+        report = executor.run_sweep(sweep_jobs([config], [trace]))
+        (record,) = report.records
+        assert record.status == "ok"
+        assert record.quarantines == 1
+        assert len(list(campaign.quarantine_dir.glob("*.json"))) == 1
+        assert campaign.load(record.run_id) == fast_simulate(config, trace)
+
+    def test_corrupt_cached_result_revalidated(self, tmp_path, config,
+                                               trace):
+        campaign = Campaign(tmp_path)
+        campaign.run(config, trace, fast_simulate)
+        identifier = run_id(config, trace)
+        faults.truncate_file(campaign._path(identifier))
+        executor, _ = make_executor(campaign)
+        report = executor.run_sweep(sweep_jobs([config], [trace]))
+        (record,) = report.records
+        assert record.status == "ok" and not record.cached
+        assert record.quarantines == 1
+        assert campaign.load(identifier) == fast_simulate(config, trace)
+
+    def test_valid_cached_result_short_circuits(self, tmp_path, config,
+                                                trace):
+        campaign = Campaign(tmp_path)
+        campaign.run(config, trace, fast_simulate)
+        executor, _ = make_executor(campaign)
+        report = executor.run_sweep(sweep_jobs([config], [trace]))
+        assert report.records[0].cached
+        assert report.records[0].status == "ok"
+
+    def test_keep_going_false_raises_and_stops_scheduling(self, tmp_path,
+                                                          trace):
+        configs = [baseline_config(cache_size_bytes=2 * KB * 2**k)
+                   for k in range(4)]
+        campaign = Campaign(tmp_path)
+        plan = faults.FaultPlan({0: faults.always(faults.ERROR)})
+        executor, _ = make_executor(
+            campaign, fault_plan=plan, keep_going=False
+        )
+        with pytest.raises(CampaignError):
+            executor.run_sweep(sweep_jobs(configs, [trace]))
+        counts = executor.manifest.counts()
+        assert counts["failed"] == 1
+        assert counts["ok"] + counts["failed"] < len(configs)
+
+    def test_engine_worker_honors_cooperative_timeout(self, tmp_path,
+                                                      trace):
+        # The reference engine supports cancel_check, so an over-budget
+        # engine run reports a *cooperative* timeout (the worker itself
+        # raises RunTimeoutError) rather than being terminated.
+        campaign = Campaign(tmp_path)
+        executor, _ = make_executor(
+            campaign, timeout_s=1e-9, retry=RetryPolicy(max_attempts=1)
+        )
+        config = baseline_config(cache_size_bytes=2 * KB)
+        report = executor.run_sweep(
+            sweep_jobs([config], [trace], simulate_fn=simulate)
+        )
+        assert report.records[0].status == "timeout"
+        assert "cooperative" in report.records[0].error
+
+
+# ----------------------------------------------------------------------
+# Cooperative cancellation hook (engine.py)
+# ----------------------------------------------------------------------
+class TestCancelHook:
+    def test_cancel_check_aborts_run(self, config, trace):
+        calls = []
+
+        def tripwire():
+            calls.append(1)
+            raise RunTimeoutError("cancelled by test")
+
+        with pytest.raises(RunTimeoutError):
+            simulate(config, trace, cancel_check=tripwire)
+        assert len(calls) == 1
+
+    def test_expired_deadline_cancels(self, config, trace):
+        fake_now = iter([0.0, 10.0]).__next__
+        check = make_deadline_check(1.0, clock=fake_now)
+        with pytest.raises(RunTimeoutError):
+            simulate(config, trace, cancel_check=check)
+
+    def test_no_hook_no_behaviour_change(self, config, trace):
+        assert simulate(config, trace) == simulate(
+            config, trace, cancel_check=lambda: None
+        )
+
+
+# ----------------------------------------------------------------------
+# Manifest
+# ----------------------------------------------------------------------
+class TestManifest:
+    def test_journal_survives_reload(self, tmp_path):
+        manifest = CampaignManifest(tmp_path / "manifest.json")
+        manifest.record(RunRecord(run_id="a", status="ok", attempts=1))
+        manifest.record(RunRecord(run_id="b", status="timeout", attempts=3,
+                                  error="hung"))
+        back = CampaignManifest.load(tmp_path / "manifest.json")
+        assert back.counts()["ok"] == 1
+        assert back.counts()["timeout"] == 1
+        assert back.runs["b"].error == "hung"
+
+    def test_corrupt_manifest_recovered(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        path.write_text("{ broken")
+        manifest = CampaignManifest.load(path)
+        assert manifest.runs == {}
+        assert (tmp_path / "manifest.json.corrupt").exists()
+        manifest.record(RunRecord(run_id="a", status="ok"))
+        assert CampaignManifest.load(path).counts()["ok"] == 1
+
+    def test_manifest_excluded_from_results(self, tmp_path, config, trace):
+        campaign = Campaign(tmp_path)
+        executor, _ = make_executor(campaign)
+        executor.run_sweep(sweep_jobs([config], [trace]))
+        assert campaign.manifest_path.exists()
+        assert len(campaign) == 1
+        assert len(list(campaign.results())) == 1
+
+    def test_incomplete_lists_missing_points(self, tmp_path):
+        manifest = CampaignManifest(tmp_path / "manifest.json")
+        manifest.record(RunRecord(run_id="a", status="ok"))
+        manifest.record(RunRecord(run_id="b", status="failed", error="x"))
+        assert [r.run_id for r in manifest.incomplete()] == ["b"]
+        assert "failed" in manifest.render()
+
+
+# ----------------------------------------------------------------------
+# The acceptance sweep: 30 runs, >=20% sabotaged
+# ----------------------------------------------------------------------
+class TestFaultySweepAcceptance:
+    @pytest.fixture(scope="class")
+    def sweep(self, trace, trace_b, trace_c):
+        configs = [
+            baseline_config(cache_size_bytes=2 * KB * (2 ** k),
+                            cycle_ns=cycle_ns)
+            for k in range(5)
+            for cycle_ns in (20.0, 40.0)
+        ]
+        return sweep_jobs(configs, [trace, trace_b, trace_c])
+
+    @pytest.fixture(scope="class")
+    def baseline(self, sweep, tmp_path_factory):
+        """A fault-free sweep's files, keyed by run id."""
+        campaign = Campaign(tmp_path_factory.mktemp("baseline"))
+        for job in sweep:
+            campaign.run(job.config, job.trace, job.simulate_fn)
+        return {
+            path.stem: path.read_bytes()
+            for path in campaign._result_paths()
+        }
+
+    def test_faulty_sweep_completes_and_matches_baseline(
+        self, sweep, baseline, tmp_path_factory
+    ):
+        assert len(sweep) == 30
+        plan = faults.FaultPlan({
+            1: faults.FaultSpec(faults.CRASH),          # dies, retried
+            4: faults.FaultSpec(faults.ERROR),          # raises, retried
+            7: faults.always(faults.HANG),              # every attempt hangs
+            10: faults.FaultSpec(faults.HANG),          # hangs once
+            13: faults.FaultSpec(faults.CORRUPT),       # file damaged once
+            16: faults.FaultSpec(faults.TRUNCATE),      # file torn once
+            19: faults.FaultSpec(faults.ENOSPC),        # disk full once
+            22: faults.always(faults.CRASH),            # dies every time
+        })
+        assert len(plan.faulty_indices) / len(sweep) >= 0.20
+        campaign = Campaign(tmp_path_factory.mktemp("faulty"))
+        sleeps = []
+        executor = CampaignExecutor(
+            campaign,
+            jobs=4,
+            timeout_s=60.0,
+            retry=RetryPolicy(max_attempts=3),
+            keep_going=True,
+            fault_plan=plan,
+            sleep_fn=sleeps.append,
+        )
+        report = executor.run_sweep(sweep)
+
+        # The sweep completed: every run is accounted for, exactly once.
+        assert len(report.records) == 30
+        counts = report.counts()
+        assert counts["ok"] + counts["failed"] + counts["timeout"] == 30
+        assert counts == {"ok": 28, "failed": 1, "timeout": 1,
+                          "quarantined": 0}
+
+        # Transient faults were retried to success...
+        by_index = {record.run_id: record for record in report.records}
+        ids = [run_id(job.config, job.trace) for job in sweep]
+        for index in (1, 4, 10, 19):
+            assert by_index[ids[index]].status == "ok"
+            assert by_index[ids[index]].attempts == 2
+        # ...corruption was quarantined, every damaged file preserved...
+        for index in (13, 16):
+            assert by_index[ids[index]].status == "ok"
+            assert by_index[ids[index]].quarantines == 1
+        assert len(list(campaign.quarantine_dir.glob("*"))) == 2
+        # ...and permanent faults were contained, not fatal.
+        assert by_index[ids[7]].status == "timeout"
+        assert by_index[ids[22]].status == "failed"
+
+        # The manifest journals the same accounting, durably.
+        manifest = CampaignManifest.for_campaign(campaign)
+        assert len(manifest.runs) == 30
+        assert manifest.counts() == counts
+
+        # Backoff went through the injected sleeper only — and was
+        # consulted once per retry (4 transient x1 + 2 corrupt x1 +
+        # permanent hang x2 + permanent crash x2).
+        assert len(sleeps) == 10
+
+        # Every ok result is byte-identical to the fault-free sweep.
+        stored = {path.stem: path.read_bytes()
+                  for path in campaign._result_paths()}
+        ok_ids = {record.run_id for record in report.records
+                  if record.status == "ok"}
+        assert set(stored) == ok_ids
+        for identifier in ok_ids:
+            assert stored[identifier] == baseline[identifier]
+
+        # And the degraded archive still renders: results() yields every
+        # ok point, fsck finds nothing left to complain about.
+        assert len(list(campaign.results())) == 28
+        assert campaign.fsck().clean
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestCli:
+    def test_campaign_run_status_fsck(self, tmp_path, capsys):
+        from repro.cli import main
+
+        directory = str(tmp_path / "camp")
+        code = main([
+            "campaign", "run", directory,
+            "--sizes-kb", "2,4", "--cycles-ns", "40",
+            "--traces", "mu3", "--length", "2000",
+            "--jobs", "2", "--retries", "1", "--keep-going",
+        ])
+        assert code == 0
+        assert "2 ok" in capsys.readouterr().out
+
+        assert main(["campaign", "status", directory]) == 0
+        assert "2 run(s)" in capsys.readouterr().out
+
+        assert main(["campaign", "fsck", directory]) == 0
+        assert "2 result(s) ok" in capsys.readouterr().out
+
+        # Damage a file: fsck reports (exit 1), then repairs (exit 0).
+        campaign = Campaign(directory)
+        faults.corrupt_file(next(iter(campaign._result_paths())))
+        assert main(["campaign", "fsck", directory]) == 1
+        assert "1 corrupt" in capsys.readouterr().out
+        assert main(["campaign", "fsck", directory, "--repair"]) == 0
+        assert main(["campaign", "fsck", directory]) == 0
+        assert main(["campaign", "status", directory]) == 0
+
+    def test_experiment_keep_going_renders_failure(self, capsys,
+                                                   monkeypatch):
+        from repro.cli import main
+        from repro.errors import AnalysisError
+        from repro.experiments import registry
+
+        def boom(settings=None):
+            raise AnalysisError("injected experiment failure")
+
+        monkeypatch.setitem(registry.EXPERIMENTS, "table2", boom)
+        code = main([
+            "experiment", "table2", "--length", "2000", "--keep-going",
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAILED" in out and "injected experiment failure" in out
+
+    def test_experiment_without_keep_going_aborts(self, monkeypatch):
+        from repro.cli import main
+        from repro.errors import AnalysisError
+        from repro.experiments import registry
+
+        def boom(settings=None):
+            raise AnalysisError("injected experiment failure")
+
+        monkeypatch.setitem(registry.EXPERIMENTS, "table2", boom)
+        with pytest.raises(AnalysisError):
+            main(["experiment", "table2", "--length", "2000"])
+
+
+class TestRegistryDegradation:
+    def test_run_all_keep_going_flags_failures(self, monkeypatch):
+        from repro.errors import AnalysisError
+        from repro.experiments import registry
+        from repro.experiments.common import ExperimentResult
+
+        calls = []
+
+        def good(settings=None):
+            calls.append(1)
+            return ExperimentResult("x", "ok", "text", {})
+
+        def boom(settings=None):
+            raise AnalysisError("injected")
+
+        monkeypatch.setattr(
+            registry, "EXPERIMENTS", {"good": good, "bad": boom,
+                                      "good2": good}
+        )
+        results = registry.run_all(keep_going=True)
+        assert [r.ok for r in results] == [True, False, True]
+        assert len(calls) == 2  # experiments after the failure still ran
+        assert "FAILED" in results[1].text
+
+    def test_run_all_strict_propagates(self, monkeypatch):
+        from repro.errors import AnalysisError
+        from repro.experiments import registry
+
+        def boom(settings=None):
+            raise AnalysisError("injected")
+
+        monkeypatch.setattr(registry, "EXPERIMENTS", {"bad": boom})
+        with pytest.raises(AnalysisError):
+            registry.run_all()

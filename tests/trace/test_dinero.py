@@ -71,3 +71,35 @@ class TestErrors:
     def test_malformed_lines_rejected(self, line):
         with pytest.raises(TraceError):
             read_din(io.StringIO(line + "\n"))
+
+    def test_error_names_file_and_line(self, tmp_path):
+        path = tmp_path / "bad.din"
+        path.write_text("2 10\n2 10\nxx yy\n")
+        with pytest.raises(TraceError, match=r"bad\.din.*line 3"):
+            read_din(str(path))
+
+    def test_line_numbers_are_one_based(self):
+        with pytest.raises(TraceError, match="line 1"):
+            read_din(io.StringIO("9 10\n2 20\n"))
+
+    def test_truncated_final_line_reported(self, tmp_path):
+        # A crash mid-write leaves the last record cut off with no
+        # terminating newline; that must be diagnosed as truncation.
+        path = tmp_path / "cut.din"
+        path.write_text("2 10\n1 20\n2")
+        with pytest.raises(TraceError, match=r"cut\.din.*truncated final "
+                                             r"line 3"):
+            read_din(str(path))
+
+    def test_truncated_hex_field_reported(self):
+        with pytest.raises(TraceError, match="truncated final line 2"):
+            read_din(io.StringIO("2 10\n1 2zz"))
+
+    def test_unterminated_but_parsable_final_line_accepted(self):
+        back = read_din(io.StringIO("2 10\n1 20"))
+        assert len(back) == 2
+
+    def test_malformed_terminated_line_is_not_truncation(self):
+        with pytest.raises(TraceError) as excinfo:
+            read_din(io.StringIO("2 zz\n"))
+        assert "truncated" not in str(excinfo.value)
