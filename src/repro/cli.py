@@ -6,16 +6,22 @@ Main subcommands:
   [--keep-going]`` — regenerate one of the paper's tables/figures (see
   DESIGN.md §5);
 * ``repro-sim simulate [--size-kb N] [--assoc A] [--block-words W]
-  [--cycle-ns T] [--trace NAME] [--engine]`` — run one configuration on
-  one trace and print its statistics;
+  [--cycle-ns T] [--trace NAME] [--engine] [--metrics] [--metrics-out F]
+  [--trace-out F]`` — run one configuration on one trace and print its
+  statistics; ``--metrics`` adds the cycle-attribution ledger (with the
+  conservation invariant checked) and host profiling, ``--trace-out``
+  dumps a Chrome ``trace_event`` timeline;
 * ``repro-sim traces [--length N]`` — print the Table 1 analogue for the
   synthetic suite;
-* ``repro-sim campaign run|status|fsck <dir>`` — fault-tolerant sweep
-  execution over a persisted campaign directory: ``run`` executes a
-  (size x cycle-time) sweep with worker isolation, per-run timeouts and
-  retries (``--jobs/--timeout/--retries/--keep-going``); ``status``
-  prints the manifest journal; ``fsck`` validates every stored result's
-  checksum and optionally quarantines corruption (``--repair``).
+* ``repro-sim campaign run|status|report|fsck <dir>`` — fault-tolerant
+  sweep execution over a persisted campaign directory: ``run`` executes
+  a (size x cycle-time) sweep with worker isolation, per-run timeouts
+  and retries (``--jobs/--timeout/--retries/--keep-going``; add
+  ``--metrics`` to persist per-run telemetry RunReports); ``status``
+  prints the manifest journal; ``report`` aggregates stored RunReports
+  (slowest runs, stall breakdowns, throughput percentiles); ``fsck``
+  validates every stored result's checksum and optionally quarantines
+  corruption (``--repair``).
 """
 
 from __future__ import annotations
@@ -68,7 +74,13 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    trace = build_trace(args.trace, length=args.length, seed=args.seed)
+    from .sim.telemetry import (
+        CycleLedger, EventTracer, StageTimer, Telemetry, build_run_report,
+    )
+
+    timer = StageTimer()
+    with timer.stage("trace"):
+        trace = build_trace(args.trace, length=args.length, seed=args.seed)
     if args.spec:
         from .sim.specfiles import load_spec
 
@@ -89,9 +101,23 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             check_fastpath_supported(config)
         except ConfigurationError:
             runner = simulate  # spec needs engine features
-    stats = runner(config, trace)
+    want_metrics = args.metrics or args.metrics_out
+    telemetry = None
+    if want_metrics or args.trace_out:
+        telemetry = Telemetry(
+            ledger=CycleLedger() if want_metrics else None,
+            tracer=EventTracer() if args.trace_out else None,
+        )
+    with timer.stage("simulate"):
+        if telemetry is not None:
+            stats = runner(config, trace, telemetry=telemetry)
+        else:
+            stats = runner(config, trace)
     print(f"trace: {trace.name} ({len(trace)} references, "
           f"{stats.n_refs} measured)")
+    print(f"warm-up: {len(trace) - stats.n_refs} reference(s) before the "
+          f"boundary at reference {trace.warm_boundary}; statistics "
+          f"snapshot at cycle {stats.warm_cycles} of {stats.total_cycles}")
     print(f"system: {config.describe()}")
     print(f"cycles: {stats.cycles}  ({stats.cycles_per_reference:.3f}/ref)")
     print(f"execution time: {stats.execution_time_ns / 1e6:.3f} ms")
@@ -104,6 +130,33 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(f"write buffer: {stats.buffer.pushes} pushes, "
           f"{stats.buffer.full_stalls} full stalls, "
           f"{stats.buffer.match_stalls} read-match stalls")
+    if telemetry is not None and telemetry.ledger is not None:
+        report = build_run_report(
+            stats, telemetry.ledger, timer,
+            run_identifier=f"{trace.name}-cli",
+            simulator="engine" if runner is simulate else "fastpath",
+            n_refs_total=len(trace), config=config,
+        )
+        print("cycle attribution (measured):")
+        print(telemetry.ledger.render(stats.cycles))
+        print(f"host: {report.total_wall_s:.3f}s wall "
+              f"({report.refs_per_sec:,.0f} refs/s), "
+              f"peak RSS {report.peak_rss_kb or 0} KiB")
+        if args.metrics_out:
+            import json as _json
+
+            with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                _json.dump(report.to_dict(), handle, indent=1)
+            print(f"metrics written to {args.metrics_out}")
+        if not report.conserved:
+            print("error: cycle-conservation invariant VIOLATED",
+                  file=sys.stderr)
+            return 1
+    if telemetry is not None and telemetry.tracer is not None:
+        telemetry.tracer.dump(args.trace_out)
+        print(f"event trace written to {args.trace_out} "
+              f"({len(telemetry.tracer)} event(s), "
+              f"{telemetry.tracer.dropped} dropped)")
     return 0
 
 
@@ -182,6 +235,16 @@ def build_parser() -> argparse.ArgumentParser:
                       help="variation file applied on top of --spec "
                            "(repeatable, applied in order)")
     simp.add_argument("--seed", type=int, default=0)
+    simp.add_argument("--metrics", action="store_true",
+                      help="collect the cycle-attribution ledger and "
+                           "host profiling metrics; verifies the "
+                           "cycle-conservation invariant")
+    simp.add_argument("--metrics-out", default="",
+                      help="write the RunReport metrics document (JSON) "
+                           "to this path (implies --metrics)")
+    simp.add_argument("--trace-out", default="",
+                      help="write a Chrome trace_event JSON timeline of "
+                           "misses and stalls to this path")
     simp.set_defaults(func=_cmd_simulate)
 
     tr = sub.add_parser("traces", help="describe the synthetic trace suite")
@@ -263,6 +326,9 @@ def build_parser() -> argparse.ArgumentParser:
     crun.add_argument("--engine", action="store_true",
                       help="use the reference engine (supports "
                            "cooperative timeout cancellation)")
+    crun.add_argument("--metrics", action="store_true",
+                      help="collect per-run telemetry RunReports under "
+                           "<dir>/metrics/ and write a sweep summary")
     crun.set_defaults(func=_cmd_campaign_run)
 
     cstat = csub.add_parser(
@@ -270,6 +336,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cstat.add_argument("directory")
     cstat.set_defaults(func=_cmd_campaign_status)
+
+    crep = csub.add_parser(
+        "report",
+        help="aggregate stored RunReport metrics: slowest runs, stall "
+             "breakdowns, throughput percentiles",
+    )
+    crep.add_argument("directory")
+    crep.add_argument("--slowest", type=int, default=5,
+                      help="how many slowest runs to list")
+    crep.set_defaults(func=_cmd_campaign_report)
 
     cfsck = csub.add_parser(
         "fsck", help="validate every stored result's checksum"
@@ -332,6 +408,7 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         timeout_s=args.timeout,
         retry=RetryPolicy(max_attempts=args.retries + 1),
         keep_going=args.keep_going,
+        collect_metrics=args.metrics,
     )
     try:
         report = executor.run_sweep(jobs)
@@ -359,6 +436,23 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
         print(f"note: {stored} result file(s) on disk vs "
               f"{len(manifest.runs)} journaled run(s)")
     return 0 if not manifest.incomplete() else 1
+
+
+def _cmd_campaign_report(args: argparse.Namespace) -> int:
+    from .sim.campaign import Campaign
+    from .sim.telemetry import RunReport, aggregate_reports, render_summary
+
+    campaign = Campaign(args.directory)
+    reports = [
+        RunReport.from_dict(payload) for payload in campaign.load_reports()
+    ]
+    if not reports:
+        print(f"{args.directory}: no metrics stored "
+              f"(run the sweep with --metrics)")
+        return 1
+    summary = aggregate_reports(reports, slowest=args.slowest)
+    print(render_summary(summary))
+    return 0 if summary["all_conserved"] else 1
 
 
 def _cmd_campaign_fsck(args: argparse.Namespace) -> int:

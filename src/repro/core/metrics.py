@@ -163,8 +163,18 @@ class SpeedSizeGrid:
 
     def normalized(self) -> np.ndarray:
         """Execution times divided by the grid's best point (the paper
-        normalizes Figure 3-3 the same way)."""
-        return self.execution_ns / self.best_execution_ns
+        normalizes Figure 3-3 the same way).
+
+        A zero best time would silently turn the whole grid into
+        inf/nan under numpy's division semantics; it can only come from
+        a corrupted sweep, so it raises instead.
+        """
+        best = self.best_execution_ns
+        if best <= 0:
+            raise AnalysisError(
+                f"cannot normalize: best execution time is {best}"
+            )
+        return self.execution_ns / best
 
     def size_index(self, total_size: int) -> int:
         try:

@@ -43,6 +43,16 @@ class MainMemory:
         self.reads = 0
         self.writes = 0
         self.busy_cycles = 0
+        #: Cycle the current operation's work ends; the gap up to
+        #: ``free_at`` is recovery.  Telemetry uses the distinction to
+        #: attribute queueing delay to contention versus DRAM recovery.
+        self.busy_until = 0
+        #: When true, :meth:`read_block` leaves the cycle-attribution
+        #: segments of its latest read in :attr:`last_read_segments`
+        #: (see :mod:`repro.sim.telemetry`).  Off by default; costs one
+        #: branch per read when off.
+        self.record_segments = False
+        self.last_read_segments = None
 
     def transfer_cycles(self, words: int) -> int:
         """Cycles to move ``words`` across the memory bus."""
@@ -67,6 +77,7 @@ class MainMemory:
         start = now if now > self.free_at else self.free_at
         first_word_ready = start + max(self._latency_cycles, overlap_cycles)
         done = first_word_ready + self.transfer_cycles(words)
+        self.busy_until = done
         self.free_at = done + self._recovery_cycles
         self.reads += 1
         self.busy_cycles += done - start
@@ -83,6 +94,7 @@ class MainMemory:
         start = now if now > self.free_at else self.free_at
         handoff = start + self.timing.write_handoff_cycles(words)
         internal_done = handoff + self._write_op_cycles
+        self.busy_until = internal_done
         self.free_at = internal_done + self._recovery_cycles
         self.writes += 1
         self.busy_cycles += internal_done - start
@@ -103,8 +115,35 @@ class MainMemory:
         feeds the early-continuation / load-forward miss-handling modes.
         """
         start = now if now > self.free_at else self.free_at
+        transfer = self.transfer_cycles(words)
         transfer_begins = start + max(self._latency_cycles, overlap_cycles)
-        done = transfer_begins + self.transfer_cycles(words)
+        done = transfer_begins + transfer
+        if self.record_segments:
+            # Decompose done - now for the attribution ledger.  The
+            # waited interval [now, start) overlaps the previous
+            # operation's recovery window [busy_until, free_at);
+            # anything earlier is genuine contention.
+            wait = start - now
+            recovery_wait = 0
+            if wait:
+                recovery_wait = start - max(now, self.busy_until)
+                if recovery_wait < 0:
+                    recovery_wait = 0
+                elif recovery_wait > wait:
+                    recovery_wait = wait
+            segments = []
+            if wait > recovery_wait:
+                segments.append(("mem_busy", wait - recovery_wait))
+            if recovery_wait:
+                segments.append(("mem_recovery", recovery_wait))
+            if self._latency_cycles:
+                segments.append(("fetch_latency", self._latency_cycles))
+            overlap_excess = transfer_begins - start - self._latency_cycles
+            if overlap_excess:
+                segments.append(("writeback_overlap", overlap_excess))
+            segments.append(("fetch_transfer", transfer))
+            self.last_read_segments = segments
+        self.busy_until = done
         self.free_at = done + self._recovery_cycles
         self.reads += 1
         self.busy_cycles += done - start
@@ -121,3 +160,5 @@ class MainMemory:
         self.reads = 0
         self.writes = 0
         self.busy_cycles = 0
+        self.busy_until = 0
+        self.last_read_segments = None

@@ -56,6 +56,13 @@ MANIFEST_NAME = "manifest.json"
 #: Subdirectory corrupt result files are moved into.
 QUARANTINE_DIRNAME = "quarantine"
 
+#: Subdirectory per-run :class:`~repro.sim.telemetry.RunReport` metrics
+#: documents are stored in, next to (not mixed with) the result files.
+METRICS_DIRNAME = "metrics"
+
+#: File name of the sweep-level aggregation inside ``metrics/``.
+SUMMARY_NAME = "summary.json"
+
 #: Prefix of the temporary files :func:`atomic_write_text` stages writes
 #: in.  They never match the ``*.json`` result glob; ``fsck`` sweeps any
 #: that a hard crash left behind.
@@ -248,6 +255,14 @@ class Campaign:
     def manifest_path(self) -> Path:
         return self.directory / MANIFEST_NAME
 
+    @property
+    def metrics_dir(self) -> Path:
+        return self.directory / METRICS_DIRNAME
+
+    @property
+    def summary_path(self) -> Path:
+        return self.metrics_dir / SUMMARY_NAME
+
     def _result_paths(self) -> Iterator[Path]:
         for path in sorted(self.directory.glob("*.json")):
             if path.name != MANIFEST_NAME:
@@ -272,6 +287,44 @@ class Campaign:
             "stats": stats_payload,
         }
         self._writer(self._path(identifier), json.dumps(payload, indent=1))
+
+    # ------------------------------------------------------------------
+    # Run metrics (telemetry RunReports; see repro.sim.telemetry)
+    # ------------------------------------------------------------------
+    def save_report(self, report_payload: Dict) -> None:
+        """Persist one run's :class:`RunReport` document under
+        ``metrics/``.  Metrics are advisory — they share the atomic
+        writer but not the checksum machinery of result files."""
+        identifier = report_payload.get("run_id") or "unknown"
+        self.metrics_dir.mkdir(parents=True, exist_ok=True)
+        self._writer(
+            self.metrics_dir / f"{identifier}.json",
+            json.dumps(report_payload, indent=1),
+        )
+
+    def save_summary(self, summary: Dict) -> None:
+        """Persist the sweep-level aggregation as ``metrics/summary.json``."""
+        self.metrics_dir.mkdir(parents=True, exist_ok=True)
+        self._writer(self.summary_path, json.dumps(summary, indent=1))
+
+    def load_reports(self) -> List[Dict]:
+        """Every stored per-run metrics document, sorted by run id.
+
+        Unreadable metrics files are skipped — a sweep post-mortem must
+        not be blocked by one bad advisory document."""
+        if not self.metrics_dir.is_dir():
+            return []
+        reports = []
+        for path in sorted(self.metrics_dir.glob("*.json")):
+            if path.name == SUMMARY_NAME:
+                continue
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                continue
+            if isinstance(payload, dict):
+                reports.append(payload)
+        return reports
 
     def _read_payload(self, path: Path) -> Dict:
         """Read and validate one result file; raise on any corruption."""

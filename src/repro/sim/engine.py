@@ -45,6 +45,7 @@ from ..vm.paging import PageMapper
 from ..vm.tlb import TLB
 from .config import LowerLevelSpec, SystemConfig, TranslationSpec
 from .statistics import BufferCounters, CacheCounters, SimStats
+from .telemetry import Telemetry, truncate_segments
 
 _STORE = int(RefKind.STORE)
 
@@ -209,6 +210,15 @@ class L1Port:
         self._offset_bits = cache.geometry.offset_bits
         self._miss_handling = miss_handling
         self._translator = translator
+        # Telemetry wiring (set by Engine.run when a Telemetry object is
+        # passed): the port leaves the segment breakdown of its latest
+        # access in ``last_segments`` for the couplet loop to charge.
+        # Plain read hits leave ``None`` — they are pure L1 service, and
+        # the fastpath cannot see them inside event couplets, so leaving
+        # them implicit is what keeps the two simulators' ledgers equal.
+        self.telemetry: Optional[Telemetry] = None
+        self._below_is_memory = False
+        self.last_segments = None
 
     def _push_victim(self, victim_key: int, dirty_words: int, now: int) -> None:
         pid = key_pid(victim_key)
@@ -219,8 +229,35 @@ class L1Port:
         c.writeback_words_dirty += dirty_words
         self.wb.push(pid, addr, self._block_words, now)
 
+    def _miss_segments(
+        self, issue: int, now: int, t: int, done: int, completion: int,
+        extra_l1: int = 0,
+    ):
+        """Attribution segments of a miss serviced through ``below``.
+
+        ``issue`` is the couplet issue cycle, ``now`` the post-
+        translation cycle, ``t`` the post-read-match cycle, ``done`` the
+        fetch completion and ``completion`` the cycle the CPU resumes
+        (earlier than ``done`` in the non-blocking miss modes, which is
+        what the final truncation accounts for).
+        """
+        segments = []
+        if now > issue:
+            segments.append(("translation", now - issue))
+        if t > now:
+            segments.append(("wb_match_stall", t - now))
+        if self._below_is_memory:
+            segments.extend(self.below.last_read_segments)
+        else:
+            segments.append(("lower_fetch", done - t))
+        if extra_l1:
+            segments.append(("l1_service", extra_l1))
+        return truncate_segments(segments, completion - issue)
+
     def read(self, pid: int, addr: int, now: int) -> int:
         """Serve a load or ifetch issued at ``now``; return completion."""
+        tel = self.telemetry
+        issue = now
         if self._translator is not None:
             # Physical cache: translate first; tags are physical and
             # process-agnostic.
@@ -230,6 +267,12 @@ class L1Port:
         c = self.counters
         c.reads += 1
         if res.hit:
+            if tel is not None:
+                self.last_segments = (
+                    [("translation", now - issue),
+                     ("l1_service", self._read_hit)]
+                    if now > issue else None
+                )
             return now + self._read_hit
         c.read_misses += 1
         fetch_words = res.fetched_words
@@ -243,19 +286,28 @@ class L1Port:
             overlap = self._block_words
         done, first = self.below.read_block(pid, fetch_start, fetch_words, t, overlap)
         if self._miss_handling is MissHandling.BLOCKING:
-            return done
-        if self._miss_handling is MissHandling.LOAD_FORWARD:
-            return first
-        # Early continuation: the block streams from its first word; the
-        # CPU resumes when the requested word goes past.
-        offset = addr - fetch_start
-        if offset == 0:
-            return first
-        return first - self.below.transfer_cycles(1) + \
-            self.below.transfer_cycles(offset + 1)
+            completion = done
+        elif self._miss_handling is MissHandling.LOAD_FORWARD:
+            completion = first
+        else:
+            # Early continuation: the block streams from its first word;
+            # the CPU resumes when the requested word goes past.
+            offset = addr - fetch_start
+            if offset == 0:
+                completion = first
+            else:
+                completion = first - self.below.transfer_cycles(1) + \
+                    self.below.transfer_cycles(offset + 1)
+        if tel is not None:
+            self.last_segments = self._miss_segments(
+                issue, now, t, done, completion
+            )
+        return completion
 
     def write(self, pid: int, addr: int, now: int) -> int:
         """Serve a store issued at ``now``; return completion."""
+        tel = self.telemetry
+        issue = now
         if self._translator is not None:
             addr, now = self._translator.translate(pid, addr, now)
             pid = 0
@@ -263,6 +315,11 @@ class L1Port:
         c = self.counters
         c.writes += 1
         if res.hit and not res.bypass_write:
+            if tel is not None:
+                segments = [("l1_service", self._write_hit)]
+                if now > issue:
+                    segments.insert(0, ("translation", now - issue))
+                self.last_segments = segments
             return now + self._write_hit
         if res.bypass_write:
             if not res.hit:
@@ -270,7 +327,15 @@ class L1Port:
             c.bypass_writes += 1
             release = self.wb.push(pid, addr, 1, now + 1)
             end = now + self._write_hit
-            return end if end > release else release
+            completion = end if end > release else release
+            if tel is not None:
+                segments = [("l1_service", self._write_hit)]
+                if now > issue:
+                    segments.insert(0, ("translation", now - issue))
+                if completion > end:
+                    segments.append(("wb_full_stall", completion - end))
+                self.last_segments = segments
+            return completion
         # Fetch-on-write (write-allocate): fetch the block like a read
         # miss, then the write completes one data cycle later.
         c.write_misses += 1
@@ -284,6 +349,10 @@ class L1Port:
             self._push_victim(res.victim_key, res.victim_dirty_words, t)
             overlap = self._block_words
         done, _first = self.below.read_block(pid, fetch_start, fetch_words, t, overlap)
+        if tel is not None:
+            self.last_segments = self._miss_segments(
+                issue, now, t, done, done + 1, extra_l1=1
+            )
         return done + 1
 
 
@@ -336,6 +405,7 @@ class Engine:
         trace: Trace,
         couplets: Optional[CoupletStream] = None,
         cancel_check: Optional[Callable[[], None]] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> SimStats:
         """Simulate one trace; return warm-start statistics.
 
@@ -348,12 +418,25 @@ class Engine:
         :func:`repro.sim.resilience.make_deadline_check`), which lets a
         campaign executor stop a over-budget simulation from inside the
         worker instead of killing the process.
+
+        ``telemetry`` enables cycle attribution and event tracing (see
+        :mod:`repro.sim.telemetry`).  Pass a *fresh* ledger per run; the
+        run verifies cycle conservation on completion and raises
+        :exc:`~repro.errors.SimulationError` if attribution leaks.
         """
         config = self.config
         if couplets is None:
             couplets = (
                 sequentialize(trace) if config.l1.unified else pair_couplets(trace)
             )
+        tel = telemetry
+        if tel is not None and tel.ledger is None and tel.tracer is None:
+            tel = None
+        if tel is not None:
+            for port in (self.iport, self.dport):
+                port.telemetry = tel
+                port._below_is_memory = port.below is self.memory
+            self.memory.record_segments = True
         iport = self.iport
         dport = self.dport
         i_addr = couplets.i_addr
@@ -374,30 +457,65 @@ class Engine:
             snap_mem = (self.memory.reads, self.memory.writes,
                         self.memory.busy_cycles)
         check_mask = self.CANCEL_CHECK_MASK
-        for k in range(len(i_addr)):
-            if cancel_check is not None and not (k & check_mask):
-                cancel_check()
-            if k == warm_k:
-                warm_cycles = now
-                snap_i = iport.counters.snapshot()
-                snap_d = dport.counters.snapshot()
-                snap_mem = (self.memory.reads, self.memory.writes,
-                            self.memory.busy_cycles)
-            end = now + 1
-            ia = i_addr[k]
-            if ia != NO_REF:
-                t = iread(i_pid[k], ia, now)
-                if t > end:
-                    end = t
-            dk = d_kind[k]
-            if dk != NO_REF:
-                if dk == _STORE:
-                    t = dwrite(d_pid[k], d_addr[k], now)
-                else:
-                    t = dread(d_pid[k], d_addr[k], now)
-                if t > end:
-                    end = t
-            now = end
+        if tel is None:
+            for k in range(len(i_addr)):
+                if cancel_check is not None and not (k & check_mask):
+                    cancel_check()
+                if k == warm_k:
+                    warm_cycles = now
+                    snap_i = iport.counters.snapshot()
+                    snap_d = dport.counters.snapshot()
+                    snap_mem = (self.memory.reads, self.memory.writes,
+                                self.memory.busy_cycles)
+                end = now + 1
+                ia = i_addr[k]
+                if ia != NO_REF:
+                    t = iread(i_pid[k], ia, now)
+                    if t > end:
+                        end = t
+                dk = d_kind[k]
+                if dk != NO_REF:
+                    if dk == _STORE:
+                        t = dwrite(d_pid[k], d_addr[k], now)
+                    else:
+                        t = dread(d_pid[k], d_addr[k], now)
+                    if t > end:
+                        end = t
+                now = end
+        else:
+            ledger = tel.ledger
+            for k in range(len(i_addr)):
+                if cancel_check is not None and not (k & check_mask):
+                    cancel_check()
+                if k == warm_k:
+                    warm_cycles = now
+                    snap_i = iport.counters.snapshot()
+                    snap_d = dport.counters.snapshot()
+                    snap_mem = (self.memory.reads, self.memory.writes,
+                                self.memory.busy_cycles)
+                    if ledger is not None:
+                        ledger.mark_warm()
+                end = now + 1
+                i_segs = d_segs = None
+                ia = i_addr[k]
+                if ia != NO_REF:
+                    t = iread(i_pid[k], ia, now)
+                    if t > end:
+                        end = t
+                    i_segs = iport.last_segments
+                dk = d_kind[k]
+                if dk != NO_REF:
+                    if dk == _STORE:
+                        t = dwrite(d_pid[k], d_addr[k], now)
+                    else:
+                        t = dread(d_pid[k], d_addr[k], now)
+                    if t > end:
+                        end = t
+                    d_segs = dport.last_segments
+                tel.note_couplet(now, end, i_segs, d_segs)
+                now = end
+            if ledger is not None:
+                ledger.verify(now, now - warm_cycles)
         if warm_k >= len(i_addr):
             raise ConfigurationError(
                 "warm boundary leaves nothing to measure; shorten it"
@@ -437,8 +555,10 @@ def simulate(
     couplets: Optional[CoupletStream] = None,
     seed: int = 0,
     cancel_check: Optional[Callable[[], None]] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> SimStats:
     """One-shot convenience wrapper: build an engine and run one trace."""
     return Engine(config, seed=seed).run(
-        trace, couplets=couplets, cancel_check=cancel_check
+        trace, couplets=couplets, cancel_check=cancel_check,
+        telemetry=telemetry,
     )

@@ -41,6 +41,7 @@ from ..memory.mainmemory import MainMemory
 from ..trace.record import RefKind, Trace
 from .config import SystemConfig
 from .statistics import BufferCounters, CacheCounters, SimStats
+from .telemetry import Telemetry
 
 _STORE = int(RefKind.STORE)
 
@@ -267,10 +268,25 @@ def replay(
     memory: MemoryTiming,
     cycle_ns: float,
     write_buffer_depth: int = 4,
+    telemetry: Optional[Telemetry] = None,
 ) -> ReplayOutcome:
-    """Re-price an event stream under one temporal parameter set."""
+    """Re-price an event stream under one temporal parameter set.
+
+    ``telemetry`` enables the cycle-attribution ledger / event tracer.
+    Gap cycles between events are pure L1 service; eventful couplets
+    build the same per-half segment lists the engine does and charge
+    them through the same :meth:`CycleLedger.charge_couplet
+    <repro.sim.telemetry.CycleLedger.charge_couplet>`, so the two
+    simulators' attributions are identical, not merely close.
+    """
     mem = MainMemory(memory, cycle_ns)
     wb = TimedWriteBuffer(write_buffer_depth, mem)
+    tel = telemetry
+    if tel is not None and tel.ledger is None and tel.tracer is None:
+        tel = None
+    ledger = tel.ledger if tel is not None else None
+    if tel is not None:
+        mem.record_segments = True
     now = 0
     now_at_last_event = 0
     warm_now = -1
@@ -295,19 +311,32 @@ def replay(
         if e == widx:
             warm_now = now + stream.warm_base_offset
             warm_mem = (mem.reads, mem.writes, mem.busy_cycles)
-        now += ev_gap[e]
+            if ledger is not None:
+                ledger.mark_warm(stream.warm_base_offset)
+        gap = ev_gap[e]
+        if gap and ledger is not None:
+            # Hit service between events (1 cycle per couplet, 2 for
+            # write hits) — matches the engine's per-couplet fallback.
+            ledger.charge("l1_service", gap)
+        now += gap
         start = now
         end = start + 1
+        i_segs = d_segs = None
         if ev_imiss[e]:
             drain(start)
             t = match(ev_ipid[e], ev_iaddr[e], i_block, start)
             done, _first = read_block(ev_ipid[e], ev_iaddr[e], i_block, t, 0)
             if done > end:
                 end = done
+            if tel is not None:
+                i_segs = [("wb_match_stall", t - start)] if t > start else []
+                i_segs.extend(mem.last_read_segments)
         dt = ev_dtype[e]
         if dt == _D_WRITE_HIT:
             if start + 2 > end:
                 end = start + 2
+            if tel is not None:
+                d_segs = [("l1_service", 2)]
         elif dt == _D_READ_MISS:
             drain(start)
             t = match(ev_dpid[e], ev_daddr[e], d_block, start)
@@ -319,6 +348,9 @@ def replay(
             done, _first = read_block(ev_dpid[e], ev_daddr[e], d_block, t, overlap)
             if done > end:
                 end = done
+            if tel is not None:
+                d_segs = [("wb_match_stall", t - start)] if t > start else []
+                d_segs.extend(mem.last_read_segments)
         elif dt == _D_WRITE_MISS:
             release = push(ev_dpid[e], ev_daddr[e], 1, start + 1)
             tail = start + 2
@@ -326,13 +358,25 @@ def replay(
                 tail = release
             if tail > end:
                 end = tail
+            if tel is not None:
+                d_segs = [("l1_service", 2)]
+                if tail > start + 2:
+                    d_segs.append(("wb_full_stall", tail - start - 2))
+        if tel is not None:
+            tel.note_couplet(start, end, i_segs, d_segs)
         now = end
         now_at_last_event = now
     if warm_now < 0:
         # The warm boundary lies after the final event.
         warm_now = now_at_last_event + stream.warm_base_offset
         warm_mem = (mem.reads, mem.writes, mem.busy_cycles)
+        if ledger is not None:
+            ledger.mark_warm(stream.warm_base_offset)
+    if stream.end_base and ledger is not None:
+        ledger.charge("l1_service", stream.end_base)
     now += stream.end_base
+    if ledger is not None:
+        ledger.verify(now, now - warm_now)
     return ReplayOutcome(
         cycles=now - warm_now,
         total_cycles=now,
@@ -379,6 +423,7 @@ def fast_simulate(
     trace: Trace,
     couplets: Optional[CoupletStream] = None,
     seed: int = 0,
+    telemetry: Optional[Telemetry] = None,
 ) -> SimStats:
     """Drop-in equivalent of :func:`repro.sim.engine.simulate` for
     fastpath-supported configurations."""
@@ -386,5 +431,6 @@ def fast_simulate(
     outcome = replay(
         stream, config.memory, config.cycle_ns,
         write_buffer_depth=config.l1.write_buffer_depth,
+        telemetry=telemetry,
     )
     return assemble_stats(stream, outcome, config.cycle_ns)

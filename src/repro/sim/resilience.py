@@ -252,8 +252,16 @@ def _worker_main(
     job_index: int,
     attempt: int,
     timeout_s: Optional[float],
+    collect_metrics: bool = False,
 ) -> None:
-    """Entry point of one isolated simulation worker process."""
+    """Entry point of one isolated simulation worker process.
+
+    With ``collect_metrics`` the worker also assembles a
+    :class:`~repro.sim.telemetry.RunReport` (cycle-attribution ledger if
+    the simulator supports the ``telemetry`` kwarg, plus wall-clock and
+    RSS measured *inside* the worker process, where they are honest) and
+    ships it alongside the stats as ``("ok", (stats, report_dict))``.
+    """
     try:
         if fault_plan is not None:
             fault_plan.worker_faults(job_index, attempt)
@@ -262,8 +270,33 @@ def _worker_main(
             kwargs["seed"] = seed
         if timeout_s and _supports_kwarg(simulate_fn, "cancel_check"):
             kwargs["cancel_check"] = make_deadline_check(timeout_s)
-        stats = simulate_fn(config, trace, **kwargs)
-        conn.send(("ok", stats))
+        if not collect_metrics:
+            stats = simulate_fn(config, trace, **kwargs)
+            conn.send(("ok", stats))
+        else:
+            from .telemetry import (
+                CycleLedger, StageTimer, Telemetry, build_run_report,
+            )
+
+            ledger = None
+            if _supports_kwarg(simulate_fn, "telemetry"):
+                ledger = CycleLedger()
+                kwargs["telemetry"] = Telemetry(ledger=ledger)
+            timer = StageTimer()
+            with timer.stage("simulate"):
+                stats = simulate_fn(config, trace, **kwargs)
+            report = build_run_report(
+                stats, ledger, timer,
+                run_identifier=run_id(config, trace),
+                simulator=(
+                    "engine"
+                    if getattr(simulate_fn, "__name__", "") == "simulate"
+                    else "fastpath"
+                ),
+                n_refs_total=len(trace),
+                config=config,
+            )
+            conn.send(("ok", (stats, report.to_dict())))
     except RunTimeoutError as exc:
         _best_effort_send(conn, ("timeout", str(exc)))
     except BaseException as exc:  # noqa: BLE001 — full containment
@@ -367,6 +400,7 @@ class CampaignExecutor:
         sleep_fn: Callable[[float], None] = time.sleep,
         mp_context: Optional[multiprocessing.context.BaseContext] = None,
         grace_s: float = 5.0,
+        collect_metrics: bool = False,
     ) -> None:
         if jobs < 1:
             raise CampaignError(f"jobs must be >= 1, got {jobs}")
@@ -375,6 +409,10 @@ class CampaignExecutor:
         self.campaign = campaign
         self.jobs = jobs
         self.timeout_s = timeout_s
+        #: When set, workers also build telemetry RunReports (ledger +
+        #: wall clock + RSS) persisted under ``<campaign>/metrics/``,
+        #: and :meth:`run_sweep` writes a sweep-level summary.
+        self.collect_metrics = collect_metrics
         #: Extra wall time past ``timeout_s`` before the parent
         #: terminates a worker — room for a simulator that honors the
         #: cooperative cancel hook to report its own RunTimeoutError
@@ -404,6 +442,7 @@ class CampaignExecutor:
             args=(
                 sender, job.config, job.trace, job.simulate_fn, job.seed,
                 self.fault_plan, job_index, attempt, self.timeout_s,
+                self.collect_metrics,
             ),
             daemon=True,
         )
@@ -480,6 +519,9 @@ class CampaignExecutor:
             if status != STATUS_OK:
                 last_status, last_error = status, str(payload)
                 continue
+            report_payload = None
+            if self.collect_metrics and isinstance(payload, tuple):
+                payload, report_payload = payload
             try:
                 if plan is not None:
                     plan.save_faults(job_index, attempt)
@@ -499,6 +541,11 @@ class CampaignExecutor:
                 last_status = STATUS_QUARANTINED
                 last_error = str(exc)
                 continue
+            if report_payload is not None:
+                try:
+                    self.campaign.save_report(report_payload)
+                except OSError:
+                    pass  # metrics are advisory; never fail the run
             record.status = STATUS_OK
             record.error = ""
             self._journal(record)
@@ -516,6 +563,20 @@ class CampaignExecutor:
     def _journal(self, record: RunRecord) -> None:
         with self._manifest_lock:
             self.manifest.record(record)
+
+    def _write_summary(self) -> None:
+        """Aggregate every stored RunReport into ``metrics/summary.json``."""
+        from .telemetry import RunReport, aggregate_reports
+
+        reports = [
+            RunReport.from_dict(payload)
+            for payload in self.campaign.load_reports()
+        ]
+        if reports:
+            try:
+                self.campaign.save_summary(aggregate_reports(reports))
+            except OSError:
+                pass  # advisory, like the per-run documents
 
     # -- the sweep ------------------------------------------------------
     def run_sweep(self, jobs: Sequence[RunJob]) -> CampaignReport:
@@ -548,6 +609,8 @@ class CampaignExecutor:
         report = CampaignReport(
             records=[record for record in slots if record is not None]
         )
+        if self.collect_metrics:
+            self._write_summary()
         if not self.keep_going and not report.all_ok:
             bad = [r for r in report.records if r.status != STATUS_OK]
             skipped = len(jobs) - len(report.records)

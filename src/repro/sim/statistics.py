@@ -44,8 +44,19 @@ class CacheCounters:
 
     @property
     def read_miss_ratio(self) -> float:
-        """Read misses per read request (the paper's miss-ratio metric)."""
+        """Read misses per read request (the paper's miss-ratio metric).
+
+        Zero when no reads were measured — every derived ratio here
+        defines 0/0 as 0.0 rather than raising, because sparse traces
+        (or an I-only/D-only slice) legitimately produce empty
+        denominators.
+        """
         return self.read_misses / self.reads if self.reads else 0.0
+
+    @property
+    def write_miss_ratio(self) -> float:
+        """Write misses per write request; 0.0 when nothing was written."""
+        return self.write_misses / self.writes if self.writes else 0.0
 
 
 @dataclass
@@ -56,6 +67,14 @@ class BufferCounters:
     full_stalls: int = 0
     match_stalls: int = 0
     max_occupancy: int = 0
+
+    @property
+    def stalls_per_push(self) -> float:
+        """Full + read-match stalls per buffered write; 0.0 when the
+        buffer was never used."""
+        if not self.pushes:
+            return 0.0
+        return (self.full_stalls + self.match_stalls) / self.pushes
 
 
 @dataclass
@@ -106,6 +125,18 @@ class SimStats:
     @property
     def ifetch_miss_ratio(self) -> float:
         return self.icache.read_miss_ratio
+
+    @property
+    def write_miss_ratio(self) -> float:
+        """Write misses per store across the D side; 0.0 for a loadless
+        trace slice."""
+        return self.dcache.write_miss_ratio
+
+    @property
+    def memory_utilization(self) -> float:
+        """Fraction of measured cycles the memory port was busy; 0.0
+        when no cycles were measured."""
+        return self.memory_busy_cycles / self.cycles if self.cycles else 0.0
 
     @property
     def read_traffic_ratio(self) -> float:

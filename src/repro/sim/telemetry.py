@@ -1,0 +1,651 @@
+"""Cycle-accounting telemetry: where do the cycles go?
+
+The paper's bottom line — execution time — is a single number, but its
+*argument* is a decomposition: miss latencies, write-buffer stalls,
+recovery gaps and quantization losses each pull the total in different
+directions as the design varies.  This module makes that decomposition a
+first-class, always-verifiable artifact:
+
+* :class:`CycleLedger` charges every simulated cycle to a named bucket
+  (:data:`BUCKETS`).  Attribution follows the *critical path* of each
+  couplet: the CPU proceeds at the latest completion among its halves,
+  so the couplet's cycles are charged along the segment breakdown of the
+  half that finished last.  The ledger is exact by construction —
+  :meth:`CycleLedger.verify` asserts that the buckets sum to the total
+  cycle count, and the engine and fastpath charge through the *same*
+  :meth:`CycleLedger.charge_couplet` so their attributions cannot drift;
+
+* :class:`EventTracer` is an opt-in bounded ring buffer of per-reference
+  events (misses and stalls, the cycles worth looking at), dumpable as
+  Chrome ``trace_event`` JSON (load in ``chrome://tracing`` or Perfetto;
+  one trace microsecond renders one simulated cycle);
+
+* :class:`StageTimer`, :func:`peak_rss_kb` and :class:`RunReport` are
+  the host-side half: wall-clock per stage via ``perf_counter``,
+  references simulated per second, peak RSS, and a JSON metrics document
+  campaigns persist next to their results
+  (:func:`aggregate_reports` folds a sweep's reports into one summary).
+
+Telemetry is off by default and costs nothing but a handful of ``is not
+None`` checks in the simulators' loops; every allocation in this module
+happens only once a :class:`Telemetry` object is actually passed in.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..errors import SimulationError
+
+#: A segment is (bucket name, cycle count); each simulator half-access
+#: reports its service time as an ordered list of segments.
+Segment = Tuple[str, int]
+
+#: The attribution buckets, in critical-path order.  Their sum over a
+#: run equals the total simulated cycle count — exactly.
+BUCKETS = (
+    # CPU-side service: the base issue cycle of every couplet, read/write
+    # hit service, and the data cycle completing a write-allocate miss.
+    "l1_service",
+    # TLB-miss page-table walks (physical-cache mode only).
+    "translation",
+    # Reads delayed while matching write-buffer entries drain (§2's
+    # stale-data check).
+    "wb_match_stall",
+    # Writes delayed by a full write buffer force-draining its oldest
+    # entry.
+    "wb_full_stall",
+    # Waiting for the level below while it is busy with a previous
+    # operation (contention proper).
+    "mem_busy",
+    # Waiting out the DRAM recovery gap between operations.
+    "mem_recovery",
+    # Address + access latency of a miss fetch.
+    "fetch_latency",
+    # The dirty victim's transfer into the write buffer extending the
+    # latency period (§2: one-word-wide data path).
+    "writeback_overlap",
+    # Data transfer of the fetched words.
+    "fetch_transfer",
+    # Time inside a lower cache level (L2/L3) fetch, not decomposed
+    # further (multi-level engine configurations only).
+    "lower_fetch",
+)
+
+_L1 = "l1_service"
+
+
+def truncate_segments(
+    segments: List[Segment], budget: int
+) -> List[Segment]:
+    """Clip an ordered segment list to ``budget`` total cycles.
+
+    Non-blocking miss modes (load-forward, early continuation) release
+    the CPU before the fetch completes; the cycles past the release point
+    are off the critical path and must not be charged.  Clipping keeps
+    the *earliest* ``budget`` cycles, so what gets dropped is the tail of
+    the transfer — exactly what the CPU no longer waits for.
+    """
+    total = 0
+    for index, (_bucket, cycles) in enumerate(segments):
+        if total + cycles >= budget:
+            clipped = segments[: index + 1]
+            clipped[index] = (segments[index][0], budget - total)
+            return [s for s in clipped if s[1] > 0]
+        total += cycles
+    if total < budget:
+        raise SimulationError(
+            f"segment total {total} is below the charge budget {budget}"
+        )
+    return [s for s in segments if s[1] > 0]
+
+
+class CycleLedger:
+    """Exact attribution of simulated cycles to named buckets.
+
+    The ledger accumulates from cycle zero; :meth:`mark_warm` snapshots
+    the buckets when the simulation crosses the trace's warm boundary so
+    :meth:`measured` can report warm-start attribution.  Conservation
+    holds for both views: total buckets sum to ``total_cycles`` and
+    measured buckets sum to ``cycles`` (see :meth:`verify`).
+    """
+
+    def __init__(self) -> None:
+        self.buckets: Dict[str, int] = {name: 0 for name in BUCKETS}
+        self.warm_buckets: Optional[Dict[str, int]] = None
+
+    # -- charging ------------------------------------------------------
+    def charge(self, bucket: str, cycles: int) -> None:
+        self.buckets[bucket] += cycles
+
+    def charge_segments(self, segments: Iterable[Segment]) -> None:
+        buckets = self.buckets
+        for bucket, cycles in segments:
+            buckets[bucket] += cycles
+
+    def charge_couplet(
+        self,
+        duration: int,
+        i_segments: Optional[List[Segment]],
+        d_segments: Optional[List[Segment]],
+    ) -> None:
+        """Charge one couplet's cycles along its critical path.
+
+        ``i_segments``/``d_segments`` are the per-half service
+        breakdowns (``None`` for an absent half), each summing to that
+        half's completion minus the couplet's issue cycle.  The couplet
+        lasts until its *latest* half completes, so the half whose
+        segment total equals ``duration`` is the critical path and gets
+        charged; the shorter half ran entirely in its shadow.  Both
+        simulators call this same method, which is what keeps their
+        attributions identical.
+
+        Ties break toward the instruction side: the fastpath's event
+        stream cannot reconstruct data-side plain read hits inside an
+        eventful couplet, so the engine must prefer the half both
+        simulators can see identically.
+        """
+        if i_segments is not None and sum(s[1] for s in i_segments) == duration:
+            self.charge_segments(i_segments)
+            return
+        if d_segments is not None and sum(s[1] for s in d_segments) == duration:
+            self.charge_segments(d_segments)
+            return
+        # Neither half spans the couplet: the one-cycle issue floor
+        # dominates (both halves absent or instantaneous).
+        self.buckets[_L1] += duration
+
+    # -- warm-start accounting -----------------------------------------
+    def mark_warm(self, base_offset: int = 0) -> None:
+        """Snapshot the buckets at the warm boundary.
+
+        ``base_offset`` accounts for hit cycles that fall between the
+        last pre-warm event and the boundary in the fastpath's
+        event-gap representation; they are pure L1 service.
+        """
+        snapshot = dict(self.buckets)
+        snapshot[_L1] += base_offset
+        self.warm_buckets = snapshot
+
+    # -- views ---------------------------------------------------------
+    def total(self) -> int:
+        return sum(self.buckets.values())
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.buckets)
+
+    def measured(self) -> Dict[str, int]:
+        """Buckets accumulated past the warm boundary."""
+        if self.warm_buckets is None:
+            return dict(self.buckets)
+        return {
+            name: self.buckets[name] - self.warm_buckets[name]
+            for name in BUCKETS
+        }
+
+    def measured_total(self) -> int:
+        return sum(self.measured().values())
+
+    def verify(
+        self, total_cycles: int, measured_cycles: Optional[int] = None
+    ) -> None:
+        """Assert cycle conservation; raise :class:`SimulationError`.
+
+        The invariant is exact: every simulated cycle is charged to
+        exactly one bucket.  A mismatch means an attribution bug in a
+        simulator, never a rounding artifact.
+        """
+        total = self.total()
+        if total != total_cycles:
+            raise SimulationError(
+                f"cycle ledger does not conserve: buckets sum to {total}, "
+                f"simulator counted {total_cycles} cycles "
+                f"(delta {total - total_cycles:+d})"
+            )
+        if measured_cycles is not None:
+            measured = self.measured_total()
+            if measured != measured_cycles:
+                raise SimulationError(
+                    f"warm-start ledger does not conserve: measured "
+                    f"buckets sum to {measured}, simulator counted "
+                    f"{measured_cycles} cycles "
+                    f"(delta {measured - measured_cycles:+d})"
+                )
+
+    def render(self, total_cycles: Optional[int] = None) -> str:
+        """Human-readable bucket table (measured view when marked)."""
+        buckets = self.measured()
+        total = sum(buckets.values())
+        denominator = total if total else 1
+        lines = []
+        for name in BUCKETS:
+            cycles = buckets[name]
+            if not cycles:
+                continue
+            lines.append(
+                f"  {name:<18} {cycles:>12}  "
+                f"({100.0 * cycles / denominator:5.1f}%)"
+            )
+        lines.append(f"  {'total':<18} {total:>12}")
+        if total_cycles is not None:
+            status = "ok" if total == total_cycles else "VIOLATED"
+            lines.append(
+                f"  conservation: buckets {total} == cycles "
+                f"{total_cycles}: {status}"
+            )
+        return "\n".join(lines)
+
+
+class EventTracer:
+    """Bounded ring buffer of simulation events.
+
+    Each event is ``(ts_cycle, dur_cycles, name, track, segments)``.
+    When the buffer fills, the oldest events are overwritten — a trace of
+    a long run keeps its tail, which is where a surprising slowdown
+    usually lives.  :meth:`to_chrome_trace` renders the buffer in Chrome
+    ``trace_event`` format with one microsecond per simulated cycle.
+    """
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity < 1:
+            raise SimulationError(
+                f"tracer capacity must be >= 1: {capacity}"
+            )
+        self.capacity = capacity
+        self._events: List[tuple] = []
+        self._next = 0
+        self.emitted = 0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def dropped(self) -> int:
+        """Events overwritten because the ring was full."""
+        return self.emitted - len(self._events)
+
+    def emit(
+        self,
+        ts: int,
+        dur: int,
+        name: str,
+        track: str,
+        segments: Optional[Sequence[Segment]] = None,
+    ) -> None:
+        event = (ts, dur, name, track, tuple(segments or ()))
+        if len(self._events) < self.capacity:
+            self._events.append(event)
+        else:
+            self._events[self._next] = event
+            self._next = (self._next + 1) % self.capacity
+        self.emitted += 1
+
+    def events(self) -> List[tuple]:
+        """Buffered events in emission order."""
+        return self._events[self._next:] + self._events[: self._next]
+
+    def to_chrome_trace(self) -> Dict:
+        """The Chrome ``trace_event`` JSON object for this buffer."""
+        trace_events = [
+            {
+                "name": track,
+                "ph": "M",  # metadata: name the tracks
+                "pid": 0,
+                "tid": tid,
+                "cat": "meta",
+                "args": {"name": track},
+            }
+            for tid, track in enumerate(("icache", "dcache"))
+        ]
+        tracks = {"icache": 0, "dcache": 1}
+        for ts, dur, name, track, segments in self.events():
+            trace_events.append({
+                "name": name,
+                "ph": "X",
+                "ts": ts,
+                "dur": max(dur, 1),
+                "pid": 0,
+                "tid": tracks.get(track, 2),
+                "cat": "sim",
+                "args": {bucket: cycles for bucket, cycles in segments},
+            })
+        return {
+            "traceEvents": trace_events,
+            "displayTimeUnit": "ms",
+            "metadata": {
+                "unit": "1us == 1 simulated cycle",
+                "emitted": self.emitted,
+                "dropped": self.dropped,
+            },
+        }
+
+    def dump(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(
+            json.dumps(self.to_chrome_trace()), encoding="utf-8"
+        )
+
+
+class Telemetry:
+    """The simulators' observability handle: ledger and/or tracer.
+
+    Passing a :class:`Telemetry` to :meth:`Engine.run
+    <repro.sim.engine.Engine.run>` / :func:`repro.sim.fastpath.replay`
+    turns instrumentation on; both fields are optional so event tracing
+    (the expensive part) stays opt-in independently of the ledger.
+    """
+
+    def __init__(
+        self,
+        ledger: Optional[CycleLedger] = None,
+        tracer: Optional[EventTracer] = None,
+    ) -> None:
+        self.ledger = ledger
+        self.tracer = tracer
+
+    def note_couplet(
+        self,
+        now: int,
+        end: int,
+        i_segments: Optional[List[Segment]],
+        d_segments: Optional[List[Segment]],
+    ) -> None:
+        """Account one couplet: charge the ledger, trace eventful halves."""
+        if self.ledger is not None:
+            self.ledger.charge_couplet(end - now, i_segments, d_segments)
+        tracer = self.tracer
+        if tracer is not None:
+            for track, segments in (
+                ("icache", i_segments), ("dcache", d_segments)
+            ):
+                if segments is None:
+                    continue
+                if len(segments) == 1 and segments[0][0] == _L1:
+                    continue  # plain hits: not worth a trace slot
+                dur = sum(s[1] for s in segments)
+                name = max(segments, key=lambda s: s[1])[0]
+                tracer.emit(now, dur, name, track, segments)
+
+
+# ----------------------------------------------------------------------
+# Host-side profiling
+# ----------------------------------------------------------------------
+class StageTimer:
+    """Wall-clock accounting per named stage, via ``perf_counter``."""
+
+    def __init__(self) -> None:
+        self.stages: Dict[str, float] = {}
+
+    @contextmanager
+    def stage(self, name: str):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.stages[name] = (
+                self.stages.get(name, 0.0) + time.perf_counter() - start
+            )
+
+    @property
+    def total_s(self) -> float:
+        return sum(self.stages.values())
+
+
+def peak_rss_kb() -> Optional[int]:
+    """Peak resident set size of this process in KiB, if measurable."""
+    try:
+        import resource
+        import sys
+    except ImportError:  # pragma: no cover — non-POSIX platform
+        return None
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover — reported in bytes
+        usage //= 1024
+    return int(usage)
+
+
+def quantization_info(config) -> Dict[str, float]:
+    """How much the synchronous-memory quantization of §2 costs.
+
+    Physical memory times round *up* to whole machine cycles; the waste
+    per operation is the rounded-minus-physical remainder.  This is a
+    derived property of the configuration, not a runtime wait, so it is
+    reported alongside the ledger rather than as a bucket (the waste is
+    already inside ``fetch_latency``/``mem_recovery`` cycles).
+    """
+    memory = config.memory
+    cycle_ns = config.cycle_ns
+    latency_cycles = memory.latency_cycles(cycle_ns)
+    recovery_cycles = memory.recovery_cycles(cycle_ns)
+    latency_quantized_ns = (
+        latency_cycles - memory.address_cycles
+    ) * cycle_ns
+    recovery_quantized_ns = recovery_cycles * cycle_ns
+    return {
+        "cycle_ns": cycle_ns,
+        "latency_ns": memory.latency_ns,
+        "latency_cycles": latency_cycles,
+        "latency_waste_ns": latency_quantized_ns - memory.latency_ns,
+        "recovery_ns": memory.recovery_ns,
+        "recovery_cycles": recovery_cycles,
+        "recovery_waste_ns": recovery_quantized_ns - memory.recovery_ns,
+    }
+
+
+# ----------------------------------------------------------------------
+# Run metrics document
+# ----------------------------------------------------------------------
+#: Version of the RunReport JSON document.
+REPORT_SCHEMA = 1
+
+
+@dataclass
+class RunReport:
+    """Host + simulation metrics for one run, persisted as JSON.
+
+    Campaigns write one per run under ``<campaign>/metrics/`` and a
+    sweep-level aggregation as ``metrics/summary.json``; the CLI's
+    ``campaign report`` renders both.
+    """
+
+    run_id: str
+    trace: str
+    config: str
+    simulator: str  # "engine" | "fastpath"
+    n_refs_total: int
+    n_refs_measured: int
+    cycles: int
+    total_cycles: int
+    warm_cycles: int
+    buckets: Dict[str, int] = field(default_factory=dict)
+    buckets_measured: Dict[str, int] = field(default_factory=dict)
+    conserved: bool = False
+    wall_s: Dict[str, float] = field(default_factory=dict)
+    refs_per_sec: float = 0.0
+    peak_rss_kb: Optional[int] = None
+    quantization: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_wall_s(self) -> float:
+        return sum(self.wall_s.values())
+
+    @property
+    def stall_fraction(self) -> float:
+        """Measured cycles not spent in L1 service, as a fraction."""
+        total = sum(self.buckets_measured.values())
+        if not total:
+            return 0.0
+        return 1.0 - self.buckets_measured.get(_L1, 0) / total
+
+    def to_dict(self) -> Dict:
+        return {
+            "schema": REPORT_SCHEMA,
+            "run_id": self.run_id,
+            "trace": self.trace,
+            "config": self.config,
+            "simulator": self.simulator,
+            "n_refs_total": self.n_refs_total,
+            "n_refs_measured": self.n_refs_measured,
+            "cycles": self.cycles,
+            "total_cycles": self.total_cycles,
+            "warm_cycles": self.warm_cycles,
+            "buckets": dict(self.buckets),
+            "buckets_measured": dict(self.buckets_measured),
+            "conserved": self.conserved,
+            "wall_s": dict(self.wall_s),
+            "refs_per_sec": self.refs_per_sec,
+            "peak_rss_kb": self.peak_rss_kb,
+            "quantization": dict(self.quantization),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "RunReport":
+        names = {
+            "run_id", "trace", "config", "simulator", "n_refs_total",
+            "n_refs_measured", "cycles", "total_cycles", "warm_cycles",
+            "buckets", "buckets_measured", "conserved", "wall_s",
+            "refs_per_sec", "peak_rss_kb", "quantization",
+        }
+        return cls(**{k: v for k, v in payload.items() if k in names})
+
+
+def build_run_report(
+    stats,
+    ledger: Optional[CycleLedger],
+    timer: StageTimer,
+    run_identifier: str = "",
+    simulator: str = "fastpath",
+    n_refs_total: int = 0,
+    config=None,
+) -> RunReport:
+    """Assemble the metrics document for one completed run.
+
+    ``stats`` is the run's :class:`~repro.sim.statistics.SimStats`;
+    ``ledger`` may be ``None`` when only host metrics were collected.
+    Conservation is *checked* here (never trusted): ``conserved`` is the
+    outcome of :meth:`CycleLedger.verify`.
+    """
+    buckets: Dict[str, int] = {}
+    buckets_measured: Dict[str, int] = {}
+    conserved = False
+    if ledger is not None:
+        buckets = ledger.as_dict()
+        buckets_measured = ledger.measured()
+        try:
+            ledger.verify(stats.total_cycles, stats.cycles)
+            conserved = True
+        except SimulationError:
+            conserved = False
+    total_wall = timer.total_s
+    refs = n_refs_total or stats.n_refs
+    return RunReport(
+        run_id=run_identifier,
+        trace=stats.trace_name,
+        config=stats.config_summary,
+        simulator=simulator,
+        n_refs_total=refs,
+        n_refs_measured=stats.n_refs,
+        cycles=stats.cycles,
+        total_cycles=stats.total_cycles,
+        warm_cycles=stats.warm_cycles,
+        buckets=buckets,
+        buckets_measured=buckets_measured,
+        conserved=conserved,
+        wall_s=dict(timer.stages),
+        refs_per_sec=refs / total_wall if total_wall > 0 else 0.0,
+        peak_rss_kb=peak_rss_kb(),
+        quantization=quantization_info(config) if config is not None else {},
+    )
+
+
+def _percentile(sorted_values: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending list."""
+    if not sorted_values:
+        return 0.0
+    index = min(
+        len(sorted_values) - 1,
+        max(0, int(round(fraction * (len(sorted_values) - 1)))),
+    )
+    return sorted_values[index]
+
+
+def aggregate_reports(
+    reports: Sequence[RunReport], slowest: int = 5
+) -> Dict:
+    """Fold a sweep's per-run reports into one summary document.
+
+    The summary answers the questions a campaign post-mortem starts
+    with: how fast was the sweep (throughput percentiles), which runs
+    dominated it (slowest list), where did the simulated cycles go
+    (aggregate bucket breakdown), and did every run conserve.
+    """
+    throughputs = sorted(r.refs_per_sec for r in reports)
+    walls = sorted(r.total_wall_s for r in reports)
+    bucket_totals: Dict[str, int] = {name: 0 for name in BUCKETS}
+    for report in reports:
+        for name, cycles in report.buckets_measured.items():
+            bucket_totals[name] = bucket_totals.get(name, 0) + cycles
+    ranked = sorted(
+        reports, key=lambda r: r.total_wall_s, reverse=True
+    )[:slowest]
+    return {
+        "schema": REPORT_SCHEMA,
+        "runs": len(reports),
+        "all_conserved": all(r.conserved for r in reports),
+        "violations": [r.run_id for r in reports if not r.conserved],
+        "total_wall_s": sum(walls),
+        "wall_s_p50": _percentile(walls, 0.50),
+        "wall_s_p90": _percentile(walls, 0.90),
+        "refs_per_sec_p10": _percentile(throughputs, 0.10),
+        "refs_per_sec_p50": _percentile(throughputs, 0.50),
+        "refs_per_sec_p90": _percentile(throughputs, 0.90),
+        "buckets_measured": bucket_totals,
+        "slowest": [
+            {
+                "run_id": r.run_id,
+                "wall_s": r.total_wall_s,
+                "refs_per_sec": r.refs_per_sec,
+                "stall_fraction": r.stall_fraction,
+            }
+            for r in ranked
+        ],
+    }
+
+
+def render_summary(summary: Dict) -> str:
+    """Terminal rendering of an :func:`aggregate_reports` document."""
+    lines = [
+        f"{summary['runs']} run(s), "
+        f"{summary['total_wall_s']:.2f}s total wall clock; "
+        f"cycle conservation: "
+        + ("ok" if summary["all_conserved"] else
+           f"VIOLATED ({len(summary['violations'])} run(s))"),
+        f"throughput refs/s: p10 {summary['refs_per_sec_p10']:,.0f}  "
+        f"p50 {summary['refs_per_sec_p50']:,.0f}  "
+        f"p90 {summary['refs_per_sec_p90']:,.0f}",
+    ]
+    buckets = summary.get("buckets_measured", {})
+    total = sum(buckets.values())
+    if total:
+        lines.append("measured cycle attribution across the sweep:")
+        for name in BUCKETS:
+            cycles = buckets.get(name, 0)
+            if cycles:
+                lines.append(
+                    f"  {name:<18} {cycles:>14}  "
+                    f"({100.0 * cycles / total:5.1f}%)"
+                )
+    if summary.get("slowest"):
+        lines.append("slowest runs:")
+        for entry in summary["slowest"]:
+            lines.append(
+                f"  {entry['wall_s']:8.3f}s  "
+                f"{entry['refs_per_sec']:>12,.0f} refs/s  "
+                f"stall {100.0 * entry['stall_fraction']:5.1f}%  "
+                f"{entry['run_id']}"
+            )
+    return "\n".join(lines)

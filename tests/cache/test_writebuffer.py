@@ -116,6 +116,47 @@ class TestReadMatch:
         assert wb.resolve_read_match(2, 0, 4, now=1) == 1
 
 
+class TestMaxOccupancy:
+    def test_high_water_survives_drains(self):
+        mem = FakeMemory()
+        mem.free_at = 100  # hold entries in the buffer
+        wb = TimedWriteBuffer(4, mem)
+        wb.push(1, 0, 4, now=0)
+        wb.push(1, 16, 4, now=0)
+        wb.push(1, 32, 4, now=0)
+        assert wb.max_occupancy == 3
+        mem.free_at = 0
+        wb.flush(200)
+        assert len(wb) == 0
+        assert wb.max_occupancy == 3  # high-water, not current depth
+
+    def test_never_exceeds_depth(self):
+        mem = FakeMemory()
+        mem.free_at = 1000
+        wb = TimedWriteBuffer(2, mem)
+        for k in range(5):
+            wb.push(1, 16 * k, 4, now=0)
+        assert wb.max_occupancy == 2
+        assert wb.pushes == 5
+
+    def test_unused_buffer_reports_zero(self):
+        wb = TimedWriteBuffer(4, FakeMemory())
+        assert wb.max_occupancy == 0
+
+    def test_counts_peak_not_last(self):
+        mem = FakeMemory()
+        mem.free_at = 30
+        wb = TimedWriteBuffer(4, mem)
+        wb.push(1, 0, 4, now=0)
+        wb.push(1, 16, 4, now=0)
+        # Drain both (forced via read match on the second entry), then
+        # push one more: occupancy is 1 but the peak stays 2.
+        wb.resolve_read_match(1, 16, 4, now=40)
+        wb.push(1, 32, 4, now=200)
+        assert len(wb) == 1
+        assert wb.max_occupancy == 2
+
+
 class TestFlush:
     def test_flush_empties_and_returns_last_handoff(self):
         mem = FakeMemory()

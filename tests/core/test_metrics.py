@@ -123,6 +123,11 @@ class TestSpeedSizeGrid:
         with pytest.raises(AnalysisError):
             make_grid(sizes=(8192, 4096))
 
+    def test_normalized_rejects_zero_best_time(self):
+        grid = make_grid(exec_fn=lambda i, j: 0.0 if (i, j) == (0, 0) else 100.0)
+        with pytest.raises(AnalysisError, match="cannot normalize"):
+            grid.normalized()
+
 
 class TestBlockSizeCurve:
     def test_best_block(self):

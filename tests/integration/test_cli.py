@@ -1,5 +1,7 @@
 """CLI: argument parsing and end-to-end subcommands."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -51,6 +53,15 @@ class TestSubcommands:
         out = capsys.readouterr().out
         assert "TotalL1" in out
 
+    def test_simulate_prints_warm_up_boundary(self, capsys):
+        assert main([
+            "simulate", "--trace", "mu3", "--length", "8000",
+            "--size-kb", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "warm-up:" in out
+        assert "statistics snapshot at cycle" in out
+
     def test_din_export_then_simulate(self, capsys, tmp_path):
         path = str(tmp_path / "t.din")
         assert main([
@@ -62,3 +73,98 @@ class TestSubcommands:
         ]) == 0
         out = capsys.readouterr().out
         assert "read miss ratio" in out
+
+
+class TestSimulateMetrics:
+    ARGS = ["simulate", "--trace", "mu3", "--length", "8000",
+            "--size-kb", "4"]
+
+    def test_metrics_prints_attribution_and_host_line(self, capsys):
+        assert main(self.ARGS + ["--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "l1_service" in out
+        assert "conservation:" in out and "ok" in out
+        assert "refs/s" in out
+
+    def test_metrics_out_writes_conserved_run_report(self, capsys, tmp_path):
+        path = tmp_path / "report.json"
+        assert main(self.ARGS + ["--metrics-out", str(path)]) == 0
+        capsys.readouterr()
+        payload = json.loads(path.read_text())
+        assert payload["conserved"] is True
+        assert payload["schema"] == 1
+        assert sum(payload["buckets"].values()) == payload["total_cycles"]
+        assert payload["refs_per_sec"] > 0
+
+    def test_trace_out_writes_chrome_trace(self, capsys, tmp_path):
+        path = tmp_path / "trace.json"
+        assert main(self.ARGS + ["--trace-out", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "event trace written to" in out
+        doc = json.loads(path.read_text())
+        slices = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        assert slices
+        assert {e["name"] for e in slices} <= {
+            "l1_service", "translation", "wb_match_stall", "wb_full_stall",
+            "mem_busy", "mem_recovery", "fetch_latency", "writeback_overlap",
+            "fetch_transfer", "lower_fetch",
+        }
+
+    def test_engine_metrics_match_fastpath(self, capsys, tmp_path):
+        fast_path = tmp_path / "fast.json"
+        engine_path = tmp_path / "engine.json"
+        assert main(self.ARGS + ["--metrics-out", str(fast_path)]) == 0
+        assert main(
+            self.ARGS + ["--engine", "--metrics-out", str(engine_path)]
+        ) == 0
+        capsys.readouterr()
+        fast = json.loads(fast_path.read_text())
+        engine = json.loads(engine_path.read_text())
+        assert fast["buckets"] == engine["buckets"]
+        assert fast["buckets_measured"] == engine["buckets_measured"]
+        assert fast["cycles"] == engine["cycles"]
+
+
+class TestCampaignMetrics:
+    def _run(self, tmp_path, capsys):
+        directory = str(tmp_path / "camp")
+        code = main([
+            "campaign", "run", directory,
+            "--traces", "mu3", "--length", "6000",
+            "--sizes-kb", "4,16", "--cycles-ns", "40",
+            "--metrics",
+        ])
+        capsys.readouterr()
+        return directory, code
+
+    def test_run_with_metrics_persists_reports(self, capsys, tmp_path):
+        directory, code = self._run(tmp_path, capsys)
+        assert code == 0
+        metrics_dir = tmp_path / "camp" / "metrics"
+        reports = sorted(
+            p for p in metrics_dir.glob("*.json") if p.name != "summary.json"
+        )
+        assert len(reports) == 2
+        for path in reports:
+            assert json.loads(path.read_text())["conserved"] is True
+        summary = json.loads((metrics_dir / "summary.json").read_text())
+        assert summary["runs"] == 2
+        assert summary["all_conserved"] is True
+
+    def test_report_aggregates(self, capsys, tmp_path):
+        directory, code = self._run(tmp_path, capsys)
+        assert code == 0
+        assert main(["campaign", "report", directory, "--slowest", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "cycle conservation: ok" in out
+        assert "slowest runs:" in out
+
+    def test_report_without_metrics_fails(self, capsys, tmp_path):
+        directory = str(tmp_path / "bare")
+        assert main([
+            "campaign", "run", directory,
+            "--traces", "mu3", "--length", "6000",
+            "--sizes-kb", "4", "--cycles-ns", "40",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "report", directory]) == 1

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.statistics import CacheCounters, SimStats
+from repro.sim.statistics import BufferCounters, CacheCounters, SimStats
 
 
 class TestCacheCounters:
@@ -22,6 +22,22 @@ class TestCacheCounters:
     def test_miss_ratio(self):
         assert CacheCounters(reads=10, read_misses=2).read_miss_ratio == 0.2
         assert CacheCounters().read_miss_ratio == 0.0
+
+    def test_write_miss_ratio(self):
+        counters = CacheCounters(writes=8, write_misses=2)
+        assert counters.write_miss_ratio == 0.25
+
+    def test_write_miss_ratio_zero_writes_is_zero(self):
+        assert CacheCounters(write_misses=3).write_miss_ratio == 0.0
+
+
+class TestBufferCounters:
+    def test_stalls_per_push(self):
+        counters = BufferCounters(pushes=10, full_stalls=3, match_stalls=2)
+        assert counters.stalls_per_push == pytest.approx(0.5)
+
+    def test_stalls_per_push_unused_buffer_is_zero(self):
+        assert BufferCounters(full_stalls=4).stalls_per_push == 0.0
 
 
 def make_stats(**kw):
@@ -67,3 +83,24 @@ class TestSimStats:
         stats = make_stats(n_refs=0)
         assert stats.cycles_per_reference == 0.0
         assert stats.write_traffic_ratio_full == 0.0
+
+    def test_write_miss_ratio_delegates_to_dcache(self):
+        stats = make_stats()
+        assert stats.write_miss_ratio == pytest.approx(0.3)
+        assert stats.write_miss_ratio == stats.dcache.write_miss_ratio
+
+    def test_memory_utilization(self):
+        stats = make_stats(memory_busy_cycles=250)
+        assert stats.memory_utilization == pytest.approx(0.25)
+
+    def test_memory_utilization_zero_cycles_is_zero(self):
+        stats = make_stats(cycles=0, memory_busy_cycles=0)
+        assert stats.memory_utilization == 0.0
+
+    def test_zero_reads_ratios_safe(self):
+        stats = make_stats(
+            icache=CacheCounters(), dcache=CacheCounters()
+        )
+        assert stats.read_miss_ratio == 0.0
+        assert stats.write_miss_ratio == 0.0
+        assert stats.read_traffic_ratio == 0.0
