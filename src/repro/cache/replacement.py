@@ -69,9 +69,22 @@ class FIFOPolicy(ReplacementPolicy):
 
 
 class RandomPolicy(ReplacementPolicy):
-    """Uniform random victim among valid ways (seeded, reproducible)."""
+    """Uniform random victim among valid ways (seeded, reproducible).
+
+    The seed is mandatory and must be an integer: ``random.Random(None)``
+    silently seeds from OS entropy, which would make eviction order —
+    and therefore every statistic downstream of it — differ between two
+    runs of the same (config, trace, seed), breaking the byte-identical
+    re-simulation the campaign quarantine/retry machinery relies on.
+    """
 
     def __init__(self, seed: int = 0) -> None:
+        if seed is None or not isinstance(seed, int) or \
+                isinstance(seed, bool):
+            raise ConfigurationError(
+                f"RANDOM replacement needs an explicit integer seed for "
+                f"reproducible eviction, got {seed!r}"
+            )
         self._rng = random.Random(seed)
 
     def on_hit(self, order: List[int], way: int) -> None:
@@ -87,7 +100,12 @@ class RandomPolicy(ReplacementPolicy):
 def make_policy(
     kind: ReplacementKind, seed: Optional[int] = None
 ) -> ReplacementPolicy:
-    """Instantiate a replacement policy by kind."""
+    """Instantiate a replacement policy by kind.
+
+    ``seed=None`` deliberately maps to the fixed default seed 0 rather
+    than reaching :class:`RandomPolicy` (which rejects ``None``): every
+    construction path stays deterministic by default.
+    """
     if kind is ReplacementKind.LRU:
         return LRUPolicy()
     if kind is ReplacementKind.FIFO:

@@ -13,6 +13,14 @@ Main subcommands:
   dumps a Chrome ``trace_event`` timeline;
 * ``repro-sim traces [--length N]`` — print the Table 1 analogue for the
   synthetic suite;
+* ``repro-sim lint [paths] [--rule ID] [--format text|json]`` — static
+  invariant checking (reprolint) over the repo's own source: wall-clock
+  and entropy calls in simulation code, float cycle arithmetic, bare
+  writes bypassing the atomic persistence primitive, silent exception
+  swallowing, registry/schema drift (see ``docs/invariants.md``);
+  ``--self-test`` runs every rule against its fixtures,
+  ``--write-baseline`` ratchets pre-existing violations,
+  ``--update-fingerprints`` refreshes the REPRO008 schema ratchet;
 * ``repro-sim campaign run|status|report|fsck <dir>`` — fault-tolerant
   sweep execution over a persisted campaign directory: ``run`` executes
   a (size x cycle-time) sweep with worker isolation, per-run timeouts
@@ -292,6 +300,33 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--seed", type=int, default=0)
     rep.set_defaults(func=_cmd_report)
 
+    lint = sub.add_parser(
+        "lint",
+        help="static invariant checks (reprolint) over the source tree",
+    )
+    lint.add_argument("paths", nargs="*",
+                      help="files/directories to lint (default: src)")
+    lint.add_argument("--rule", action="append", default=[],
+                      help="run only this rule id (repeatable)")
+    lint.add_argument("--format", choices=("text", "json"),
+                      default="text")
+    lint.add_argument("--self-test", action="store_true",
+                      help="check every rule catches its fixture "
+                           "violations and stays silent on clean code")
+    lint.add_argument("--baseline", default="",
+                      help="baseline file (default: "
+                           "<root>/lint-baseline.json)")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="accept all current violations into the "
+                           "baseline (ratchet starting point)")
+    lint.add_argument("--update-fingerprints", action="store_true",
+                      help="regenerate the REPRO008 schema fingerprint "
+                           "file after a deliberate schema change")
+    lint.add_argument("--no-cache", action="store_true",
+                      help="disable the per-file content-hash result "
+                           "cache (.reprolint-cache.json)")
+    lint.set_defaults(func=_cmd_lint)
+
     camp = sub.add_parser(
         "campaign",
         help="fault-tolerant sweep execution over a results directory",
@@ -371,6 +406,79 @@ def _parse_float_list(raw: str, flag: str) -> List[float]:
         except ValueError:
             raise ConfigurationError(f"{flag}: invalid number {item!r}")
     return values
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from .lint import (
+        Baseline, all_rules, find_repo_root, lint_paths, load_config,
+        run_self_test,
+    )
+    from .lint.framework import collect_sources
+    from .lint.rules_structure import write_fingerprints
+
+    if args.self_test:
+        ok, report = run_self_test()
+        print(report)
+        return 0 if ok else 1
+
+    paths = [Path(p) for p in (args.paths or ["src"])]
+    for path in paths:
+        if not path.exists():
+            print(f"repro-sim lint: error: no such path: {path}",
+                  file=sys.stderr)
+            return 2
+    root = find_repo_root(paths[0])
+    config = load_config(root)
+    rules = all_rules(config)
+    if args.rule:
+        known = {r.rule_id for r in rules}
+        unknown = [r for r in args.rule if r not in known]
+        if unknown:
+            print(
+                f"repro-sim lint: error: unknown rule(s) "
+                f"{', '.join(unknown)}; available: "
+                f"{', '.join(sorted(known))}",
+                file=sys.stderr,
+            )
+            return 2
+        rules = [r for r in rules if r.rule_id in args.rule]
+
+    if args.update_fingerprints:
+        sources = collect_sources(paths, root)
+        schemas = write_fingerprints(
+            sources, config, root / config.fingerprints_path
+        )
+        print(f"fingerprints for {len(schemas)} schema(s) written to "
+              f"{config.fingerprints_path}")
+        return 0
+
+    baseline_path = (
+        Path(args.baseline) if args.baseline
+        else root / "lint-baseline.json"
+    )
+    result = lint_paths(
+        paths, root=root, config=config, rules=rules,
+        use_cache=not args.no_cache,
+        baseline_path=baseline_path,
+    )
+    if args.write_baseline:
+        sources = {s.rel: s for s in collect_sources(paths, root)}
+        pairs = [
+            (v, sources[v.path].source_line(v.line)
+             if v.path in sources else "")
+            for v in list(result.violations) + list(result.baselined)
+        ]
+        Baseline.from_violations(pairs).save(baseline_path)
+        print(f"{len(pairs)} violation(s) baselined to {baseline_path}")
+        return 0
+    if args.format == "json":
+        print(_json.dumps(result.to_dict(), indent=1))
+    else:
+        print(result.render())
+    return 0 if result.clean else 1
 
 
 def _cmd_campaign_run(args: argparse.Namespace) -> int:

@@ -1,0 +1,187 @@
+"""Shared AST helpers for the reprolint rules.
+
+Everything here is pure stdlib-:mod:`ast` analysis: canonicalizing
+call targets through a module's import aliases, locating enclosing
+function definitions, and classifying expressions that can introduce
+floats into integer cycle arithmetic.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+# ----------------------------------------------------------------------
+# Import-aware name resolution
+# ----------------------------------------------------------------------
+def import_aliases(tree: ast.AST) -> Dict[str, str]:
+    """Map local names to the dotted path they were imported as.
+
+    ``import time as t`` yields ``{"t": "time"}``;
+    ``from time import perf_counter as pc`` yields
+    ``{"pc": "time.perf_counter"}``.  Relative imports keep their bare
+    module name (callers match on suffixes anyway).
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                full = alias.name if alias.asname else local
+                aliases[local] = full
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            for alias in node.names:
+                local = alias.asname or alias.name
+                full = f"{module}.{alias.name}" if module else alias.name
+                aliases[local] = full
+    return aliases
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def canonical_call_name(
+    func: ast.AST, aliases: Dict[str, str]
+) -> Optional[str]:
+    """Resolve a call's target through the module's import aliases.
+
+    With ``from time import perf_counter``, a bare ``perf_counter()``
+    resolves to ``time.perf_counter``; with ``import time as t``,
+    ``t.time()`` resolves to ``time.time``.
+    """
+    name = dotted_name(func)
+    if name is None:
+        return None
+    head, _, rest = name.partition(".")
+    expanded = aliases.get(head)
+    if expanded is None:
+        return name
+    return f"{expanded}.{rest}" if rest else expanded
+
+
+# ----------------------------------------------------------------------
+# Structure helpers
+# ----------------------------------------------------------------------
+def walk_functions(
+    tree: ast.AST,
+) -> Iterator[Tuple[ast.AST, Optional[ast.AST]]]:
+    """Yield ``(node, enclosing_function)`` for every node.
+
+    ``enclosing_function`` is the innermost FunctionDef/AsyncFunctionDef
+    containing the node (``None`` at module/class level).
+    """
+    def visit(node: ast.AST, func: Optional[ast.AST]):
+        yield node, func
+        inner = (
+            node
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            else func
+        )
+        for child in ast.iter_child_nodes(node):
+            yield from visit(child, inner)
+
+    yield from visit(tree, None)
+
+
+def dict_literal_keys(node: ast.AST) -> Optional[List[str]]:
+    """Constant string keys of a dict literal (``None`` for non-dicts
+    or dicts with any non-constant key, including ``**spread``)."""
+    if not isinstance(node, ast.Dict):
+        return None
+    keys: List[str] = []
+    for key in node.keys:
+        if not isinstance(key, ast.Constant) or \
+                not isinstance(key.value, str):
+            return None
+        keys.append(key.value)
+    return keys
+
+
+def terminal_name(target: ast.AST) -> Optional[str]:
+    """The final identifier of an assignment target (``x``, ``obj.x``,
+    ``x[i]`` all yield ``x``; tuples yield ``None`` — callers unpack)."""
+    if isinstance(target, ast.Name):
+        return target.id
+    if isinstance(target, ast.Attribute):
+        return target.attr
+    if isinstance(target, ast.Subscript):
+        return terminal_name(target.value)
+    return None
+
+
+# ----------------------------------------------------------------------
+# Float-introduction analysis (REPRO002)
+# ----------------------------------------------------------------------
+#: Calls that always yield an int (or whose result is re-quantized),
+#: terminating the float taint.
+_INT_SAFE_CALLS = {
+    "int", "round", "len", "sum", "max", "min", "abs", "ord",
+    "math.floor", "math.ceil", "math.trunc",
+}
+
+
+def is_floaty(node: ast.AST, aliases: Dict[str, str]) -> bool:
+    """Can evaluating ``node`` introduce a float?
+
+    Conservative on unknowns (plain names, attribute loads and calls
+    report ``False``): the rule exists to catch *textually visible*
+    float creation — literals, ``float()``, true division — not to be a
+    type checker.
+    """
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.Call):
+        name = canonical_call_name(node.func, aliases)
+        if name == "float":
+            return True
+        if name in _INT_SAFE_CALLS:
+            return False
+        return False  # unknown call: assume it honours its contract
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            return True
+        return is_floaty(node.left, aliases) or \
+            is_floaty(node.right, aliases)
+    if isinstance(node, ast.UnaryOp):
+        return is_floaty(node.operand, aliases)
+    if isinstance(node, ast.IfExp):
+        return is_floaty(node.body, aliases) or \
+            is_floaty(node.orelse, aliases)
+    if isinstance(node, (ast.Tuple, ast.List)):
+        return any(is_floaty(elt, aliases) for elt in node.elts)
+    return False
+
+
+#: Name segments marking a quantity that is *not* an integer cycle
+#: count even though it mentions cycles (times, rates, ratios).
+_CYCLE_EXEMPT_SEGMENTS = {
+    "ns", "us", "ms", "s", "sec", "secs", "seconds", "time",
+    "ratio", "per", "frac", "fraction", "pct", "percent",
+    "rate", "hz", "khz", "mhz", "ghz",
+}
+
+
+def is_cycle_counter_name(name: Optional[str]) -> bool:
+    """Does ``name`` denote an integer cycle count?
+
+    Matches snake_case names with a ``cycle``/``cycles`` segment unless
+    another segment marks a physical time or a ratio (``cycle_ns``,
+    ``cycles_per_reference`` are floats by design).
+    """
+    if not name:
+        return False
+    segments = name.lower().split("_")
+    if "cycle" not in segments and "cycles" not in segments:
+        return False
+    return not any(seg in _CYCLE_EXEMPT_SEGMENTS for seg in segments)

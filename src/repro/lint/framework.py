@@ -1,0 +1,660 @@
+"""reprolint framework: rules, suppression, caching, baseline, runner.
+
+The simulator's correctness story rests on invariants that are cheap to
+*state* and expensive to *discover broken at runtime*: byte-identical
+re-simulation (the resilience layer quarantines and retries on that
+assumption), exact integer cycle conservation (the telemetry ledger
+verifies buckets sum to the total), and atomic campaign persistence (a
+crash mid-write must never leave a readable partial result).  This
+package checks those invariants *statically*, over the repo's own
+source, using only stdlib :mod:`ast`.
+
+Pieces:
+
+* :class:`Violation` — one finding, locatable and JSON-able;
+* :class:`Rule` — base class; file-scope rules get one parsed
+  :class:`SourceFile` at a time, project-scope rules see the whole file
+  set at once (registry consistency, schema fingerprints);
+* suppression — ``# reprolint: disable=REPRO001`` on the offending
+  line, or ``# reprolint: disable-file=REPRO001`` anywhere in the first
+  :data:`FILE_SUPPRESS_WINDOW` lines;
+* :class:`LintCache` — per-file result cache keyed on content hash, so
+  repeated runs re-analyze only what changed;
+* baseline — pre-existing violations recorded in ``lint-baseline.json``
+  are reported separately and do not fail the run, so new rules can be
+  ratcheted in without a flag-day fix;
+* :func:`lint_paths` / :func:`lint_sources` — the runner, over disk
+  paths or in-memory sources (fixtures, tests).
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import hashlib
+import json
+import re
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+#: Bumped whenever rule behaviour changes; invalidates stale caches.
+LINT_VERSION = 1
+
+#: ``disable-file=`` comments are honoured only this early in a file,
+#: so a whole-file opt-out is visible at the top where reviewers look.
+FILE_SUPPRESS_WINDOW = 15
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*(disable|disable-file)=([A-Za-z0-9_,\s]+)"
+)
+
+
+# ----------------------------------------------------------------------
+# Findings
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class Violation:
+    """One rule finding at one source location."""
+
+    rule_id: str
+    path: str  # repo-relative posix path
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: " \
+               f"{self.rule_id}: {self.message}"
+
+    def to_dict(self) -> Dict:
+        return dataclasses.asdict(self)
+
+    def fingerprint(self, source_line: str) -> str:
+        """Stable identity for baselining: rule + path + the offending
+        line's *text* (so unrelated edits shifting line numbers do not
+        orphan baseline entries)."""
+        key = f"{self.rule_id}|{self.path}|{source_line.strip()}"
+        return hashlib.sha256(key.encode()).hexdigest()[:20]
+
+
+# ----------------------------------------------------------------------
+# Configuration ([tool.reprolint] in pyproject.toml)
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class SchemaSpec:
+    """Where one schema-versioned payload lives (for REPRO008).
+
+    ``locator`` picks the dict literal whose keys are the serialized
+    field set: ``("assign", <function>, <variable>)`` finds
+    ``<variable> = {...}`` inside ``def <function>``;
+    ``("return", <class>, <method>)`` finds ``return {...}`` inside
+    ``class <class>: def <method>``.
+    """
+
+    name: str
+    module: str  # path suffix, e.g. "repro/sim/campaign.py"
+    constant: str  # e.g. "SCHEMA_VERSION"
+    locator: Tuple[str, str, str]
+
+
+#: The repo's schema-versioned payloads, checked by REPRO008.
+DEFAULT_SCHEMAS = (
+    SchemaSpec(
+        name="campaign_result",
+        module="repro/sim/campaign.py",
+        constant="SCHEMA_VERSION",
+        locator=("assign", "save", "payload"),
+    ),
+    SchemaSpec(
+        name="run_report",
+        module="repro/sim/telemetry.py",
+        constant="REPORT_SCHEMA",
+        locator=("return", "RunReport", "to_dict"),
+    ),
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class LintConfig:
+    """Effective configuration; defaults mirror ``[tool.reprolint]``."""
+
+    enabled: Tuple[str, ...] = ()  # empty means "all registered rules"
+    #: Packages whose simulation results must be deterministic
+    #: (REPRO001/REPRO002 guard these).
+    deterministic_paths: Tuple[str, ...] = (
+        "repro/sim", "repro/cache", "repro/memory", "repro/cpu", "repro/vm",
+    )
+    #: Modules that persist campaign/metrics state (REPRO003).
+    persistence_modules: Tuple[str, ...] = (
+        "repro/sim/campaign.py",
+        "repro/sim/resilience.py",
+        "repro/sim/telemetry.py",
+        "repro/sim/faults.py",
+    )
+    #: Functions allowed to perform raw writes (the atomic primitive).
+    atomic_writers: Tuple[str, ...] = ("atomic_write_text",)
+    #: Packages where silent exception swallowing is forbidden
+    #: (REPRO004; the faults harness depends on BaseException flow).
+    exception_paths: Tuple[str, ...] = ("repro/sim", "repro/cache")
+    #: The experiments package checked by REPRO005.
+    experiments_package: str = "repro/experiments"
+    #: Module whose dataclass fields REPRO006 audits.
+    config_module: str = "repro/sim/config.py"
+    #: Committed fingerprint file for REPRO008, relative to repo root.
+    fingerprints_path: str = "src/repro/lint/schema_fingerprints.json"
+    #: Schema payloads REPRO008 tracks.
+    schemas: Tuple[SchemaSpec, ...] = DEFAULT_SCHEMAS
+    #: Direct fingerprint injection (tests/self-test); wins over file.
+    fingerprints_data: Optional[Mapping] = None
+
+
+def _tuple(value) -> Tuple[str, ...]:
+    if isinstance(value, str):
+        return (value,)
+    return tuple(str(v) for v in value)
+
+
+def load_config(root: Path) -> LintConfig:
+    """Read ``[tool.reprolint]`` from ``<root>/pyproject.toml``.
+
+    Uses :mod:`tomllib` when available (Python >= 3.11); on older
+    interpreters, or when the table is absent, the built-in defaults
+    (which mirror the committed table) apply.
+    """
+    pyproject = root / "pyproject.toml"
+    if not pyproject.is_file():
+        return LintConfig()
+    try:
+        import tomllib
+    except ImportError:  # pragma: no cover — Python < 3.11
+        return LintConfig()
+    try:
+        with open(pyproject, "rb") as handle:
+            table = tomllib.load(handle)
+    except (OSError, ValueError):
+        return LintConfig()
+    section = table.get("tool", {}).get("reprolint", {})
+    if not isinstance(section, dict) or not section:
+        return LintConfig()
+    kwargs = {}
+    mapping = {
+        "enabled": "enabled",
+        "deterministic-paths": "deterministic_paths",
+        "persistence-modules": "persistence_modules",
+        "atomic-writers": "atomic_writers",
+        "exception-paths": "exception_paths",
+    }
+    for key, attr in mapping.items():
+        if key in section:
+            kwargs[attr] = _tuple(section[key])
+    for key, attr in (
+        ("experiments-package", "experiments_package"),
+        ("config-module", "config_module"),
+        ("fingerprints-path", "fingerprints_path"),
+    ):
+        if key in section:
+            kwargs[attr] = str(section[key])
+    return LintConfig(**kwargs)
+
+
+def path_matches(rel: str, prefix: str) -> bool:
+    """True when repo-relative ``rel`` lies under package ``prefix``.
+
+    ``prefix`` is a package path like ``repro/sim`` or a module path
+    like ``repro/sim/campaign.py``; ``rel`` may carry a leading
+    ``src/`` (or any ancestor directories) that the prefix omits.
+    """
+    rel = rel.replace("\\", "/")
+    needle = prefix.rstrip("/")
+    if rel == needle or rel.endswith("/" + needle):
+        return True
+    return rel.startswith(needle + "/") or ("/" + needle + "/") in rel
+
+
+# ----------------------------------------------------------------------
+# Parsed sources
+# ----------------------------------------------------------------------
+class SourceFile:
+    """One parsed module: text, AST, and its suppression comments."""
+
+    def __init__(self, rel: str, text: str) -> None:
+        self.rel = rel.replace("\\", "/")
+        self.text = text
+        self.lines = text.splitlines()
+        self.content_hash = hashlib.sha256(text.encode()).hexdigest()
+        self._tree: Optional[ast.AST] = None
+        self._syntax_error: Optional[SyntaxError] = None
+        self._line_suppress: Optional[Dict[int, set]] = None
+        self._file_suppress: Optional[set] = None
+
+    @property
+    def tree(self) -> Optional[ast.AST]:
+        """The module AST, or ``None`` on a syntax error (reported as a
+        REPRO000 violation by the runner)."""
+        if self._tree is None and self._syntax_error is None:
+            try:
+                self._tree = ast.parse(self.text, filename=self.rel)
+            except SyntaxError as exc:
+                self._syntax_error = exc
+        return self._tree
+
+    @property
+    def syntax_error(self) -> Optional[SyntaxError]:
+        self.tree  # noqa: B018 — force the parse attempt
+        return self._syntax_error
+
+    def source_line(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+    def _scan_suppressions(self) -> None:
+        line_map: Dict[int, set] = {}
+        file_set: set = set()
+        for lineno, text in enumerate(self.lines, start=1):
+            match = _SUPPRESS_RE.search(text)
+            if not match:
+                continue
+            kind, raw = match.groups()
+            rules = {r.strip() for r in raw.split(",") if r.strip()}
+            if kind == "disable":
+                line_map.setdefault(lineno, set()).update(rules)
+            elif lineno <= FILE_SUPPRESS_WINDOW:
+                file_set.update(rules)
+        self._line_suppress = line_map
+        self._file_suppress = file_set
+
+    def suppressed(self, line: int, rule_id: str) -> bool:
+        """Is ``rule_id`` disabled at ``line``?
+
+        A line-level ``disable`` comment covers the line it sits on and,
+        for multi-line statements, the line a comment-bearing statement
+        *starts* on (rules report violations at node start lines).
+        """
+        if self._line_suppress is None:
+            self._scan_suppressions()
+        assert self._line_suppress is not None
+        assert self._file_suppress is not None
+        if rule_id in self._file_suppress or "all" in self._file_suppress:
+            return True
+        rules = self._line_suppress.get(line, ())
+        return rule_id in rules or "all" in rules
+
+
+# ----------------------------------------------------------------------
+# Rules
+# ----------------------------------------------------------------------
+class Rule:
+    """Base class: one invariant, one ID, one scope.
+
+    Subclasses set :attr:`rule_id`, :attr:`title` and
+    :attr:`invariant` (the *runtime* property the static check
+    protects), and implement :meth:`check_file` (``scope = "file"``) or
+    :meth:`check_project` (``scope = "project"``).
+    """
+
+    rule_id: str = "REPRO000"
+    title: str = ""
+    invariant: str = ""
+    scope: str = "file"
+
+    def applies_to(self, rel: str, config: LintConfig) -> bool:
+        return True
+
+    def check_file(
+        self, src: SourceFile, config: LintConfig
+    ) -> List[Violation]:
+        return []
+
+    def check_project(
+        self, files: Sequence[SourceFile], config: LintConfig
+    ) -> List[Violation]:
+        return []
+
+
+# ----------------------------------------------------------------------
+# Per-file result cache
+# ----------------------------------------------------------------------
+class LintCache:
+    """File-scope results keyed on content hash, persisted as JSON.
+
+    The signature ties entries to the lint version and the enabled
+    rule set, so upgrading the linter or toggling rules invalidates
+    everything stale at once.  Project-scope rules are never cached —
+    they are cross-file by definition.
+    """
+
+    def __init__(self, path: Optional[Path], signature: str) -> None:
+        self.path = path
+        self.signature = signature
+        self.hits = 0
+        self.misses = 0
+        self._entries: Dict[str, Dict] = {}
+        self._dirty = False
+        if path is not None and path.is_file():
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+                if payload.get("signature") == signature:
+                    entries = payload.get("files", {})
+                    if isinstance(entries, dict):
+                        self._entries = entries
+            except (OSError, ValueError):
+                self._entries = {}
+
+    def get(self, src: SourceFile) -> Optional[List[Violation]]:
+        entry = self._entries.get(src.rel)
+        if not entry or entry.get("hash") != src.content_hash:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return [Violation(**v) for v in entry.get("violations", [])]
+
+    def put(self, src: SourceFile, violations: List[Violation]) -> None:
+        self._entries[src.rel] = {
+            "hash": src.content_hash,
+            "violations": [v.to_dict() for v in violations],
+        }
+        self._dirty = True
+
+    def save(self) -> None:
+        if self.path is None or not self._dirty:
+            return
+        payload = {"signature": self.signature, "files": self._entries}
+        try:
+            self.path.write_text(
+                json.dumps(payload, indent=1), encoding="utf-8"
+            )
+        except OSError:  # cache is best-effort; never fail the lint
+            pass
+
+
+# ----------------------------------------------------------------------
+# Baseline
+# ----------------------------------------------------------------------
+class Baseline:
+    """Accepted pre-existing violations, by fingerprint.
+
+    Each entry carries a count so N identical offending lines in one
+    file consume N baseline slots; a new, additional occurrence of the
+    same pattern still fails the run.
+    """
+
+    def __init__(self, counts: Optional[Dict[str, int]] = None) -> None:
+        self.counts: Dict[str, int] = dict(counts or {})
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.is_file():
+            return cls()
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return cls()
+        entries = payload.get("entries", {})
+        if not isinstance(entries, dict):
+            return cls()
+        return cls({str(k): int(v) for k, v in entries.items()})
+
+    @classmethod
+    def from_violations(
+        cls, pairs: Iterable[Tuple[Violation, str]]
+    ) -> "Baseline":
+        counts: Dict[str, int] = {}
+        for violation, source_line in pairs:
+            fp = violation.fingerprint(source_line)
+            counts[fp] = counts.get(fp, 0) + 1
+        return cls(counts)
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "comment": (
+                "reprolint baseline: pre-existing violations ratcheted "
+                "down over time; regenerate with "
+                "`repro-sim lint --write-baseline`"
+            ),
+            "version": 1,
+            "entries": dict(sorted(self.counts.items())),
+        }
+        path.write_text(json.dumps(payload, indent=1) + "\n",
+                        encoding="utf-8")
+
+    def partition(
+        self, pairs: Sequence[Tuple[Violation, str]]
+    ) -> Tuple[List[Violation], List[Violation]]:
+        """Split violations into (new, baselined)."""
+        budget = dict(self.counts)
+        new: List[Violation] = []
+        accepted: List[Violation] = []
+        for violation, source_line in pairs:
+            fp = violation.fingerprint(source_line)
+            if budget.get(fp, 0) > 0:
+                budget[fp] -= 1
+                accepted.append(violation)
+            else:
+                new.append(violation)
+        return new, accepted
+
+
+# ----------------------------------------------------------------------
+# Runner
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    violations: List[Violation]
+    baselined: List[Violation]
+    files_checked: int
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def render(self, show_baselined: bool = False) -> str:
+        lines = [v.render() for v in self.violations]
+        if show_baselined:
+            lines += [f"{v.render()} [baselined]" for v in self.baselined]
+        summary = (
+            f"{self.files_checked} file(s) checked: "
+            f"{len(self.violations)} violation(s)"
+        )
+        if self.baselined:
+            summary += f", {len(self.baselined)} baselined"
+        lines.append(summary)
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict:
+        return {
+            "files_checked": self.files_checked,
+            "violations": [v.to_dict() for v in self.violations],
+            "baselined": [v.to_dict() for v in self.baselined],
+            "clean": self.clean,
+        }
+
+
+def _registered_rules() -> List[Rule]:
+    from .rules_determinism import DETERMINISM_RULES
+    from .rules_robustness import ROBUSTNESS_RULES
+    from .rules_structure import STRUCTURE_RULES
+
+    return [
+        *DETERMINISM_RULES, *ROBUSTNESS_RULES, *STRUCTURE_RULES,
+    ]
+
+
+def all_rules(config: Optional[LintConfig] = None) -> List[Rule]:
+    """Every registered rule, filtered by the config's enabled set."""
+    rules = sorted(_registered_rules(), key=lambda r: r.rule_id)
+    if config is None or not config.enabled:
+        return rules
+    return [r for r in rules if r.rule_id in config.enabled]
+
+
+def find_repo_root(start: Path) -> Path:
+    """Nearest ancestor holding a ``pyproject.toml`` (else ``start``)."""
+    start = start.resolve()
+    probe = start if start.is_dir() else start.parent
+    for candidate in (probe, *probe.parents):
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return probe
+
+
+def collect_sources(
+    paths: Sequence[Path], root: Path
+) -> List[SourceFile]:
+    """Read every ``.py`` file under ``paths`` into SourceFiles."""
+    seen = set()
+    sources: List[SourceFile] = []
+    for path in paths:
+        path = Path(path)
+        files = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        for file in files:
+            file = file.resolve()
+            if file in seen:
+                continue
+            seen.add(file)
+            try:
+                rel = file.relative_to(root).as_posix()
+            except ValueError:
+                rel = file.as_posix()
+            try:
+                text = file.read_text(encoding="utf-8")
+            except OSError:
+                continue
+            sources.append(SourceFile(rel, text))
+    return sources
+
+
+def _check_one(
+    src: SourceFile, rules: Sequence[Rule], config: LintConfig
+) -> List[Violation]:
+    if src.syntax_error is not None:
+        exc = src.syntax_error
+        return [Violation(
+            rule_id="REPRO000", path=src.rel,
+            line=exc.lineno or 1, col=(exc.offset or 1) - 1,
+            message=f"syntax error: {exc.msg}",
+        )]
+    found: List[Violation] = []
+    for rule in rules:
+        if rule.scope != "file" or not rule.applies_to(src.rel, config):
+            continue
+        for violation in rule.check_file(src, config):
+            if not src.suppressed(violation.line, rule.rule_id):
+                found.append(violation)
+    return found
+
+
+def lint_sources(
+    sources: Sequence[SourceFile],
+    config: Optional[LintConfig] = None,
+    rules: Optional[Sequence[Rule]] = None,
+    cache: Optional[LintCache] = None,
+    baseline: Optional[Baseline] = None,
+) -> LintResult:
+    """Lint already-loaded sources (fixtures, tests, editor buffers)."""
+    config = config or LintConfig()
+    rules = list(rules) if rules is not None else all_rules(config)
+    by_rel = {src.rel: src for src in sources}
+    pairs: List[Tuple[Violation, str]] = []
+    for src in sources:
+        cached = cache.get(src) if cache is not None else None
+        if cached is None:
+            found = _check_one(src, rules, config)
+            if cache is not None:
+                cache.put(src, found)
+        else:
+            found = cached
+        pairs.extend((v, src.source_line(v.line)) for v in found)
+    for rule in rules:
+        if rule.scope != "project":
+            continue
+        for violation in rule.check_project(list(sources), config):
+            src = by_rel.get(violation.path)
+            if src is not None and src.suppressed(
+                violation.line, rule.rule_id
+            ):
+                continue
+            line_text = (
+                src.source_line(violation.line) if src is not None else ""
+            )
+            pairs.append((violation, line_text))
+    pairs.sort(key=lambda p: (p[0].path, p[0].line, p[0].rule_id))
+    if baseline is not None:
+        new, accepted = baseline.partition(pairs)
+    else:
+        new, accepted = [v for v, _ in pairs], []
+    result = LintResult(
+        violations=new,
+        baselined=accepted,
+        files_checked=len(sources),
+        cache_hits=cache.hits if cache is not None else 0,
+        cache_misses=cache.misses if cache is not None else 0,
+    )
+    if cache is not None:
+        cache.save()
+    return result
+
+
+def cache_signature(config: LintConfig, rules: Sequence[Rule]) -> str:
+    ids = ",".join(sorted(r.rule_id for r in rules))
+    cfg = json.dumps(
+        dataclasses.asdict(
+            dataclasses.replace(config, fingerprints_data=None)
+        ),
+        sort_keys=True, default=str,
+    )
+    key = f"v{LINT_VERSION}|{ids}|{cfg}"
+    return hashlib.sha256(key.encode()).hexdigest()[:16]
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    root: Optional[Path] = None,
+    config: Optional[LintConfig] = None,
+    rules: Optional[Sequence[Rule]] = None,
+    use_cache: bool = False,
+    baseline_path: Optional[Path] = None,
+) -> LintResult:
+    """Lint files/directories on disk; the importable API entry point.
+
+    ``root`` (auto-detected from the first path when omitted) anchors
+    repo-relative paths, the pyproject config, the cache file and the
+    baseline file.
+    """
+    paths = [Path(p) for p in paths]
+    if not paths:
+        raise ValueError("lint_paths: no paths given")
+    root = Path(root) if root is not None else find_repo_root(paths[0])
+    config = config or load_config(root)
+    if config.fingerprints_data is None:
+        fp_path = root / config.fingerprints_path
+        if fp_path.is_file():
+            try:
+                data = json.loads(fp_path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                data = None
+            if isinstance(data, dict):
+                config = dataclasses.replace(
+                    config, fingerprints_data=data
+                )
+    rules = list(rules) if rules is not None else all_rules(config)
+    cache = None
+    if use_cache:
+        cache = LintCache(
+            root / ".reprolint-cache.json",
+            cache_signature(config, rules),
+        )
+    baseline = None
+    if baseline_path is None:
+        baseline_path = root / "lint-baseline.json"
+    if baseline_path.is_file():
+        baseline = Baseline.load(baseline_path)
+    sources = collect_sources(paths, root)
+    return lint_sources(
+        sources, config=config, rules=rules, cache=cache,
+        baseline=baseline,
+    )

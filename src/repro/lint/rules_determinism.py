@@ -1,0 +1,290 @@
+"""Determinism rules: REPRO001 (no wall clock/entropy) and REPRO002
+(integer-only cycle arithmetic).
+
+These protect the two invariants the previous PRs *assume* at runtime:
+
+* the resilience layer (PR 1) quarantines a corrupt result and
+  re-simulates, trusting that re-simulation is byte-identical — one
+  ``time.time()`` or unseeded ``random`` call in a simulator makes the
+  retry produce a different file and the checksum machinery useless;
+* the CycleLedger (PR 2) verifies that attribution buckets sum
+  *exactly* to the total cycle count — conservation is only decidable
+  because every quantity involved is an integer; a single float creeping
+  into a cycle counter turns an identity into an epsilon comparison.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from .astutil import (
+    canonical_call_name,
+    import_aliases,
+    is_cycle_counter_name,
+    is_floaty,
+    terminal_name,
+)
+from .framework import LintConfig, Rule, SourceFile, Violation, path_matches
+
+#: Exact dotted call targets that read a wall clock or entropy source.
+_BANNED_CALLS = {
+    "time.time": "reads the wall clock",
+    "time.time_ns": "reads the wall clock",
+    "time.monotonic": "reads a host clock",
+    "time.monotonic_ns": "reads a host clock",
+    "time.perf_counter": "reads a host clock",
+    "time.perf_counter_ns": "reads a host clock",
+    "time.process_time": "reads a host clock",
+    "time.process_time_ns": "reads a host clock",
+    "datetime.datetime.now": "reads the wall clock",
+    "datetime.datetime.utcnow": "reads the wall clock",
+    "datetime.datetime.today": "reads the wall clock",
+    "datetime.date.today": "reads the wall clock",
+    "datetime.now": "reads the wall clock",
+    "datetime.utcnow": "reads the wall clock",
+    "os.urandom": "draws OS entropy",
+    "uuid.uuid1": "draws host state",
+    "uuid.uuid4": "draws OS entropy",
+}
+
+#: Prefixes banned wholesale: any call into these namespaces is either
+#: entropy or global-RNG state.
+_BANNED_PREFIXES = (
+    ("secrets.", "draws OS entropy"),
+    ("numpy.random.", "uses numpy's global RNG"),
+    ("np.random.", "uses numpy's global RNG"),
+)
+
+#: ``random.<fn>`` module-level calls share the interpreter-global RNG,
+#: whose state any import can perturb; only explicit ``random.Random``
+#: instances (seeded) are allowed in simulation code.
+_RANDOM_MODULE = "random"
+
+
+class WallClockEntropyRule(Rule):
+    """REPRO001 — no wall-clock or entropy calls in simulation code."""
+
+    rule_id = "REPRO001"
+    title = "no wall-clock/entropy calls in simulation code"
+    invariant = (
+        "byte-identical re-simulation: quarantine-and-retry (PR 1) "
+        "assumes re-running a (config, trace, seed) produces the exact "
+        "same statistics"
+    )
+
+    def applies_to(self, rel: str, config: LintConfig) -> bool:
+        return any(
+            path_matches(rel, p) for p in config.deterministic_paths
+        )
+
+    def check_file(
+        self, src: SourceFile, config: LintConfig
+    ) -> List[Violation]:
+        tree = src.tree
+        if tree is None:
+            return []
+        aliases = import_aliases(tree)
+        found: List[Violation] = []
+
+        def report(node: ast.AST, name: str, why: str) -> None:
+            found.append(Violation(
+                rule_id=self.rule_id, path=src.rel,
+                line=node.lineno, col=node.col_offset,
+                message=(
+                    f"{name}() {why}; simulation code must be "
+                    f"deterministic (re-simulation is assumed "
+                    f"byte-identical)"
+                ),
+            ))
+
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = canonical_call_name(node.func, aliases)
+            if name is None:
+                continue
+            if name in _BANNED_CALLS:
+                report(node, name, _BANNED_CALLS[name])
+                continue
+            for prefix, why in _BANNED_PREFIXES:
+                if name.startswith(prefix):
+                    report(node, name, why)
+                    break
+            else:
+                found.extend(
+                    self._check_random(node, name, src)
+                )
+        return found
+
+    def _check_random(
+        self, node: ast.Call, name: str, src: SourceFile
+    ) -> List[Violation]:
+        head, _, tail = name.partition(".")
+        if head != _RANDOM_MODULE:
+            # `from random import Random` resolves to "random.Random".
+            if name == "Random" or name.endswith(".Random"):
+                tail = "Random"
+            else:
+                return []
+        if tail == "Random":
+            if node.args or node.keywords:
+                first = node.args[0] if node.args else None
+                if isinstance(first, ast.Constant) and \
+                        first.value is None:
+                    return [self._violation(
+                        node, src,
+                        "random.Random(None) seeds from OS entropy; "
+                        "pass an explicit integer seed",
+                    )]
+                return []
+            return [self._violation(
+                node, src,
+                "random.Random() without a seed draws OS entropy; "
+                "pass an explicit integer seed",
+            )]
+        if not tail:
+            return []
+        return [self._violation(
+            node, src,
+            f"module-level random.{tail}() uses the interpreter-global "
+            f"RNG; use a seeded random.Random instance",
+        )]
+
+    def _violation(
+        self, node: ast.AST, src: SourceFile, message: str
+    ) -> Violation:
+        return Violation(
+            rule_id=self.rule_id, path=src.rel,
+            line=node.lineno, col=node.col_offset, message=message,
+        )
+
+
+#: Methods whose cycle arguments feed the conservation ledger.
+_LEDGER_METHODS = {"charge", "charge_couplet"}
+
+
+class IntegerCycleRule(Rule):
+    """REPRO002 — cycle counters carry ints only (``//``, never ``/``)."""
+
+    rule_id = "REPRO002"
+    title = "integer-only cycle arithmetic"
+    invariant = (
+        "exact cycle conservation: CycleLedger.verify (PR 2) asserts "
+        "buckets sum to the total as an integer identity, not within "
+        "an epsilon"
+    )
+
+    def applies_to(self, rel: str, config: LintConfig) -> bool:
+        return any(
+            path_matches(rel, p) for p in config.deterministic_paths
+        )
+
+    def check_file(
+        self, src: SourceFile, config: LintConfig
+    ) -> List[Violation]:
+        tree = src.tree
+        if tree is None:
+            return []
+        aliases = import_aliases(tree)
+        found: List[Violation] = []
+
+        def report(node: ast.AST, name: str, detail: str) -> None:
+            found.append(Violation(
+                rule_id=self.rule_id, path=src.rel,
+                line=node.lineno, col=node.col_offset,
+                message=(
+                    f"{detail} assigned to cycle counter {name!r}; "
+                    f"cycle arithmetic must stay integer (use //, "
+                    f"int() or the quantize helpers)"
+                ),
+            ))
+
+        def check_target(target: ast.AST, value: ast.AST,
+                         node: ast.AST) -> None:
+            name = terminal_name(target)
+            if is_cycle_counter_name(name) and is_floaty(value, aliases):
+                detail = "float-producing expression"
+                if isinstance(value, ast.Constant):
+                    detail = f"float literal {value.value!r}"
+                elif isinstance(value, ast.BinOp) and \
+                        isinstance(value.op, ast.Div):
+                    detail = "true division (/)"
+                elif isinstance(value, ast.Call):
+                    detail = "float() conversion"
+                report(node, name or "?", detail)
+
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    targets = (
+                        target.elts
+                        if isinstance(target, (ast.Tuple, ast.List))
+                        else [target]
+                    )
+                    for t in targets:
+                        check_target(t, node.value, node)
+            elif isinstance(node, ast.AnnAssign):
+                name = terminal_name(node.target)
+                if is_cycle_counter_name(name):
+                    ann = node.annotation
+                    if isinstance(ann, ast.Name) and ann.id == "float":
+                        found.append(Violation(
+                            rule_id=self.rule_id, path=src.rel,
+                            line=node.lineno, col=node.col_offset,
+                            message=(
+                                f"cycle counter {name!r} annotated as "
+                                f"float; cycle counts are integers"
+                            ),
+                        ))
+                    elif node.value is not None:
+                        check_target(node.target, node.value, node)
+            elif isinstance(node, ast.AugAssign):
+                name = terminal_name(node.target)
+                if not is_cycle_counter_name(name):
+                    continue
+                if isinstance(node.op, ast.Div):
+                    report(node, name or "?", "in-place true division (/=)")
+                elif is_floaty(node.value, aliases):
+                    report(node, name or "?", "float-producing expression")
+            elif isinstance(node, ast.Call):
+                found.extend(self._check_call(node, src, aliases))
+        return found
+
+    def _check_call(self, node: ast.Call, src: SourceFile,
+                    aliases) -> List[Violation]:
+        found: List[Violation] = []
+        # Ledger charges: every positional/keyword cycle argument.
+        func_name = (
+            node.func.attr if isinstance(node.func, ast.Attribute)
+            else getattr(node.func, "id", "")
+        )
+        if func_name in _LEDGER_METHODS:
+            for arg in list(node.args) + [k.value for k in node.keywords]:
+                if is_floaty(arg, aliases):
+                    found.append(Violation(
+                        rule_id=self.rule_id, path=src.rel,
+                        line=node.lineno, col=node.col_offset,
+                        message=(
+                            f"float-producing argument to "
+                            f"{func_name}(); the ledger's conservation "
+                            f"check needs exact integer cycle counts"
+                        ),
+                    ))
+                    break
+        # Any call site: keyword args named like cycle counters.
+        for keyword in node.keywords:
+            if is_cycle_counter_name(keyword.arg) and \
+                    is_floaty(keyword.value, aliases):
+                found.append(Violation(
+                    rule_id=self.rule_id, path=src.rel,
+                    line=node.lineno, col=node.col_offset,
+                    message=(
+                        f"float-producing value for cycle argument "
+                        f"{keyword.arg!r}; cycle counts are integers"
+                    ),
+                ))
+        return found
+
+
+DETERMINISM_RULES = (WallClockEntropyRule(), IntegerCycleRule())

@@ -1,0 +1,241 @@
+"""Robustness rules: REPRO003 (atomic persistence), REPRO004 (no
+silent exception swallowing), REPRO007 (no mutable default arguments).
+
+REPRO003 protects the crash-safety contract of PR 1: every file that
+lands in a campaign or metrics directory must appear atomically (temp
+file + fsync + rename via ``atomic_write_text``), because ``fsck`` and
+the quarantine machinery assume a visible ``*.json`` is either complete
+or checksummed-corrupt — never a half-written artifact of a crash.
+
+REPRO004 protects the fault harness's exception-flow assumptions: the
+resilience layer routes cancellation and injected crashes through
+``BaseException`` semantics, so a handler that catches broadly and does
+*nothing* can eat a timeout or an injected fault and convert a test
+failure into silence.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from .astutil import canonical_call_name, import_aliases, walk_functions
+from .framework import LintConfig, Rule, SourceFile, Violation, path_matches
+
+#: open() modes that create or truncate — the dangerous ones.
+_WRITE_MODES = ("w", "a", "x", "+")
+
+
+def _open_write_mode(node: ast.Call) -> Optional[str]:
+    """The mode string of an ``open()`` call if it writes, else None."""
+    mode: Optional[ast.AST] = None
+    if len(node.args) >= 2:
+        mode = node.args[1]
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if mode is None:
+        return None  # default "r"
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        if any(flag in mode.value for flag in _WRITE_MODES):
+            return mode.value
+        return None
+    return "<dynamic>"  # can't prove it's read-only: flag it
+
+
+class AtomicPersistenceRule(Rule):
+    """REPRO003 — persistence modules write via the atomic primitive."""
+
+    rule_id = "REPRO003"
+    title = "campaign/metrics writes go through the atomic writer"
+    invariant = (
+        "atomic persistence: fsck/quarantine (PR 1) assume a visible "
+        "result file is complete; a bare open(..., 'w') can leave a "
+        "torn file across a crash"
+    )
+
+    def applies_to(self, rel: str, config: LintConfig) -> bool:
+        return any(
+            path_matches(rel, p) for p in config.persistence_modules
+        )
+
+    def check_file(
+        self, src: SourceFile, config: LintConfig
+    ) -> List[Violation]:
+        tree = src.tree
+        if tree is None:
+            return []
+        aliases = import_aliases(tree)
+        found: List[Violation] = []
+        for node, func in walk_functions(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if func is not None and func.name in config.atomic_writers:
+                continue  # inside the blessed primitive itself
+            name = canonical_call_name(node.func, aliases)
+            if name == "open":
+                mode = _open_write_mode(node)
+                if mode is not None:
+                    found.append(Violation(
+                        rule_id=self.rule_id, path=src.rel,
+                        line=node.lineno, col=node.col_offset,
+                        message=(
+                            f"open(..., {mode!r}) in a persistence "
+                            f"module bypasses atomic_write_text; a "
+                            f"crash mid-write leaves a torn file"
+                        ),
+                    ))
+            elif isinstance(node.func, ast.Attribute) and \
+                    node.func.attr in ("write_text", "write_bytes"):
+                found.append(Violation(
+                    rule_id=self.rule_id, path=src.rel,
+                    line=node.lineno, col=node.col_offset,
+                    message=(
+                        f"Path.{node.func.attr}() in a persistence "
+                        f"module bypasses atomic_write_text; a crash "
+                        f"mid-write leaves a torn file"
+                    ),
+                ))
+        return found
+
+
+_BROAD_TYPES = {"Exception", "BaseException"}
+
+
+def _is_broad_handler(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True  # bare except:
+    types = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for node in types:
+        name = node.attr if isinstance(node, ast.Attribute) else \
+            getattr(node, "id", "")
+        if name in _BROAD_TYPES:
+            return True
+    return False
+
+
+def _handler_observable(handler: ast.ExceptHandler) -> bool:
+    """Does the handler body do anything visible with the failure?
+
+    Re-raising, returning a value, or calling *anything* (logging,
+    journaling, best-effort reporting) counts; a body of ``pass``,
+    bare ``continue``/``break`` or pure assignments swallows silently.
+    """
+    for node in ast.walk(ast.Module(body=handler.body,
+                                    type_ignores=[])):
+        if isinstance(node, (ast.Raise, ast.Call)):
+            return True
+        if isinstance(node, ast.Return) and node.value is not None:
+            return True
+    return False
+
+
+class SilentSwallowRule(Rule):
+    """REPRO004 — no broad except that silently swallows."""
+
+    rule_id = "REPRO004"
+    title = "no silent broad exception swallowing"
+    invariant = (
+        "fault-flow integrity: the resilience harness (PR 1) signals "
+        "timeouts and injected crashes via exceptions; a silent broad "
+        "handler converts an injected fault into a wrong answer"
+    )
+
+    def applies_to(self, rel: str, config: LintConfig) -> bool:
+        return any(path_matches(rel, p) for p in config.exception_paths)
+
+    def check_file(
+        self, src: SourceFile, config: LintConfig
+    ) -> List[Violation]:
+        tree = src.tree
+        if tree is None:
+            return []
+        found: List[Violation] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_broad_handler(node):
+                continue
+            if _handler_observable(node):
+                continue
+            caught = "bare except" if node.type is None else (
+                f"except {ast.dump(node.type)}"
+                if not isinstance(node.type, (ast.Name, ast.Attribute))
+                else f"except {getattr(node.type, 'id', None) or node.type.attr}"  # noqa: E501
+            )
+            found.append(Violation(
+                rule_id=self.rule_id, path=src.rel,
+                line=node.lineno, col=node.col_offset,
+                message=(
+                    f"{caught} swallows without re-raise, logging or "
+                    f"reporting; narrow the type or handle the failure "
+                    f"observably"
+                ),
+            ))
+        return found
+
+
+_MUTABLE_CALLS = {
+    "list", "dict", "set", "bytearray",
+    "collections.defaultdict", "collections.OrderedDict",
+    "collections.deque", "collections.Counter",
+}
+
+
+def _is_mutable_default(node: ast.AST, aliases) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set,
+                         ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = canonical_call_name(node.func, aliases)
+        return name in _MUTABLE_CALLS
+    return False
+
+
+class MutableDefaultRule(Rule):
+    """REPRO007 — no mutable default arguments anywhere."""
+
+    rule_id = "REPRO007"
+    title = "no mutable default arguments"
+    invariant = (
+        "run isolation: a mutable default shared across calls is "
+        "cross-run state — exactly the kind of leak that makes two "
+        "identical (config, trace, seed) runs diverge"
+    )
+
+    def check_file(
+        self, src: SourceFile, config: LintConfig
+    ) -> List[Violation]:
+        tree = src.tree
+        if tree is None:
+            return []
+        aliases = import_aliases(tree)
+        found: List[Violation] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if _is_mutable_default(default, aliases):
+                    found.append(Violation(
+                        rule_id=self.rule_id, path=src.rel,
+                        line=default.lineno, col=default.col_offset,
+                        message=(
+                            f"mutable default argument in "
+                            f"{node.name}(); it is shared across "
+                            f"calls — use None and create inside"
+                        ),
+                    ))
+        return found
+
+
+ROBUSTNESS_RULES = (
+    AtomicPersistenceRule(), SilentSwallowRule(), MutableDefaultRule(),
+)

@@ -115,9 +115,33 @@ class TranslationSpec:
     memory_frames: int = 1 << 14
 
     def __post_init__(self) -> None:
+        if self.page_words < 1 or self.page_words & (self.page_words - 1):
+            raise ConfigurationError(
+                f"page size must be a positive power of two (words): "
+                f"{self.page_words}"
+            )
+        if self.tlb_entries < 1:
+            raise ConfigurationError(
+                f"TLB must have at least one entry: {self.tlb_entries}"
+            )
+        if self.tlb_assoc < 0 or self.tlb_assoc > self.tlb_entries:
+            raise ConfigurationError(
+                f"TLB associativity must be in [0, {self.tlb_entries}] "
+                f"(0 = fully associative): {self.tlb_assoc}"
+            )
+        if self.tlb_assoc and self.tlb_entries % self.tlb_assoc:
+            raise ConfigurationError(
+                f"TLB entries ({self.tlb_entries}) must divide evenly "
+                f"into {self.tlb_assoc}-way sets"
+            )
         if self.walk_memory_reads < 0:
             raise ConfigurationError(
                 f"walk reads must be >= 0: {self.walk_memory_reads}"
+            )
+        if self.memory_frames < 1:
+            raise ConfigurationError(
+                f"memory must have at least one frame: "
+                f"{self.memory_frames}"
             )
 
 

@@ -168,14 +168,17 @@ def corrupt_file(path: Union[str, Path]) -> None:
     garbage = b"\x00<CORRUPTED>\x00"
     mid = max(0, len(data) // 2 - len(garbage) // 2)
     data[mid:mid + len(garbage)] = garbage
-    path.write_bytes(bytes(data))
+    # Damaging the file in place IS the fault being injected; routing
+    # this through the atomic writer would defeat it.
+    path.write_bytes(bytes(data))  # reprolint: disable=REPRO003
 
 
 def truncate_file(path: Union[str, Path]) -> None:
     """Cut a file in half, as a torn write or full disk would."""
     path = Path(path)
     data = path.read_bytes()
-    path.write_bytes(data[: len(data) // 2])
+    # Simulating the torn write is the point.
+    path.write_bytes(data[: len(data) // 2])  # reprolint: disable=REPRO003
 
 
 # ----------------------------------------------------------------------
@@ -197,7 +200,9 @@ def kill9_writer(when: str = "mid-write"):
         path = Path(path)
         if when == "mid-write":
             tmp = path.parent / f".tmp.{path.name}.killed"
-            with open(tmp, "w", encoding="utf-8") as handle:
+            # Deliberately non-atomic: this writer models dying halfway
+            # through the staging write, before any rename.
+            with open(tmp, "w", encoding="utf-8") as handle:  # reprolint: disable=REPRO003
                 handle.write(text[: len(text) // 2])
             raise InjectedCrash(f"kill -9 mid-write of {path.name}")
         atomic_write_text(

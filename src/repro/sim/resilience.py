@@ -302,16 +302,29 @@ def _worker_main(
     except BaseException as exc:  # noqa: BLE001 — full containment
         _best_effort_send(conn, ("failed", f"{type(exc).__name__}: {exc}"))
     finally:
+        # Closing a pipe the parent already tore down raises OSError (or
+        # ValueError on an already-closed handle); the worker is exiting
+        # either way, so swallowing those two — and only those two — is
+        # safe.  Anything else here is a real bug and must surface.
         try:
             conn.close()
-        except Exception:
+        except (OSError, ValueError):
             pass
 
 
 def _best_effort_send(conn, message) -> None:
+    """Send on a pipe whose far end may already be gone.
+
+    The parent kills workers on timeout, so a send can hit a closed or
+    broken pipe (OSError/BrokenPipeError, or ValueError on a closed
+    handle).  Those specific failures are expected and dropped — the
+    parent's journal records the run's fate regardless; any other
+    exception propagates to the containment boundary in
+    :func:`_worker_main`, which reports it as a failed run.
+    """
     try:
         conn.send(message)
-    except Exception:
+    except (OSError, ValueError):
         pass
 
 

@@ -325,7 +325,9 @@ class EventTracer:
         }
 
     def dump(self, path: Union[str, Path]) -> None:
-        Path(path).write_text(
+        # A user-chosen export path, not campaign state: a torn trace
+        # dump costs a re-export, never a quarantine.
+        Path(path).write_text(  # reprolint: disable=REPRO003
             json.dumps(self.to_chrome_trace()), encoding="utf-8"
         )
 
@@ -382,12 +384,16 @@ class StageTimer:
 
     @contextmanager
     def stage(self, name: str):
-        start = time.perf_counter()
+        # Host-side profiling measures the *simulator*, not the
+        # simulation: wall-clock readings land only in advisory wall_s
+        # metrics, never in simulated state or cycle counts.
+        start = time.perf_counter()  # reprolint: disable=REPRO001
         try:
             yield
         finally:
             self.stages[name] = (
-                self.stages.get(name, 0.0) + time.perf_counter() - start
+                self.stages.get(name, 0.0)
+                + time.perf_counter() - start  # reprolint: disable=REPRO001
             )
 
     @property

@@ -9,6 +9,7 @@ from repro.cache.replacement import (
     make_policy,
 )
 from repro.core.policy import ReplacementKind
+from repro.errors import ConfigurationError
 
 
 class TestLRU:
@@ -57,6 +58,66 @@ class TestRandom:
         victim = policy.victim(order, 3)
         assert victim not in order
         assert len(order) == 2
+
+
+class TestRandomSeedValidation:
+    @pytest.mark.parametrize("bad_seed", [None, 1.5, "42", True])
+    def test_non_integer_seed_is_rejected(self, bad_seed):
+        with pytest.raises(ConfigurationError):
+            RandomPolicy(seed=bad_seed)
+
+    def test_factory_maps_none_to_fixed_default(self):
+        # make_policy(RANDOM) must stay usable without a seed — it pins
+        # seed 0 rather than letting None reach random.Random(None).
+        a = make_policy(ReplacementKind.RANDOM)
+        b = make_policy(ReplacementKind.RANDOM, seed=0)
+        order_a, order_b = [0, 1, 2, 3], [0, 1, 2, 3]
+        assert [a.victim(order_a, 4) for _ in range(3)] == \
+            [b.victim(order_b, 4) for _ in range(3)]
+
+
+class TestEngineEvictionDeterminism:
+    """Two simulators with the same seed must evict identically —
+    the invariant REPRO001/REPRO002 and the seeded RandomPolicy protect,
+    and the one byte-identical campaign re-simulation depends on."""
+
+    @staticmethod
+    def _run(seed):
+        from repro.sim.config import baseline_config
+        from repro.sim.engine import simulate
+        from repro.trace.suite import build_trace
+
+        config = baseline_config(
+            cache_size_bytes=2048, assoc=4,
+            replacement=ReplacementKind.RANDOM,
+        )
+        trace = build_trace("mu3", length=3000)
+        evictions = []
+        original = RandomPolicy.victim
+
+        def recording(self, order, assoc):
+            victim = original(self, order, assoc)
+            evictions.append(victim)
+            return victim
+
+        RandomPolicy.victim = recording
+        try:
+            stats = simulate(config, trace, seed=seed)
+        finally:
+            RandomPolicy.victim = original
+        return evictions, stats
+
+    def test_same_seed_identical_evictions(self):
+        evictions_a, stats_a = self._run(seed=7)
+        evictions_b, stats_b = self._run(seed=7)
+        assert evictions_a, "fixture must actually exercise eviction"
+        assert evictions_a == evictions_b
+        assert stats_a == stats_b
+
+    def test_different_seed_diverges(self):
+        evictions_a, _ = self._run(seed=7)
+        evictions_b, _ = self._run(seed=8)
+        assert evictions_a != evictions_b
 
 
 class TestFactory:

@@ -1,0 +1,285 @@
+"""Framework behaviour: suppression, baseline ratchet, caching, config
+loading, fingerprint regeneration — and the repo itself lints clean."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    Baseline,
+    LintCache,
+    LintConfig,
+    SourceFile,
+    all_rules,
+    lint_paths,
+    lint_sources,
+    load_config,
+    run_self_test,
+)
+from repro.lint.framework import cache_signature, collect_sources
+from repro.lint.rules_structure import extract_schemas, write_fingerprints
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+_VIOLATING = (
+    "import time\n\n"
+    "def stamp(stats):\n"
+    "    stats['at'] = time.time()\n"
+    "    return stats\n"
+)
+
+
+def _rule(rule_id):
+    return [r for r in all_rules() if r.rule_id == rule_id]
+
+
+# ----------------------------------------------------------------------
+# The repo's own gates
+# ----------------------------------------------------------------------
+def test_repo_at_head_lints_clean():
+    """`repro-sim lint src/` must exit clean on the committed tree."""
+    result = lint_paths(
+        [REPO_ROOT / "src"], root=REPO_ROOT, use_cache=False
+    )
+    assert result.violations == [], "\n" + result.render()
+
+
+def test_self_test_passes():
+    ok, report = run_self_test()
+    assert ok, report
+
+
+def test_committed_fingerprints_match_sources():
+    config = load_config(REPO_ROOT)
+    sources = collect_sources([REPO_ROOT / "src"], REPO_ROOT)
+    current = extract_schemas(sources, config)
+    committed = json.loads(
+        (REPO_ROOT / config.fingerprints_path).read_text(
+            encoding="utf-8"
+        )
+    )["schemas"]
+    assert set(current) == set(committed)
+    for name, entry in current.items():
+        assert "error" not in entry, entry
+        assert committed[name]["fingerprint"] == entry["fingerprint"]
+        assert committed[name]["version"] == entry["version"]
+
+
+def test_config_table_is_read_from_pyproject():
+    config = load_config(REPO_ROOT)
+    if sys.version_info < (3, 11):
+        pytest.skip("tomllib unavailable; defaults apply")
+    assert config.enabled == tuple(
+        f"REPRO00{i}" for i in range(1, 9)
+    )
+    assert "repro/sim" in config.deterministic_paths
+    assert "repro/sim/campaign.py" in config.persistence_modules
+
+
+# ----------------------------------------------------------------------
+# Suppression
+# ----------------------------------------------------------------------
+def test_line_suppression():
+    text = _VIOLATING.replace(
+        "time.time()",
+        "time.time()  # reprolint: disable=REPRO001",
+    )
+    result = lint_sources(
+        [SourceFile("src/repro/sim/helper.py", text)],
+        rules=_rule("REPRO001"),
+    )
+    assert result.violations == []
+
+
+def test_suppression_of_other_rule_does_not_apply():
+    text = _VIOLATING.replace(
+        "time.time()",
+        "time.time()  # reprolint: disable=REPRO002",
+    )
+    result = lint_sources(
+        [SourceFile("src/repro/sim/helper.py", text)],
+        rules=_rule("REPRO001"),
+    )
+    assert len(result.violations) == 1
+
+
+def test_file_suppression_near_top_applies():
+    header = "# reprolint: disable-file=REPRO001\n"
+    result = lint_sources(
+        [SourceFile("src/repro/sim/helper.py", header + _VIOLATING)],
+        rules=_rule("REPRO001"),
+    )
+    assert result.violations == []
+
+
+def test_file_suppression_past_window_is_ignored():
+    padding = "# filler\n" * 20  # push the comment past the scan window
+    tail_comment = padding + \
+        "# reprolint: disable-file=REPRO001\n" + _VIOLATING
+    result = lint_sources(
+        [SourceFile("src/repro/sim/helper.py", tail_comment)],
+        rules=_rule("REPRO001"),
+    )
+    assert len(result.violations) == 1  # too late in the file
+
+
+# ----------------------------------------------------------------------
+# Baseline ratchet
+# ----------------------------------------------------------------------
+def test_baseline_absorbs_known_violations_but_not_new_ones():
+    src = SourceFile("src/repro/sim/helper.py", _VIOLATING)
+    first = lint_sources([src], rules=_rule("REPRO001"))
+    assert len(first.violations) == 1
+    baseline = Baseline.from_violations(
+        [(v, src.source_line(v.line)) for v in first.violations]
+    )
+    second = lint_sources(
+        [src], rules=_rule("REPRO001"), baseline=baseline
+    )
+    assert second.violations == []
+    assert len(second.baselined) == 1
+    # A second, new occurrence exceeds the baselined count and fails.
+    doubled = SourceFile(
+        "src/repro/sim/helper.py",
+        _VIOLATING + "\ndef again():\n    return time.time()\n",
+    )
+    third = lint_sources(
+        [doubled], rules=_rule("REPRO001"), baseline=baseline
+    )
+    assert len(third.violations) == 1
+    assert len(third.baselined) == 1
+
+
+def test_baseline_round_trips_through_disk(tmp_path):
+    src = SourceFile("src/repro/sim/helper.py", _VIOLATING)
+    found = lint_sources([src], rules=_rule("REPRO001")).violations
+    baseline = Baseline.from_violations(
+        [(v, src.source_line(v.line)) for v in found]
+    )
+    path = tmp_path / "lint-baseline.json"
+    baseline.save(path)
+    reloaded = Baseline.load(path)
+    assert reloaded.counts == baseline.counts
+
+
+# ----------------------------------------------------------------------
+# Content-hash cache
+# ----------------------------------------------------------------------
+def test_cache_hits_on_unchanged_content_and_misses_on_edit(tmp_path):
+    config = LintConfig()
+    rules = _rule("REPRO001")
+    signature = cache_signature(config, rules)
+    cache_path = tmp_path / "cache.json"
+    src = SourceFile("src/repro/sim/helper.py", _VIOLATING)
+
+    cache = LintCache(cache_path, signature)
+    first = lint_sources([src], config=config, rules=rules, cache=cache)
+    assert (cache.hits, cache.misses) == (0, 1)
+    assert len(first.violations) == 1
+
+    cache = LintCache(cache_path, signature)
+    second = lint_sources([src], config=config, rules=rules, cache=cache)
+    assert (cache.hits, cache.misses) == (1, 0)
+    assert [v.to_dict() for v in second.violations] == \
+        [v.to_dict() for v in first.violations]
+
+    edited = SourceFile("src/repro/sim/helper.py",
+                        _VIOLATING + "\nX = 1\n")
+    cache = LintCache(cache_path, signature)
+    lint_sources([edited], config=config, rules=rules, cache=cache)
+    assert cache.misses == 1
+
+
+def test_cache_invalidated_by_signature_change(tmp_path):
+    config = LintConfig()
+    rules = _rule("REPRO001")
+    cache_path = tmp_path / "cache.json"
+    src = SourceFile("src/repro/sim/helper.py", _VIOLATING)
+    cache = LintCache(cache_path, cache_signature(config, rules))
+    lint_sources([src], config=config, rules=rules, cache=cache)
+
+    other = LintCache(cache_path, "different-signature")
+    assert other.get(src) is None
+
+
+# ----------------------------------------------------------------------
+# Fingerprint regeneration
+# ----------------------------------------------------------------------
+def test_write_fingerprints_round_trip(tmp_path):
+    config = load_config(REPO_ROOT)
+    sources = collect_sources([REPO_ROOT / "src"], REPO_ROOT)
+    out = tmp_path / "fingerprints.json"
+    schemas = write_fingerprints(sources, config, out)
+    payload = json.loads(out.read_text(encoding="utf-8"))
+    assert payload["schemas"] == schemas
+    assert {"campaign_result", "run_report"} <= set(schemas)
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+def _run_cli(*argv):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *argv],
+        cwd=REPO_ROOT, capture_output=True, text=True,
+        env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+    )
+
+
+def test_cli_lint_src_exits_zero():
+    proc = _run_cli("lint", "src", "--no-cache")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_cli_lint_json_format():
+    proc = _run_cli("lint", "src", "--no-cache", "--format", "json")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    payload = json.loads(proc.stdout)
+    assert payload["clean"] is True
+    assert payload["violations"] == []
+
+
+def test_cli_lint_self_test():
+    proc = _run_cli("lint", "--self-test")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "self-test PASSED" in proc.stdout
+
+
+def test_cli_lint_unknown_rule_is_usage_error():
+    proc = _run_cli("lint", "src", "--rule", "REPRO999")
+    assert proc.returncode == 2
+    assert "unknown rule" in proc.stderr
+
+
+def test_cli_lint_detects_sabotage(tmp_path):
+    """End to end: copying the tree and inserting time.time() into
+    sim/engine.py must flip the exit code to 1."""
+    import shutil
+
+    workdir = tmp_path / "repo"
+    (workdir / "src").parent.mkdir(parents=True, exist_ok=True)
+    shutil.copytree(REPO_ROOT / "src", workdir / "src")
+    shutil.copy(REPO_ROOT / "pyproject.toml", workdir / "pyproject.toml")
+    shutil.copy(
+        REPO_ROOT / "lint-baseline.json", workdir / "lint-baseline.json"
+    )
+    engine = workdir / "src/repro/sim/engine.py"
+    engine.write_text(
+        engine.read_text(encoding="utf-8")
+        + "\n\ndef _stamp():\n    import time\n    return time.time()\n",
+        encoding="utf-8",
+    )
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "lint", "src",
+         "--no-cache"],
+        cwd=workdir, capture_output=True, text=True,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"),
+             "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 1, proc.stdout + proc.stderr
+    assert "REPRO001" in proc.stdout
