@@ -29,7 +29,14 @@ Main subcommands:
   prints the manifest journal; ``report`` aggregates stored RunReports
   (slowest runs, stall breakdowns, throughput percentiles); ``fsck``
   validates every stored result's checksum and optionally quarantines
-  corruption (``--repair``).
+  corruption (``--repair``);
+* ``repro-sim cache stats|gc|verify <dir>`` — maintain a persistent
+  functional-pass cache (see ``docs/internals.md``): ``stats`` prints
+  the on-disk footprint, ``gc`` evicts least-recently-modified entries
+  down to ``--max-entries``/``--max-bytes`` budgets, ``verify``
+  validates every entry's checksum (``--repair`` quarantines).  The
+  ``simulate``, ``advise`` and ``campaign run`` subcommands accept
+  ``--pass-cache DIR`` to reuse functional passes across invocations.
 """
 
 from __future__ import annotations
@@ -109,6 +116,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             check_fastpath_supported(config)
         except ConfigurationError:
             runner = simulate  # spec needs engine features
+    pass_cache = None
+    if args.pass_cache:
+        if runner is fast_simulate:
+            from .sim.passcache import PassCache
+
+            pass_cache = PassCache(args.pass_cache)
+        else:
+            print("note: --pass-cache applies to fastpath runs only; "
+                  "this engine run bypasses it", file=sys.stderr)
     want_metrics = args.metrics or args.metrics_out
     telemetry = None
     if want_metrics or args.trace_out:
@@ -117,7 +133,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             tracer=EventTracer() if args.trace_out else None,
         )
     with timer.stage("simulate"):
-        if telemetry is not None:
+        if pass_cache is not None:
+            from .sim.passcache import cached_fast_simulate
+
+            stats = cached_fast_simulate(
+                config, trace, cache=pass_cache, telemetry=telemetry
+            )
+        elif telemetry is not None:
             stats = runner(config, trace, telemetry=telemetry)
         else:
             stats = runner(config, trace)
@@ -138,12 +160,22 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(f"write buffer: {stats.buffer.pushes} pushes, "
           f"{stats.buffer.full_stalls} full stalls, "
           f"{stats.buffer.match_stalls} read-match stalls")
+    if pass_cache is not None:
+        counters = pass_cache.counters
+        print(f"pass cache: {counters.hits} hit(s), "
+              f"{counters.misses} miss(es), "
+              f"{counters.bytes_read:,} B read, "
+              f"{counters.bytes_written:,} B written")
     if telemetry is not None and telemetry.ledger is not None:
         report = build_run_report(
             stats, telemetry.ledger, timer,
             run_identifier=f"{trace.name}-cli",
             simulator="engine" if runner is simulate else "fastpath",
             n_refs_total=len(trace), config=config,
+            pass_cache=(
+                pass_cache.counters.as_dict()
+                if pass_cache is not None else None
+            ),
         )
         print("cycle attribution (measured):")
         print(telemetry.ledger.render(stats.cycles))
@@ -253,6 +285,10 @@ def build_parser() -> argparse.ArgumentParser:
     simp.add_argument("--trace-out", default="",
                       help="write a Chrome trace_event JSON timeline of "
                            "misses and stalls to this path")
+    simp.add_argument("--pass-cache", default="",
+                      help="directory of a persistent functional-pass "
+                           "cache to reuse across invocations "
+                           "(fastpath runs only)")
     simp.set_defaults(func=_cmd_simulate)
 
     tr = sub.add_parser("traces", help="describe the synthetic trace suite")
@@ -287,6 +323,9 @@ def build_parser() -> argparse.ArgumentParser:
     adv.add_argument("--length", type=int, default=60_000)
     adv.add_argument("--traces", default="mu3,rd2n4")
     adv.add_argument("--seed", type=int, default=0)
+    adv.add_argument("--pass-cache", default="",
+                     help="directory of a persistent functional-pass "
+                          "cache backing the advisor's sweep")
     adv.set_defaults(func=_cmd_advise)
 
     rep = sub.add_parser(
@@ -364,6 +403,10 @@ def build_parser() -> argparse.ArgumentParser:
     crun.add_argument("--metrics", action="store_true",
                       help="collect per-run telemetry RunReports under "
                            "<dir>/metrics/ and write a sweep summary")
+    crun.add_argument("--pass-cache", default="",
+                      help="directory of a persistent functional-pass "
+                           "cache shared by the sweep's workers "
+                           "(incompatible with --engine)")
     crun.set_defaults(func=_cmd_campaign_run)
 
     cstat = csub.add_parser(
@@ -390,6 +433,40 @@ def build_parser() -> argparse.ArgumentParser:
                        help="quarantine corrupt files and delete stray "
                             "temp files instead of only reporting them")
     cfsck.set_defaults(func=_cmd_campaign_fsck)
+
+    cache = sub.add_parser(
+        "cache",
+        help="maintain a persistent functional-pass cache directory",
+    )
+    cachesub = cache.add_subparsers(dest="cache_command", required=True)
+
+    cstats = cachesub.add_parser(
+        "stats", help="print the cache's on-disk footprint"
+    )
+    cstats.add_argument("directory", help="pass-cache directory")
+    cstats.set_defaults(func=_cmd_cache_stats)
+
+    cgc = cachesub.add_parser(
+        "gc",
+        help="evict least-recently-modified entries to fit budgets",
+    )
+    cgc.add_argument("directory", help="pass-cache directory")
+    cgc.add_argument("--max-entries", type=int, default=None,
+                     help="keep at most this many entries")
+    cgc.add_argument("--max-bytes", type=int, default=None,
+                     help="keep at most this many bytes of entries")
+    cgc.set_defaults(func=_cmd_cache_gc)
+
+    cverify = cachesub.add_parser(
+        "verify",
+        help="validate every entry's checksum and payload shape",
+    )
+    cverify.add_argument("directory", help="pass-cache directory")
+    cverify.add_argument("--repair", action="store_true",
+                         help="quarantine corrupt entries and delete "
+                              "stray temp files instead of only "
+                              "reporting them")
+    cverify.set_defaults(func=_cmd_cache_verify)
     return parser
 
 
@@ -504,7 +581,21 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
     except ConfigurationError as exc:
         print(f"repro-sim campaign run: error: {exc}", file=sys.stderr)
         return 2
-    simulate_fn = simulate if args.engine else fast_simulate
+    if args.pass_cache and args.engine:
+        print("repro-sim campaign run: error: --pass-cache caches "
+              "fastpath functional passes and cannot be combined with "
+              "--engine", file=sys.stderr)
+        return 2
+    if args.pass_cache:
+        import functools
+
+        from .sim.passcache import cached_fast_simulate
+
+        simulate_fn = functools.partial(
+            cached_fast_simulate, cache_dir=args.pass_cache,
+        )
+    else:
+        simulate_fn = simulate if args.engine else fast_simulate
     jobs = sweep_jobs(
         configs, list(suite.values()), simulate_fn=simulate_fn,
         seed=args.seed,
@@ -619,9 +710,55 @@ def _cmd_advise(args: argparse.Namespace) -> int:
         | {s * 2 for s in sizes_each}
     )
     cycles = sorted({r.cycle_ns for r in rungs} | {20.0, 80.0})
-    grid = run_speed_size_sweep(suite, extended, cycles, seed=args.seed)
+    pass_cache = None
+    if args.pass_cache:
+        from .sim.passcache import PassCache
+
+        pass_cache = PassCache(args.pass_cache)
+    grid = run_speed_size_sweep(
+        suite, extended, cycles, seed=args.seed, pass_cache=pass_cache,
+    )
     print(advisor_table(recommend_design(grid, rungs)))
     return 0
+
+
+def _cmd_cache_stats(args: argparse.Namespace) -> int:
+    from .sim.passcache import PassCache
+
+    stats = PassCache(args.directory).disk_stats()
+    print(f"{args.directory}: {stats['entries']} entr"
+          f"{'y' if stats['entries'] == 1 else 'ies'}, "
+          f"{stats['bytes']:,} bytes, "
+          f"{stats['quarantined']} quarantined file(s)")
+    return 0
+
+
+def _cmd_cache_gc(args: argparse.Namespace) -> int:
+    from .sim.passcache import PassCache
+
+    cache = PassCache(args.directory)
+    if args.max_entries is None and args.max_bytes is None:
+        print("repro-sim cache gc: error: pass --max-entries and/or "
+              "--max-bytes", file=sys.stderr)
+        return 2
+    removed = cache.gc(
+        max_entries=args.max_entries, max_bytes=args.max_bytes
+    )
+    stats = cache.disk_stats()
+    print(f"evicted {len(removed)} entr"
+          f"{'y' if len(removed) == 1 else 'ies'}; "
+          f"{stats['entries']} remain ({stats['bytes']:,} bytes)")
+    return 0
+
+
+def _cmd_cache_verify(args: argparse.Namespace) -> int:
+    from .sim.passcache import PassCache
+
+    report = PassCache(args.directory).verify(repair=args.repair)
+    print(report.render())
+    if report.clean or args.repair:
+        return 0
+    return 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -18,15 +18,27 @@ the top-level :mod:`repro` package rather than :mod:`repro.core` (whose
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
 from ..cpu.processor import CoupletStream, pair_couplets
 from ..errors import AnalysisError
 from ..sim.config import SystemConfig, baseline_config
-from ..sim.fastpath import assemble_stats, functional_pass, replay
+from ..sim.fastpath import EventStream, assemble_stats, functional_pass, replay
 from ..trace.record import Trace
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard only
+    from ..sim.passcache import PassCache
 from ..units import quantize_ns
 from .metrics import (
     AggregateMetrics,
@@ -49,41 +61,139 @@ def _as_trace_list(traces) -> List[Trace]:
     return list(traces)
 
 
-def _pair_all(traces: Sequence[Trace]) -> List[CoupletStream]:
-    return [pair_couplets(t) for t in traces]
+def _pair_map(traces: Sequence[Trace]) -> Dict[str, CoupletStream]:
+    """Prepair couplets once per trace, keyed by content fingerprint.
+
+    Keying by fingerprint (not ``id(trace)``) matters: CPython reuses
+    object ids after garbage collection, so an id-keyed memo could
+    silently pair a *different* trace's couplet stream with a config —
+    a wrong-result bug, not a crash.  Fingerprints are content-derived
+    and immune to object lifetime.
+    """
+    return {t.content_fingerprint(): pair_couplets(t) for t in traces}
+
+
+#: Per-worker trace table installed by :func:`_pool_init`; indexed by
+#: the ``slot`` field of a packed pass job.  Module-level because pool
+#: initializers can only reach globals.
+_WORKER_TRACES: List[Trace] = []
+
+
+def _pool_init(traces: List[Trace]) -> None:
+    """Process-pool initializer: receive each unique trace exactly once.
+
+    Shipping traces here instead of inside every job means an
+    N-config x M-trace grid pickles M traces per worker rather than
+    N x M — for the paper's 16-size grids that is a 16x cut in
+    serialization volume.
+    """
+    global _WORKER_TRACES
+    _WORKER_TRACES = traces
 
 
 def _pass_job(args):
     """Module-level functional-pass job (must be picklable for the
-    process pool)."""
-    config, trace, seed = args
-    return functional_pass(config, trace, seed=seed)
+    process pool).  Returns ``(job index, stream)`` so the parent can
+    verify result order against submission order."""
+    index, config, slot, seed = args
+    return index, functional_pass(config, _WORKER_TRACES[slot], seed=seed)
 
 
 def run_functional_passes(
     jobs: Sequence[Tuple[SystemConfig, Trace, int]],
     n_jobs: int = 1,
-    couplets: Optional[Mapping[int, CoupletStream]] = None,
-):
+    couplets: Optional[Mapping[str, CoupletStream]] = None,
+    cache: Optional["PassCache"] = None,
+) -> List[EventStream]:
     """Run many functional passes, optionally across processes.
 
     This is the library's stand-in for the paper's farm of 10–20
     MicroVAX II workstations: the expensive organization passes are
-    independent and distribute perfectly.  ``couplets`` maps
-    ``id(trace)`` to a prepaired stream, used only on the serial path
-    (child processes re-pair locally — cheaper than pickling streams).
+    independent and distribute perfectly.  ``couplets`` maps a trace's
+    :meth:`~repro.trace.record.Trace.content_fingerprint` to a
+    prepaired stream, used only on the serial path (child processes
+    re-pair locally — cheaper than pickling streams).
+
+    ``cache`` is a :class:`~repro.sim.passcache.PassCache`: hits are
+    loaded from disk in the parent and only the misses are simulated
+    (and then persisted), so a repeated sweep over the same
+    organizations performs zero functional passes.  Results always come
+    back in job order.
     """
     jobs = list(jobs)
-    if n_jobs <= 1 or len(jobs) <= 1:
-        couplets = couplets or {}
-        return [
-            functional_pass(
-                config, trace, couplets=couplets.get(id(trace)), seed=seed
+    results: List[Optional[EventStream]] = [None] * len(jobs)
+    if cache is not None:
+        pending = []
+        for k, (config, trace, seed) in enumerate(jobs):
+            stream = cache.get(config, trace, seed)
+            if stream is None:
+                pending.append(k)
+            else:
+                results[k] = stream
+    else:
+        pending = list(range(len(jobs)))
+    if pending:
+        if n_jobs <= 1 or len(pending) <= 1:
+            pair_memo: Dict[str, CoupletStream] = (
+                dict(couplets) if couplets else {}
             )
-            for config, trace, seed in jobs
-        ]
-    with ProcessPoolExecutor(max_workers=n_jobs) as pool:
-        return list(pool.map(_pass_job, jobs))
+            for k in pending:
+                config, trace, seed = jobs[k]
+                fingerprint = trace.content_fingerprint()
+                stream_in = pair_memo.get(fingerprint)
+                if stream_in is None:
+                    stream_in = pair_couplets(trace)
+                    pair_memo[fingerprint] = stream_in
+                results[k] = functional_pass(
+                    config, trace, couplets=stream_in, seed=seed
+                )
+        else:
+            packed, unique_traces = _pack_pass_jobs(jobs, pending)
+            with ProcessPoolExecutor(
+                max_workers=n_jobs,
+                initializer=_pool_init,
+                initargs=(unique_traces,),
+            ) as pool:
+                for job, outcome in zip(packed, pool.map(_pass_job, packed)):
+                    index, stream = outcome
+                    if index != job[0]:
+                        raise AnalysisError(
+                            f"functional-pass results out of order: "
+                            f"expected job {job[0]}, got {index}"
+                        )
+                    results[index] = stream
+        if cache is not None:
+            for k in pending:
+                config, trace, seed = jobs[k]
+                cache.put(config, trace, seed, results[k])
+    return results
+
+
+def _pack_pass_jobs(
+    jobs: Sequence[Tuple[SystemConfig, Trace, int]],
+    pending: Sequence[int],
+) -> Tuple[List[Tuple[int, SystemConfig, int, int]], List[Trace]]:
+    """Deduplicate traces for the pool and pack picklable job tuples.
+
+    Returns ``(packed, unique_traces)`` where each packed job is
+    ``(job index, config, trace slot, seed)`` and ``unique_traces``
+    holds one trace per distinct content fingerprint, in first-seen
+    order.  The slot indirection is what lets :func:`_pool_init` ship
+    each trace to each worker exactly once.
+    """
+    slot_of: Dict[str, int] = {}
+    unique_traces: List[Trace] = []
+    packed: List[Tuple[int, SystemConfig, int, int]] = []
+    for k in pending:
+        config, trace, seed = jobs[k]
+        fingerprint = trace.content_fingerprint()
+        slot = slot_of.get(fingerprint)
+        if slot is None:
+            slot = len(unique_traces)
+            slot_of[fingerprint] = slot
+            unique_traces.append(trace)
+        packed.append((k, config, slot, seed))
+    return packed, unique_traces
 
 
 def run_speed_size_sweep(
@@ -98,6 +208,7 @@ def run_speed_size_sweep(
     seed: int = 0,
     n_jobs: int = 1,
     progress: Optional[ProgressFn] = None,
+    pass_cache: Optional["PassCache"] = None,
 ) -> SpeedSizeGrid:
     """Sweep (cache size x cycle time); aggregate over the trace suite.
 
@@ -105,7 +216,9 @@ def run_speed_size_sweep(
     varies the pair together); the returned grid is indexed by total L1
     size.  This one sweep backs Figures 3-1 through 3-4 and, repeated
     per associativity, Figures 4-1 through 4-5.  ``n_jobs`` distributes
-    the functional passes over processes.
+    the functional passes over processes; ``pass_cache`` reuses
+    persisted passes across invocations (see
+    :mod:`repro.sim.passcache`).
     """
     traces = _as_trace_list(traces)
     if not traces:
@@ -124,11 +237,6 @@ def run_speed_size_sweep(
         )
         for size in sizes
     ]
-    couplet_map = None
-    if n_jobs <= 1:
-        couplet_map = {
-            id(trace): cs for trace, cs in zip(traces, _pair_all(traces))
-        }
     if progress:
         progress(
             f"{len(configs)} organizations x {len(traces)} traces, "
@@ -141,7 +249,7 @@ def run_speed_size_sweep(
             for trace in traces
         ],
         n_jobs=n_jobs,
-        couplets=couplet_map,
+        cache=pass_cache,
     )
     n_i, n_j = len(sizes), len(cycles_ns)
     exec_gm = np.empty((n_i, n_j))
@@ -229,6 +337,7 @@ def run_blocksize_sweep(
     seed: int = 0,
     n_jobs: int = 1,
     progress: Optional[ProgressFn] = None,
+    pass_cache: Optional["PassCache"] = None,
 ) -> Dict[Tuple[int, float], BlockSizeCurve]:
     """Sweep block size against memory latency and transfer rate (§5).
 
@@ -251,11 +360,6 @@ def run_blocksize_sweep(
         )
         for block_words in block_sizes
     ]
-    couplet_map = None
-    if n_jobs <= 1:
-        couplet_map = {
-            id(trace): cs for trace, cs in zip(traces, _pair_all(traces))
-        }
     if progress:
         progress(
             f"{len(configs)} block sizes x {len(traces)} traces, "
@@ -268,7 +372,7 @@ def run_blocksize_sweep(
             for trace in traces
         ],
         n_jobs=n_jobs,
-        couplets=couplet_map,
+        cache=pass_cache,
     )
     # One functional pass per (block size, trace); replays per memory.
     curves: Dict[Tuple[int, float], Dict[int, AggregateMetrics]] = {}

@@ -65,6 +65,15 @@ def _env_jobs() -> int:
         return 1
 
 
+def _env_pass_cache() -> str:
+    """Directory of the persistent functional-pass cache, or ``""``.
+
+    Set ``REPRO_PASS_CACHE=/path/to/dir`` to persist functional passes
+    across experiment invocations (see :mod:`repro.sim.passcache`).
+    """
+    return os.environ.get("REPRO_PASS_CACHE", "")
+
+
 @dataclass(frozen=True)
 class ExperimentSettings:
     """Knobs shared by every experiment."""
@@ -74,6 +83,7 @@ class ExperimentSettings:
     seed: int = 0
     full: bool = field(default_factory=_env_full)
     n_jobs: int = field(default_factory=_env_jobs)
+    pass_cache_dir: str = field(default_factory=_env_pass_cache)
 
     # ------------------------------------------------------------------
     # Grid definitions (reduced vs full)
@@ -168,6 +178,15 @@ def suite_for(settings: ExperimentSettings) -> Dict[str, Trace]:
 _GRID_CACHE: Dict[Tuple[ExperimentSettings, int], SpeedSizeGrid] = {}
 
 
+def _pass_cache_for(settings: ExperimentSettings):
+    """The settings' persistent pass cache, or ``None`` when unset."""
+    if not settings.pass_cache_dir:
+        return None
+    from ..sim.passcache import PassCache
+
+    return PassCache(settings.pass_cache_dir)
+
+
 def speed_size_grid(
     settings: ExperimentSettings, assoc: int = 1
 ) -> SpeedSizeGrid:
@@ -183,6 +202,7 @@ def speed_size_grid(
                 assoc=assoc,
                 seed=settings.seed,
                 n_jobs=settings.n_jobs,
+                pass_cache=_pass_cache_for(settings),
             )
     return _GRID_CACHE[key]
 
@@ -207,6 +227,7 @@ def blocksize_curves(settings: ExperimentSettings) -> Dict:
                 transfer_rates=settings.transfer_rates,
                 seed=settings.seed,
                 n_jobs=settings.n_jobs,
+                pass_cache=_pass_cache_for(settings),
             )
     return _BLOCKSIZE_CACHE[settings]
 

@@ -38,7 +38,7 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 #: Bumped whenever rule behaviour changes; invalidates stale caches.
-LINT_VERSION = 1
+LINT_VERSION = 2
 
 #: ``disable-file=`` comments are honoured only this early in a file,
 #: so a whole-file opt-out is visible at the top where reviewers look.
@@ -111,6 +111,12 @@ DEFAULT_SCHEMAS = (
         constant="REPORT_SCHEMA",
         locator=("return", "RunReport", "to_dict"),
     ),
+    SchemaSpec(
+        name="pass_cache_entry",
+        module="repro/sim/passcache.py",
+        constant="PASSCACHE_SCHEMA",
+        locator=("assign", "stream_to_dict", "doc"),
+    ),
 )
 
 
@@ -131,6 +137,9 @@ class LintConfig:
         "repro/sim/telemetry.py",
         "repro/sim/faults.py",
     )
+    #: Modules implementing the functional-pass cache (REPRO009 holds
+    #: them to the same atomic-write contract as persistence modules).
+    pass_cache_modules: Tuple[str, ...] = ("repro/sim/passcache.py",)
     #: Functions allowed to perform raw writes (the atomic primitive).
     atomic_writers: Tuple[str, ...] = ("atomic_write_text",)
     #: Packages where silent exception swallowing is forbidden
@@ -181,6 +190,7 @@ def load_config(root: Path) -> LintConfig:
         "enabled": "enabled",
         "deterministic-paths": "deterministic_paths",
         "persistence-modules": "persistence_modules",
+        "pass-cache-modules": "pass_cache_modules",
         "atomic-writers": "atomic_writers",
         "exception-paths": "exception_paths",
     }

@@ -1,5 +1,6 @@
 """Robustness rules: REPRO003 (atomic persistence), REPRO004 (no
-silent exception swallowing), REPRO007 (no mutable default arguments).
+silent exception swallowing), REPRO007 (no mutable default arguments),
+REPRO009 (atomic pass-cache writes).
 
 REPRO003 protects the crash-safety contract of PR 1: every file that
 lands in a campaign or metrics directory must appear atomically (temp
@@ -97,6 +98,32 @@ class AtomicPersistenceRule(Rule):
                     ),
                 ))
         return found
+
+
+class PassCacheAtomicRule(AtomicPersistenceRule):
+    """REPRO009 — pass-cache writes go through the atomic writer.
+
+    Same mechanics as REPRO003 but scoped to the functional-pass cache
+    modules (``pass-cache-modules`` in ``[tool.reprolint]``).  A
+    separate id keeps the two contracts independently toggleable and
+    their baselines distinct: the pass cache is *reconstructible* state
+    (a lost entry costs a re-simulation, not data), but a torn entry
+    that parses would defeat the checksum-or-miss guarantee the warm
+    path's correctness rests on.
+    """
+
+    rule_id = "REPRO009"
+    title = "pass-cache writes go through the atomic writer"
+    invariant = (
+        "pass-cache integrity: a cached functional pass is trusted as "
+        "a substitute for re-simulation; a bare write can leave a torn "
+        "entry that a crash exposes as a visible, unvalidated file"
+    )
+
+    def applies_to(self, rel: str, config: LintConfig) -> bool:
+        return any(
+            path_matches(rel, p) for p in config.pass_cache_modules
+        )
 
 
 _BROAD_TYPES = {"Exception", "BaseException"}
@@ -237,5 +264,6 @@ class MutableDefaultRule(Rule):
 
 
 ROBUSTNESS_RULES = (
-    AtomicPersistenceRule(), SilentSwallowRule(), MutableDefaultRule(),
+    AtomicPersistenceRule(), PassCacheAtomicRule(), SilentSwallowRule(),
+    MutableDefaultRule(),
 )

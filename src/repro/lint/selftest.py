@@ -308,6 +308,15 @@ def rule_fixtures() -> List[RuleFixture]:
             clean=((f"{sim}/campaign.py", _r8_module(_R8_FIELDS_OLD)),),
             config=_r8_config(_R8_FIELDS_OLD),
         ),
+        # REPRO009 shares REPRO003's mechanics but is scoped to the
+        # pass-cache modules, so the same write-pattern fixtures apply
+        # at the passcache path.
+        RuleFixture(
+            "REPRO009",
+            violating=((f"{sim}/passcache.py", _R3_VIOLATING),),
+            clean=((f"{sim}/passcache.py", _R3_CLEAN),),
+            expect_min=2,
+        ),
     ]
 
 

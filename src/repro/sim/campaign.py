@@ -127,12 +127,7 @@ def _config_fingerprint(config: SystemConfig) -> str:
 
 
 def _trace_fingerprint(trace: Trace) -> str:
-    digest = hashlib.sha256()
-    digest.update(trace.kinds.tobytes())
-    digest.update(trace.addrs.tobytes())
-    digest.update(trace.pids.tobytes())
-    digest.update(str(trace.warm_boundary).encode())
-    return digest.hexdigest()[:16]
+    return trace.content_fingerprint()
 
 
 def run_id(config: SystemConfig, trace: Trace) -> str:
@@ -146,17 +141,37 @@ def stats_to_dict(stats: SimStats) -> Dict:
     return dataclasses.asdict(stats)
 
 
-def _known_fields(cls, payload: Dict) -> Dict:
-    """Drop keys a newer schema may have added before rebuilding ``cls``."""
+def _known_fields(
+    cls,
+    payload: Dict,
+    unknown: Optional[List[str]] = None,
+    context: str = "",
+) -> Dict:
+    """Drop keys a newer schema may have added before rebuilding ``cls``.
+
+    Dropped keys are *recorded*, not swallowed: when ``unknown`` is a
+    list, each dropped key is appended to it as ``"context.key"`` (or
+    bare ``"key"`` without a context) so callers — most importantly
+    :meth:`Campaign.fsck` — can report schema drift instead of masking
+    it.
+    """
     names = {f.name for f in dataclasses.fields(cls)}
+    if unknown is not None:
+        prefix = f"{context}." if context else ""
+        unknown.extend(
+            f"{prefix}{k}" for k in sorted(payload) if k not in names
+        )
     return {k: v for k, v in payload.items() if k in names}
 
 
-def stats_from_dict(payload: Dict) -> SimStats:
+def stats_from_dict(
+    payload: Dict, unknown: Optional[List[str]] = None
+) -> SimStats:
     """Inverse of :func:`stats_to_dict`.
 
-    Tolerates unknown keys written by newer schema versions (they are
-    ignored); a payload missing required fields or with wrongly-shaped
+    Tolerates unknown keys written by newer schema versions; pass a list
+    as ``unknown`` to collect their dotted names (``"icache.foo"``) for
+    reporting.  A payload missing required fields or with wrongly-shaped
     values raises :exc:`~repro.errors.CorruptResultError` rather than a
     bare :exc:`KeyError`/:exc:`TypeError`.
     """
@@ -167,20 +182,30 @@ def stats_from_dict(payload: Dict) -> SimStats:
     try:
         payload = dict(payload)
         payload["icache"] = CacheCounters(
-            **_known_fields(CacheCounters, payload["icache"])
+            **_known_fields(
+                CacheCounters, payload["icache"], unknown, "icache"
+            )
         )
         payload["dcache"] = CacheCounters(
-            **_known_fields(CacheCounters, payload["dcache"])
+            **_known_fields(
+                CacheCounters, payload["dcache"], unknown, "dcache"
+            )
         )
         payload["lower"] = (
-            CacheCounters(**_known_fields(CacheCounters, payload["lower"]))
+            CacheCounters(
+                **_known_fields(
+                    CacheCounters, payload["lower"], unknown, "lower"
+                )
+            )
             if payload.get("lower")
             else None
         )
         payload["buffer"] = BufferCounters(
-            **_known_fields(BufferCounters, payload["buffer"])
+            **_known_fields(
+                BufferCounters, payload["buffer"], unknown, "buffer"
+            )
         )
-        return SimStats(**_known_fields(SimStats, payload))
+        return SimStats(**_known_fields(SimStats, payload, unknown))
     except (KeyError, TypeError, AttributeError) as exc:
         raise CorruptResultError(
             f"stats payload is malformed: {exc!r}"
@@ -203,6 +228,14 @@ class FsckReport:
     corrupt: List[Tuple[Path, str]]
     quarantined: List[Path]
     stray_tmp: List[Path]
+    #: ``(file name, dotted field name)`` pairs for every payload key a
+    #: stored result carried that the current schema does not know.
+    #: Schema drift, not corruption: the file still validates and loads,
+    #: but silently dropping the keys would mask a version skew between
+    #: writer and reader.
+    unknown_fields: List[Tuple[str, str]] = dataclasses.field(
+        default_factory=list
+    )
 
     @property
     def clean(self) -> bool:
@@ -219,6 +252,13 @@ class FsckReport:
             lines.append(f"  quarantined -> {path}")
         for path in self.stray_tmp:
             lines.append(f"  stray temp: {path.name}")
+        if self.unknown_fields:
+            lines.append(
+                f"{len(self.unknown_fields)} unknown field(s) from a "
+                f"newer or foreign schema:"
+            )
+            for name, field in self.unknown_fields:
+                lines.append(f"  unknown field: {name}: {field}")
         return "\n".join(lines)
 
 
@@ -461,10 +501,13 @@ class Campaign:
         ok: List[str] = []
         corrupt: List[Tuple[Path, str]] = []
         quarantined: List[Path] = []
+        unknown_fields: List[Tuple[str, str]] = []
         for path in list(self._result_paths()):
             try:
                 payload = self._read_payload(path)
-                stats_from_dict(payload["stats"])
+                dropped: List[str] = []
+                stats_from_dict(payload["stats"], unknown=dropped)
+                unknown_fields.extend((path.name, f) for f in dropped)
                 stored_id = payload.get("run_id")
                 if stored_id is not None and f"{stored_id}.json" != path.name:
                     raise CorruptResultError(
@@ -483,5 +526,6 @@ class Campaign:
                 with contextlib.suppress(OSError):
                     path.unlink()
         return FsckReport(
-            ok=ok, corrupt=corrupt, quarantined=quarantined, stray_tmp=stray
+            ok=ok, corrupt=corrupt, quarantined=quarantined,
+            stray_tmp=stray, unknown_fields=unknown_fields,
         )

@@ -28,8 +28,9 @@ the engine.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional, Sequence
 
 from ..cache.cache import Cache, key_block_addr, key_pid
 from ..cache.writebuffer import TimedWriteBuffer
@@ -51,10 +52,25 @@ _D_WRITE_HIT = 1
 _D_READ_MISS = 2
 _D_WRITE_MISS = 3
 
+#: The parallel per-event buffers of an :class:`EventStream`, in
+#: serialization order.  Each is an ``array('q')`` (signed 64-bit)
+#: rather than a ``List[int]``: an event costs 8 bytes instead of a
+#: ~28-byte boxed int, which cuts both resident memory and the pickling
+#: bill when streams cross the process-pool boundary or land in the
+#: persistent pass cache (:mod:`repro.sim.passcache`).
+EVENT_FIELDS = (
+    "ev_gap", "ev_imiss", "ev_iaddr", "ev_ipid", "ev_dtype",
+    "ev_daddr", "ev_dpid", "ev_vaddr", "ev_vpid",
+)
+
 
 @dataclass
 class EventStream:
-    """Timing-independent record of one (organization, trace) pass."""
+    """Timing-independent record of one (organization, trace) pass.
+
+    The nine ``ev_*`` buffers are ``array('q')`` in practice (see
+    :data:`EVENT_FIELDS`); any integer sequence satisfies :func:`replay`.
+    """
 
     trace_name: str
     config_summary: str
@@ -66,15 +82,15 @@ class EventStream:
     warm_event_index: int
     warm_base_offset: int
     end_base: int
-    ev_gap: List[int]
-    ev_imiss: List[int]
-    ev_iaddr: List[int]
-    ev_ipid: List[int]
-    ev_dtype: List[int]
-    ev_daddr: List[int]
-    ev_dpid: List[int]
-    ev_vaddr: List[int]
-    ev_vpid: List[int]
+    ev_gap: Sequence[int]
+    ev_imiss: Sequence[int]
+    ev_iaddr: Sequence[int]
+    ev_ipid: Sequence[int]
+    ev_dtype: Sequence[int]
+    ev_daddr: Sequence[int]
+    ev_dpid: Sequence[int]
+    ev_vaddr: Sequence[int]
+    ev_vpid: Sequence[int]
     icache: CacheCounters
     dcache: CacheCounters
 
@@ -153,15 +169,15 @@ def functional_pass(
     dwrite = dcache.access_write
     ci = CacheCounters()
     cd = CacheCounters()
-    ev_gap: List[int] = []
-    ev_imiss: List[int] = []
-    ev_iaddr: List[int] = []
-    ev_ipid: List[int] = []
-    ev_dtype: List[int] = []
-    ev_daddr: List[int] = []
-    ev_dpid: List[int] = []
-    ev_vaddr: List[int] = []
-    ev_vpid: List[int] = []
+    ev_gap = array("q")
+    ev_imiss = array("q")
+    ev_iaddr = array("q")
+    ev_ipid = array("q")
+    ev_dtype = array("q")
+    ev_daddr = array("q")
+    ev_dpid = array("q")
+    ev_vaddr = array("q")
+    ev_vpid = array("q")
     i_addr = couplets.i_addr
     i_pid = couplets.i_pid
     d_kind = couplets.d_kind

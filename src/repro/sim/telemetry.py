@@ -445,8 +445,10 @@ def quantization_info(config) -> Dict[str, float]:
 # ----------------------------------------------------------------------
 # Run metrics document
 # ----------------------------------------------------------------------
-#: Version of the RunReport JSON document.
-REPORT_SCHEMA = 1
+#: Version of the RunReport JSON document.  Version 2 adds the
+#: ``pass_cache`` counter block (hits/misses/bytes saved by the
+#: persistent functional-pass cache; empty when no cache was in play).
+REPORT_SCHEMA = 2
 
 
 @dataclass
@@ -474,6 +476,10 @@ class RunReport:
     refs_per_sec: float = 0.0
     peak_rss_kb: Optional[int] = None
     quantization: Dict[str, float] = field(default_factory=dict)
+    #: Functional-pass cache activity during this run (see
+    #: :class:`repro.sim.passcache.PassCacheCounters.as_dict`); empty
+    #: when the run used no pass cache.
+    pass_cache: Dict[str, int] = field(default_factory=dict)
 
     @property
     def total_wall_s(self) -> float:
@@ -506,6 +512,7 @@ class RunReport:
             "refs_per_sec": self.refs_per_sec,
             "peak_rss_kb": self.peak_rss_kb,
             "quantization": dict(self.quantization),
+            "pass_cache": dict(self.pass_cache),
         }
 
     @classmethod
@@ -514,7 +521,7 @@ class RunReport:
             "run_id", "trace", "config", "simulator", "n_refs_total",
             "n_refs_measured", "cycles", "total_cycles", "warm_cycles",
             "buckets", "buckets_measured", "conserved", "wall_s",
-            "refs_per_sec", "peak_rss_kb", "quantization",
+            "refs_per_sec", "peak_rss_kb", "quantization", "pass_cache",
         }
         return cls(**{k: v for k, v in payload.items() if k in names})
 
@@ -527,13 +534,15 @@ def build_run_report(
     simulator: str = "fastpath",
     n_refs_total: int = 0,
     config=None,
+    pass_cache: Optional[Dict[str, int]] = None,
 ) -> RunReport:
     """Assemble the metrics document for one completed run.
 
     ``stats`` is the run's :class:`~repro.sim.statistics.SimStats`;
     ``ledger`` may be ``None`` when only host metrics were collected.
-    Conservation is *checked* here (never trusted): ``conserved`` is the
-    outcome of :meth:`CycleLedger.verify`.
+    ``pass_cache`` is the counter dict of the functional-pass cache the
+    run used, if any.  Conservation is *checked* here (never trusted):
+    ``conserved`` is the outcome of :meth:`CycleLedger.verify`.
     """
     buckets: Dict[str, int] = {}
     buckets_measured: Dict[str, int] = {}
@@ -565,6 +574,7 @@ def build_run_report(
         refs_per_sec=refs / total_wall if total_wall > 0 else 0.0,
         peak_rss_kb=peak_rss_kb(),
         quantization=quantization_info(config) if config is not None else {},
+        pass_cache=dict(pass_cache) if pass_cache else {},
     )
 
 
@@ -592,9 +602,12 @@ def aggregate_reports(
     throughputs = sorted(r.refs_per_sec for r in reports)
     walls = sorted(r.total_wall_s for r in reports)
     bucket_totals: Dict[str, int] = {name: 0 for name in BUCKETS}
+    cache_totals: Dict[str, int] = {}
     for report in reports:
         for name, cycles in report.buckets_measured.items():
             bucket_totals[name] = bucket_totals.get(name, 0) + cycles
+        for name, count in report.pass_cache.items():
+            cache_totals[name] = cache_totals.get(name, 0) + count
     ranked = sorted(
         reports, key=lambda r: r.total_wall_s, reverse=True
     )[:slowest]
@@ -610,6 +623,7 @@ def aggregate_reports(
         "refs_per_sec_p50": _percentile(throughputs, 0.50),
         "refs_per_sec_p90": _percentile(throughputs, 0.90),
         "buckets_measured": bucket_totals,
+        "pass_cache": cache_totals,
         "slowest": [
             {
                 "run_id": r.run_id,
@@ -645,6 +659,15 @@ def render_summary(summary: Dict) -> str:
                     f"  {name:<18} {cycles:>14}  "
                     f"({100.0 * cycles / total:5.1f}%)"
                 )
+    cache = summary.get("pass_cache") or {}
+    if any(cache.values()):
+        lines.append(
+            f"pass cache: {cache.get('hits', 0)} hit(s), "
+            f"{cache.get('misses', 0)} miss(es), "
+            f"{cache.get('corrupt', 0)} corrupt, "
+            f"{cache.get('bytes_read', 0):,} B read, "
+            f"{cache.get('bytes_written', 0):,} B written"
+        )
     if summary.get("slowest"):
         lines.append("slowest runs:")
         for entry in summary["slowest"]:

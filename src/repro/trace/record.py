@@ -11,6 +11,7 @@ cache tag.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from enum import IntEnum
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
@@ -74,7 +75,9 @@ class Trace:
         the last million references of the R2000 traces.
     """
 
-    __slots__ = ("kinds", "addrs", "pids", "name", "warm_boundary")
+    __slots__ = (
+        "kinds", "addrs", "pids", "name", "warm_boundary", "_fingerprint",
+    )
 
     def __init__(
         self,
@@ -105,6 +108,7 @@ class Trace:
             )
         self.name = name
         self.warm_boundary = warm_boundary
+        self._fingerprint: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -195,6 +199,27 @@ class Trace:
             self.kinds, self.addrs, self.pids, name=name,
             warm_boundary=self.warm_boundary,
         )
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def content_fingerprint(self) -> str:
+        """Stable hash of the reference stream and warm boundary.
+
+        Two traces with identical contents share a fingerprint
+        regardless of object identity or :attr:`name` — this is the
+        keying primitive for campaign run ids, prepaired couplet maps
+        and the persistent functional-pass cache.  The digest is
+        computed once and memoized (traces are immutable).
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha256()
+            digest.update(self.kinds.tobytes())
+            digest.update(self.addrs.tobytes())
+            digest.update(self.pids.tobytes())
+            digest.update(str(self.warm_boundary).encode())
+            self._fingerprint = digest.hexdigest()[:16]
+        return self._fingerprint
 
     # ------------------------------------------------------------------
     # Fast access used by the simulators

@@ -107,3 +107,105 @@ class TestRunFunctionalPasses:
             assert a.ev_gap == b.ev_gap
             assert a.icache == b.icache
             assert a.dcache == b.dcache
+
+    def test_parallel_results_stay_in_job_order(self, small_suite):
+        """Each position must hold *its* job's stream — mixed traces and
+        configs so any permutation would be visible in the labels."""
+        traces = list(small_suite.values())
+        configs = [
+            baseline_config(cache_size_bytes=2 * KB),
+            baseline_config(cache_size_bytes=8 * KB),
+        ]
+        jobs = [
+            (config, trace, 0) for trace in traces for config in configs
+        ]
+        results = run_functional_passes(jobs, n_jobs=2)
+        for (config, trace, _seed), stream in zip(jobs, results):
+            assert stream.trace_name == trace.name
+            assert stream.config_summary == config.describe()
+
+    def test_pack_dedupes_traces_by_content(self, small_suite):
+        from repro.core.sweep import _pack_pass_jobs
+
+        traces = list(small_suite.values())
+        config = baseline_config(cache_size_bytes=2 * KB)
+        jobs = [(config, traces[k % 2], k) for k in range(4)]
+        packed, unique = _pack_pass_jobs(jobs, range(4))
+        # each distinct trace ships to the pool exactly once
+        assert len(unique) == 2
+        assert [slot for _, _, slot, _ in packed] == [0, 1, 0, 1]
+        assert [index for index, _, _, _ in packed] == [0, 1, 2, 3]
+
+    def test_couplets_keyed_by_fingerprint_not_identity(self, small_suite):
+        """Regression: the couplet memo was once keyed by ``id(trace)``;
+        CPython reuses ids, so a recycled id could pair trace A's
+        couplets with trace B.  Keying by content fingerprint means a
+        prepaired stream is only ever applied to its own trace — a map
+        carrying a *wrong* stream under a foreign key must be ignored."""
+        from repro.core.sweep import _pair_map
+        from repro.cpu.processor import pair_couplets
+
+        traces = list(small_suite.values())
+        assert set(_pair_map(traces)) == {
+            t.content_fingerprint() for t in traces
+        }
+
+        config = baseline_config(cache_size_bytes=2 * KB)
+        jobs = [(config, traces[0], 0)]
+        baseline = run_functional_passes(jobs)
+        # wrong stream, foreign key: must not be picked up
+        decoy = {"0" * 16: pair_couplets(traces[1])}
+        poisoned = run_functional_passes(jobs, couplets=decoy)
+        # right stream, right key: same answer either way
+        prepaired = run_functional_passes(
+            jobs, couplets=_pair_map([traces[0]])
+        )
+        for streams in (poisoned, prepaired):
+            assert streams[0].ev_gap == baseline[0].ev_gap
+            assert streams[0].icache == baseline[0].icache
+            assert streams[0].dcache == baseline[0].dcache
+
+    def test_cache_hits_skip_simulation(self, tmp_path, small_suite):
+        from repro.sim.passcache import PassCache
+
+        trace = next(iter(small_suite.values()))
+        configs = [
+            baseline_config(cache_size_bytes=2 * KB),
+            baseline_config(cache_size_bytes=8 * KB),
+        ]
+        jobs = [(config, trace, 0) for config in configs]
+        cold_cache = PassCache(tmp_path / "pc")
+        cold = run_functional_passes(jobs, cache=cold_cache)
+        assert cold_cache.counters.misses == 2
+        assert cold_cache.counters.puts == 2
+
+        warm_cache = PassCache(tmp_path / "pc")
+        warm = run_functional_passes(jobs, cache=warm_cache)
+        assert warm_cache.counters.hits == 2
+        assert warm_cache.counters.misses == 0
+        for a, b in zip(cold, warm):
+            assert a.ev_gap == b.ev_gap
+            assert a.icache == b.icache
+            assert a.dcache == b.dcache
+
+    def test_parallel_path_fills_only_cache_misses(
+        self, tmp_path, small_suite
+    ):
+        from repro.sim.passcache import PassCache
+
+        trace = next(iter(small_suite.values()))
+        configs = [
+            baseline_config(cache_size_bytes=2 * KB),
+            baseline_config(cache_size_bytes=4 * KB),
+            baseline_config(cache_size_bytes=8 * KB),
+        ]
+        jobs = [(config, trace, 0) for config in configs]
+        cache = PassCache(tmp_path / "pc")
+        # pre-seed one entry; the pool should only run the other two
+        seeded = run_functional_passes(jobs[:1], cache=cache)
+        mixed = run_functional_passes(jobs, n_jobs=2, cache=cache)
+        assert cache.counters.hits == 1
+        assert cache.counters.puts == 3
+        assert mixed[0].ev_gap == seeded[0].ev_gap
+        for (config, _trace, _seed), stream in zip(jobs, mixed):
+            assert stream.config_summary == config.describe()

@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.cli import build_parser, main
+from repro.sim.telemetry import REPORT_SCHEMA
 
 
 class TestParser:
@@ -92,7 +93,7 @@ class TestSimulateMetrics:
         capsys.readouterr()
         payload = json.loads(path.read_text())
         assert payload["conserved"] is True
-        assert payload["schema"] == 1
+        assert payload["schema"] == REPORT_SCHEMA
         assert sum(payload["buckets"].values()) == payload["total_cycles"]
         assert payload["refs_per_sec"] > 0
 
@@ -168,3 +169,68 @@ class TestCampaignMetrics:
         ]) == 0
         capsys.readouterr()
         assert main(["campaign", "report", directory]) == 1
+
+
+class TestPassCacheCLI:
+    def test_simulate_warm_cache_hits(self, capsys, tmp_path):
+        args = [
+            "simulate", "--trace", "mu3", "--length", "8000",
+            "--size-kb", "4", "--pass-cache", str(tmp_path / "pc"),
+        ]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert "pass cache: 0 hit(s), 1 miss(es)" in cold
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert "pass cache: 1 hit(s), 0 miss(es)" in warm
+        # identical numbers either way
+        assert cold.split("pass cache")[0] == warm.split("pass cache")[0]
+
+    def test_simulate_metrics_carry_pass_cache_block(
+        self, capsys, tmp_path
+    ):
+        out_path = tmp_path / "report.json"
+        assert main([
+            "simulate", "--trace", "mu3", "--length", "8000",
+            "--size-kb", "4", "--pass-cache", str(tmp_path / "pc"),
+            "--metrics-out", str(out_path),
+        ]) == 0
+        capsys.readouterr()
+        payload = json.loads(out_path.read_text())
+        assert payload["pass_cache"]["puts"] == 1
+
+    def test_cache_stats_gc_verify(self, capsys, tmp_path):
+        directory = str(tmp_path / "pc")
+        assert main([
+            "simulate", "--trace", "mu3", "--length", "8000",
+            "--size-kb", "4", "--pass-cache", directory,
+        ]) == 0
+        capsys.readouterr()
+
+        assert main(["cache", "stats", directory]) == 0
+        assert "1 entry" in capsys.readouterr().out
+
+        assert main(["cache", "verify", directory]) == 0
+        assert "1 entry ok" in capsys.readouterr().out
+
+        assert main(["cache", "gc", directory, "--max-entries", "0"]) == 0
+        assert "evicted 1 entry" in capsys.readouterr().out
+
+    def test_cache_gc_requires_a_budget(self, capsys, tmp_path):
+        (tmp_path / "pc").mkdir()
+        assert main(["cache", "gc", str(tmp_path / "pc")]) == 2
+
+    def test_cache_verify_flags_corruption(self, capsys, tmp_path):
+        directory = tmp_path / "pc"
+        assert main([
+            "simulate", "--trace", "mu3", "--length", "8000",
+            "--size-kb", "4", "--pass-cache", str(directory),
+        ]) == 0
+        capsys.readouterr()
+        entry = next(directory.glob("*.json"))
+        entry.write_text("{ truncated", encoding="utf-8")
+
+        assert main(["cache", "verify", str(directory)]) == 1
+        assert "corrupt" in capsys.readouterr().out
+        assert main(["cache", "verify", str(directory), "--repair"]) == 0
+        assert main(["cache", "verify", str(directory)]) == 0

@@ -75,7 +75,7 @@ def test_config_table_is_read_from_pyproject():
     if sys.version_info < (3, 11):
         pytest.skip("tomllib unavailable; defaults apply")
     assert config.enabled == tuple(
-        f"REPRO00{i}" for i in range(1, 9)
+        f"REPRO00{i}" for i in range(1, 10)
     )
     assert "repro/sim" in config.deterministic_paths
     assert "repro/sim/campaign.py" in config.persistence_modules

@@ -5,6 +5,7 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.sim.campaign import (
     Campaign,
+    payload_checksum,
     run_id,
     stats_from_dict,
     stats_to_dict,
@@ -41,6 +42,46 @@ class TestSerialization:
         stats = fast_simulate(config, mu3_small)
         back = stats_from_dict(stats_to_dict(stats))
         assert back == stats
+
+    def test_unknown_fields_are_collected_not_swallowed(self, mu3_small):
+        """Regression: keys from a newer schema used to be dropped
+        silently; they must be recorded in the ``unknown`` collector."""
+        config = baseline_config(cache_size_bytes=4 * KB)
+        payload = stats_to_dict(fast_simulate(config, mu3_small))
+        payload["frobnication"] = 7
+        payload["icache"]["victim_hits"] = 0
+
+        dropped = []
+        back = stats_from_dict(payload, unknown=dropped)
+        assert sorted(dropped) == ["frobnication", "icache.victim_hits"]
+        assert back == fast_simulate(config, mu3_small)
+
+        # without a collector the behaviour is unchanged: tolerant load
+        assert stats_from_dict(payload) == back
+
+
+class TestFsckSchemaDrift:
+    def test_fsck_reports_unknown_fields(self, tmp_path, mu3_small):
+        import json
+
+        campaign = Campaign(tmp_path / "runs")
+        config = baseline_config(cache_size_bytes=4 * KB)
+        campaign.run(config, mu3_small, fast_simulate)
+        path = campaign.directory / f"{run_id(config, mu3_small)}.json"
+
+        # emulate a result written by a newer schema: extra keys, with
+        # the checksum recomputed so the file still validates
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload["stats"]["dcache"]["victim_hits"] = 3
+        payload["checksum"] = payload_checksum(payload["stats"])
+        path.write_text(json.dumps(payload), encoding="utf-8")
+
+        report = campaign.fsck()
+        assert report.clean  # drift is not corruption
+        assert report.unknown_fields == [
+            (path.name, "dcache.victim_hits")
+        ]
+        assert "unknown field" in report.render()
 
 
 class TestCampaign:
