@@ -326,6 +326,12 @@ def build_parser() -> argparse.ArgumentParser:
     adv.add_argument("--pass-cache", default="",
                      help="directory of a persistent functional-pass "
                           "cache backing the advisor's sweep")
+    adv.add_argument("--replay-jobs", type=int, default=1,
+                     help="worker processes sharding the batch-replay "
+                          "grid pricing across event streams")
+    adv.add_argument("--scalar-replay", action="store_true",
+                     help="price the grid with the scalar replay() "
+                          "loop instead of the batch replay kernel")
     adv.set_defaults(func=_cmd_advise)
 
     rep = sub.add_parser(
@@ -694,6 +700,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_advise(args: argparse.Namespace) -> int:
     from .core.advisor import LadderRung, advisor_table, recommend_design
     from .core.sweep import run_speed_size_sweep
+    from .sim.replaykernel import KernelStats
 
     rungs = []
     for text in args.rungs:
@@ -715,10 +722,18 @@ def _cmd_advise(args: argparse.Namespace) -> int:
         from .sim.passcache import PassCache
 
         pass_cache = PassCache(args.pass_cache)
+    kernel_stats = KernelStats()
     grid = run_speed_size_sweep(
         suite, extended, cycles, seed=args.seed, pass_cache=pass_cache,
+        use_replay_kernel=not args.scalar_replay,
+        replay_jobs=args.replay_jobs,
+        kernel_stats=kernel_stats,
     )
     print(advisor_table(recommend_design(grid, rungs)))
+    print(f"replay: {kernel_stats.batch_outcomes} batch outcome(s), "
+          f"{kernel_stats.scalar_replays} scalar replay(s), "
+          f"{kernel_stats.vectorized_events:,} vectorized / "
+          f"{kernel_stats.scalar_events:,} scalar event(s)")
     return 0
 
 

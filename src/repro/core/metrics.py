@@ -19,6 +19,13 @@ import numpy as np
 from ..errors import AnalysisError
 
 
+#: Floor applied before geometric means: ratios can legitimately be
+#: zero (very large caches on short traces) and the mean must stay
+#: defined.  Shared with the sweep drivers, which reduce replay
+#: outcomes without building full summaries.
+GM_FLOOR = 1e-9
+
+
 def geometric_mean(values: Iterable[float]) -> float:
     """Geometric mean of positive values."""
     values = list(values)
@@ -98,7 +105,7 @@ def aggregate(summaries: Sequence[TraceRunSummary]) -> AggregateMetrics:
     """
     if not summaries:
         raise AnalysisError("cannot aggregate zero summaries")
-    floor = 1e-9
+    floor = GM_FLOOR
 
     def gm(attr: str) -> float:
         return geometric_mean(

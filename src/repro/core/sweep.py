@@ -17,6 +17,7 @@ the top-level :mod:`repro` package rather than :mod:`repro.core` (whose
 
 from __future__ import annotations
 
+import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
 from typing import (
     TYPE_CHECKING,
@@ -34,13 +35,21 @@ import numpy as np
 from ..cpu.processor import CoupletStream, pair_couplets
 from ..errors import AnalysisError
 from ..sim.config import SystemConfig, baseline_config
-from ..sim.fastpath import EventStream, assemble_stats, functional_pass, replay
+from ..sim.fastpath import (
+    EventStream,
+    ReplayOutcome,
+    assemble_stats,
+    functional_pass,
+    replay,
+)
+from ..sim.replaykernel import BatchReplayKernel, KernelStats, TimingPoint
 from ..trace.record import Trace
 
 if TYPE_CHECKING:  # pragma: no cover — import cycle guard only
     from ..sim.passcache import PassCache
 from ..units import quantize_ns
 from .metrics import (
+    GM_FLOOR,
     AggregateMetrics,
     BlockSizeCurve,
     SpeedSizeGrid,
@@ -196,6 +205,107 @@ def _pack_pass_jobs(
     return packed, unique_traces
 
 
+#: Per-worker event-stream table installed by :func:`_replay_pool_init`;
+#: indexed by the ``slot`` field of a packed replay job.  Same shipping
+#: pattern as :data:`_WORKER_TRACES`: the streams cross the process
+#: boundary once, in the initializer, not once per job.
+_WORKER_STREAMS: List[EventStream] = []
+
+
+def _replay_pool_init(streams: List[EventStream]) -> None:
+    global _WORKER_STREAMS
+    _WORKER_STREAMS = streams
+
+
+def _replay_job(args):
+    """Module-level batch-replay job (picklable for the process pool).
+
+    Prices one stream against the whole timing grid and returns
+    ``(job index, outcomes, kernel stats)`` so the parent can verify
+    result order and aggregate the kernel counters.
+    """
+    index, slot, points = args
+    kernel = BatchReplayKernel(_WORKER_STREAMS[slot])
+    outcomes = kernel.replay_grid(points)
+    return index, outcomes, kernel.stats
+
+
+def _price_streams(
+    streams: Sequence[EventStream],
+    points: Sequence[TimingPoint],
+    use_replay_kernel: bool,
+    replay_jobs: int,
+    kernel_stats: Optional[KernelStats],
+) -> List[List[ReplayOutcome]]:
+    """Price every stream at every timing point; one outcome row each.
+
+    The batch kernel prices a stream's whole grid in one call;
+    ``replay_jobs > 1`` shards the streams over processes (worthwhile on
+    warm sweeps, where replay is essentially the entire cost).  With
+    ``use_replay_kernel`` off this is the legacy one-``replay()``-per-
+    point loop — cycle-for-cycle the same outcomes either way.
+    """
+    points = list(points)
+    if not use_replay_kernel:
+        if kernel_stats is not None:
+            kernel_stats.scalar_replays += len(streams) * len(points)
+        return [
+            [
+                replay(
+                    stream, point.memory, point.cycle_ns,
+                    write_buffer_depth=point.write_buffer_depth,
+                )
+                for point in points
+            ]
+            for stream in streams
+        ]
+    if replay_jobs > 1 and len(streams) > 1:
+        global _WORKER_STREAMS
+        packed = [(k, k, points) for k in range(len(streams))]
+        rows: List[Optional[List[ReplayOutcome]]] = [None] * len(streams)
+        try:
+            fork_ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover — fork-less platform
+            fork_ctx = None
+        if fork_ctx is not None:
+            # Forked workers inherit the parent's stream table, so the
+            # (large) event buffers never cross the process boundary;
+            # only the small outcome lists come back.
+            _WORKER_STREAMS = list(streams)
+            pool_kwargs = dict(mp_context=fork_ctx)
+        else:  # pragma: no cover — spawn platforms ship explicitly
+            pool_kwargs = dict(
+                initializer=_replay_pool_init,
+                initargs=(list(streams),),
+            )
+        try:
+            with ProcessPoolExecutor(
+                max_workers=replay_jobs, **pool_kwargs
+            ) as pool:
+                for job, result in zip(
+                    packed, pool.map(_replay_job, packed)
+                ):
+                    index, outcomes, stats = result
+                    if index != job[0]:
+                        raise AnalysisError(
+                            f"batch-replay results out of order: expected "
+                            f"job {job[0]}, got {index}"
+                        )
+                    rows[index] = outcomes
+                    if kernel_stats is not None:
+                        kernel_stats.merge(stats)
+        finally:
+            _WORKER_STREAMS = []
+        return rows
+    rows = []
+    for stream in streams:
+        kernel = BatchReplayKernel(stream)
+        rows.append(kernel.replay_grid(points))
+        if kernel_stats is not None:
+            kernel_stats.merge(kernel.stats)
+    return rows
+
+
 def run_speed_size_sweep(
     traces,
     sizes_each_bytes: Sequence[int],
@@ -209,6 +319,9 @@ def run_speed_size_sweep(
     n_jobs: int = 1,
     progress: Optional[ProgressFn] = None,
     pass_cache: Optional["PassCache"] = None,
+    use_replay_kernel: bool = True,
+    replay_jobs: int = 1,
+    kernel_stats: Optional[KernelStats] = None,
 ) -> SpeedSizeGrid:
     """Sweep (cache size x cycle time); aggregate over the trace suite.
 
@@ -219,6 +332,13 @@ def run_speed_size_sweep(
     the functional passes over processes; ``pass_cache`` reuses
     persisted passes across invocations (see
     :mod:`repro.sim.passcache`).
+
+    Each stream is priced across its whole cycle-time column in one
+    :class:`~repro.sim.replaykernel.BatchReplayKernel` invocation;
+    ``replay_jobs`` shards the streams over processes and
+    ``kernel_stats`` (if given) accumulates the kernel's counters.
+    ``use_replay_kernel=False`` restores the scalar ``replay()`` loop —
+    outcomes are cycle-for-cycle identical either way.
     """
     traces = _as_trace_list(traces)
     if not traces:
@@ -254,30 +374,41 @@ def run_speed_size_sweep(
     n_i, n_j = len(sizes), len(cycles_ns)
     exec_gm = np.empty((n_i, n_j))
     cpr_gm = np.empty((n_i, n_j))
+    points = [
+        TimingPoint(
+            memory=memory, cycle_ns=cycle_ns,
+            write_buffer_depth=write_buffer_depth,
+        )
+        for cycle_ns in cycles_ns
+    ]
+    outcome_rows = _price_streams(
+        all_streams, points, use_replay_kernel, replay_jobs, kernel_stats
+    )
     per_size_metrics: List[AggregateMetrics] = []
     for i, size in enumerate(sizes):
-        streams = all_streams[i * len(traces): (i + 1) * len(traces)]
-        # Timing-independent metrics, aggregated once per size (the
-        # cycle-time column is arbitrary for these).
-        size_summaries = []
-        for j, cycle_ns in enumerate(cycles_ns):
-            summaries = []
-            for stream in streams:
-                outcome = replay(
-                    stream, memory, cycle_ns,
-                    write_buffer_depth=write_buffer_depth,
-                )
-                summaries.append(
-                    TraceRunSummary.from_stats(
-                        assemble_stats(stream, outcome, cycle_ns)
-                    )
-                )
-            agg = aggregate(summaries)
-            exec_gm[i, j] = agg.execution_time_ns
-            cpr_gm[i, j] = agg.cycles_per_reference
-            if j == 0:
-                size_summaries = summaries
+        lo = i * len(traces)
+        streams = all_streams[lo: lo + len(traces)]
+        rows = outcome_rows[lo: lo + len(traces)]
+        # The miss and traffic ratios depend on the organization only,
+        # so one summary per (size, trace) — built from the first
+        # cycle-time column — covers them; the per-column reduction
+        # needs nothing beyond each outcome's cycle count.
+        size_summaries = [
+            TraceRunSummary.from_stats(
+                assemble_stats(stream, row[0], cycles_ns[0])
+            )
+            for stream, row in zip(streams, rows)
+        ]
         per_size_metrics.append(aggregate(size_summaries))
+        n_refs = [stream.n_refs_measured for stream in streams]
+        for j, cycle_ns in enumerate(cycles_ns):
+            exec_gm[i, j] = geometric_mean(
+                max(row[j].cycles * cycle_ns, GM_FLOOR) for row in rows
+            )
+            cpr_gm[i, j] = geometric_mean(
+                max(row[j].cycles / refs if refs else 0.0, GM_FLOOR)
+                for row, refs in zip(rows, n_refs)
+            )
     return SpeedSizeGrid(
         total_sizes=[2 * s for s in sizes],
         cycle_times_ns=list(cycles_ns),
@@ -338,6 +469,9 @@ def run_blocksize_sweep(
     n_jobs: int = 1,
     progress: Optional[ProgressFn] = None,
     pass_cache: Optional["PassCache"] = None,
+    use_replay_kernel: bool = True,
+    replay_jobs: int = 1,
+    kernel_stats: Optional[KernelStats] = None,
 ) -> Dict[Tuple[int, float], BlockSizeCurve]:
     """Sweep block size against memory latency and transfer rate (§5).
 
@@ -346,6 +480,13 @@ def run_blocksize_sweep(
     40 ns clock is "3 cycles"; the simulated read adds one address
     cycle on top, as in footnote 13).  Each latency variation sets the
     read, write-op and recovery times equal, per §5.
+
+    Latencies that quantize to the same cycle count describe the same
+    simulated memory, so colliding keys are priced once (first
+    occurrence wins; the outcomes are identical by construction).  The
+    memory grid is priced per stream in one batch-kernel call; see
+    :func:`run_speed_size_sweep` for ``use_replay_kernel``,
+    ``replay_jobs`` and ``kernel_stats``.
     """
     traces = _as_trace_list(traces)
     if not traces:
@@ -374,28 +515,46 @@ def run_blocksize_sweep(
         n_jobs=n_jobs,
         cache=pass_cache,
     )
-    # One functional pass per (block size, trace); replays per memory.
+    # One functional pass per (block size, trace); the memory grid is
+    # built once — not per block size — and deduplicated by quantized
+    # key before any replay runs.
+    base_memory = MemoryTiming()
+    unique_memories: List[Tuple[Tuple[int, float], MemoryTiming]] = []
+    seen_keys = set()
+    for latency_ns in latencies_ns:
+        for transfer_rate in transfer_rates:
+            key = (quantize_ns(latency_ns, cycle_ns), transfer_rate)
+            if key in seen_keys:
+                continue
+            seen_keys.add(key)
+            unique_memories.append((
+                key,
+                base_memory.with_latency_ns(latency_ns)
+                .with_transfer_rate(transfer_rate),
+            ))
+    points = [
+        TimingPoint(
+            memory=mem, cycle_ns=cycle_ns,
+            write_buffer_depth=write_buffer_depth,
+        )
+        for _key, mem in unique_memories
+    ]
+    outcome_rows = _price_streams(
+        all_streams, points, use_replay_kernel, replay_jobs, kernel_stats
+    )
     curves: Dict[Tuple[int, float], Dict[int, AggregateMetrics]] = {}
     for b_index, block_words in enumerate(block_sizes):
-        streams = all_streams[b_index * len(traces): (b_index + 1) * len(traces)]
-        for latency_ns in latencies_ns:
-            for transfer_rate in transfer_rates:
-                memory = MemoryTiming().with_latency_ns(
-                    latency_ns
-                ).with_transfer_rate(transfer_rate)
-                key = (quantize_ns(latency_ns, cycle_ns), transfer_rate)
-                summaries = []
-                for stream in streams:
-                    outcome = replay(
-                        stream, memory, cycle_ns,
-                        write_buffer_depth=write_buffer_depth,
-                    )
-                    summaries.append(
-                        TraceRunSummary.from_stats(
-                            assemble_stats(stream, outcome, cycle_ns)
-                        )
-                    )
-                curves.setdefault(key, {})[block_words] = aggregate(summaries)
+        lo = b_index * len(traces)
+        streams = all_streams[lo: lo + len(traces)]
+        rows = outcome_rows[lo: lo + len(traces)]
+        for p_index, (key, _mem) in enumerate(unique_memories):
+            summaries = [
+                TraceRunSummary.from_stats(
+                    assemble_stats(stream, row[p_index], cycle_ns)
+                )
+                for stream, row in zip(streams, rows)
+            ]
+            curves.setdefault(key, {})[block_words] = aggregate(summaries)
     result: Dict[Tuple[int, float], BlockSizeCurve] = {}
     for (latency_cycles, transfer_rate), by_block in curves.items():
         result[(latency_cycles, transfer_rate)] = BlockSizeCurve(

@@ -117,6 +117,12 @@ DEFAULT_SCHEMAS = (
         constant="PASSCACHE_SCHEMA",
         locator=("assign", "stream_to_dict", "doc"),
     ),
+    SchemaSpec(
+        name="replay_outcome",
+        module="repro/sim/replaykernel.py",
+        constant="REPLAY_SCHEMA",
+        locator=("assign", "outcome_to_dict", "doc"),
+    ),
 )
 
 

@@ -20,6 +20,14 @@ buffer depth.  So:
 ``tests/sim/test_fastpath_vs_engine.py`` asserts cycle-for-cycle equality
 with :class:`~repro.sim.engine.Engine` across organizations and clocks.
 
+When one stream is priced against a whole timing *grid*,
+:class:`repro.sim.replaykernel.BatchReplayKernel` vectorizes the
+uncontended stretches of this replay loop and hands the contended tail
+to an exact scalar state machine — bit-identical outcomes, one kernel
+call per stream (see ``docs/internals.md``, "The batch replay
+kernel").  Telemetry-enabled replays stay on :func:`replay`: the
+kernel takes no ``telemetry`` handle.
+
 The fastpath supports the configuration family all the paper's sweeps
 use: split L1, write-back, no fetch on write miss, whole-block fetch,
 blocking misses, no lower cache levels.  Everything else goes through

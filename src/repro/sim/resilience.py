@@ -285,16 +285,26 @@ def _worker_main(
             timer = StageTimer()
             with timer.stage("simulate"):
                 stats = simulate_fn(config, trace, **kwargs)
+            simulator = (
+                "engine"
+                if getattr(simulate_fn, "__name__", "") == "simulate"
+                else "fastpath"
+            )
             report = build_run_report(
                 stats, ledger, timer,
                 run_identifier=run_id(config, trace),
-                simulator=(
-                    "engine"
-                    if getattr(simulate_fn, "__name__", "") == "simulate"
-                    else "fastpath"
-                ),
+                simulator=simulator,
                 n_refs_total=len(trace),
                 config=config,
+                # Telemetry-enabled replays always price through the
+                # scalar path (the batch kernel takes no telemetry
+                # handle), so metrics-collecting campaign runs record
+                # one scalar replay apiece.
+                replay=(
+                    {"scalar_replays": 1}
+                    if simulator == "fastpath" and ledger is not None
+                    else None
+                ),
             )
             conn.send(("ok", (stats, report.to_dict())))
     except RunTimeoutError as exc:

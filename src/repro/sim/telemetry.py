@@ -448,7 +448,13 @@ def quantization_info(config) -> Dict[str, float]:
 #: Version of the RunReport JSON document.  Version 2 adds the
 #: ``pass_cache`` counter block (hits/misses/bytes saved by the
 #: persistent functional-pass cache; empty when no cache was in play).
-REPORT_SCHEMA = 2
+#: Version 3 adds the ``replay`` counter block (batch replay-kernel vs
+#: scalar ``replay()`` activity, see
+#: :class:`repro.sim.replaykernel.KernelStats`; empty when the run did
+#: no grid repricing).  Telemetry-enabled replays always price through
+#: the scalar path — the batch kernel takes no ``telemetry`` handle —
+#: so a run with a ledger reports ``scalar_replays`` only.
+REPORT_SCHEMA = 3
 
 
 @dataclass
@@ -480,6 +486,10 @@ class RunReport:
     #: :class:`repro.sim.passcache.PassCacheCounters.as_dict`); empty
     #: when the run used no pass cache.
     pass_cache: Dict[str, int] = field(default_factory=dict)
+    #: Batch replay-kernel activity during this run (see
+    #: :meth:`repro.sim.replaykernel.KernelStats.as_dict`); empty when
+    #: the run did no grid repricing.
+    replay: Dict[str, int] = field(default_factory=dict)
 
     @property
     def total_wall_s(self) -> float:
@@ -513,6 +523,7 @@ class RunReport:
             "peak_rss_kb": self.peak_rss_kb,
             "quantization": dict(self.quantization),
             "pass_cache": dict(self.pass_cache),
+            "replay": dict(self.replay),
         }
 
     @classmethod
@@ -522,6 +533,7 @@ class RunReport:
             "n_refs_measured", "cycles", "total_cycles", "warm_cycles",
             "buckets", "buckets_measured", "conserved", "wall_s",
             "refs_per_sec", "peak_rss_kb", "quantization", "pass_cache",
+            "replay",
         }
         return cls(**{k: v for k, v in payload.items() if k in names})
 
@@ -535,14 +547,17 @@ def build_run_report(
     n_refs_total: int = 0,
     config=None,
     pass_cache: Optional[Dict[str, int]] = None,
+    replay: Optional[Dict[str, int]] = None,
 ) -> RunReport:
     """Assemble the metrics document for one completed run.
 
     ``stats`` is the run's :class:`~repro.sim.statistics.SimStats`;
     ``ledger`` may be ``None`` when only host metrics were collected.
     ``pass_cache`` is the counter dict of the functional-pass cache the
-    run used, if any.  Conservation is *checked* here (never trusted):
-    ``conserved`` is the outcome of :meth:`CycleLedger.verify`.
+    run used, if any; ``replay`` the batch replay-kernel counters, if
+    the run repriced timing grids.  Conservation is *checked* here
+    (never trusted): ``conserved`` is the outcome of
+    :meth:`CycleLedger.verify`.
     """
     buckets: Dict[str, int] = {}
     buckets_measured: Dict[str, int] = {}
@@ -575,6 +590,7 @@ def build_run_report(
         peak_rss_kb=peak_rss_kb(),
         quantization=quantization_info(config) if config is not None else {},
         pass_cache=dict(pass_cache) if pass_cache else {},
+        replay=dict(replay) if replay else {},
     )
 
 
@@ -603,11 +619,14 @@ def aggregate_reports(
     walls = sorted(r.total_wall_s for r in reports)
     bucket_totals: Dict[str, int] = {name: 0 for name in BUCKETS}
     cache_totals: Dict[str, int] = {}
+    replay_totals: Dict[str, int] = {}
     for report in reports:
         for name, cycles in report.buckets_measured.items():
             bucket_totals[name] = bucket_totals.get(name, 0) + cycles
         for name, count in report.pass_cache.items():
             cache_totals[name] = cache_totals.get(name, 0) + count
+        for name, count in report.replay.items():
+            replay_totals[name] = replay_totals.get(name, 0) + count
     ranked = sorted(
         reports, key=lambda r: r.total_wall_s, reverse=True
     )[:slowest]
@@ -624,6 +643,7 @@ def aggregate_reports(
         "refs_per_sec_p90": _percentile(throughputs, 0.90),
         "buckets_measured": bucket_totals,
         "pass_cache": cache_totals,
+        "replay": replay_totals,
         "slowest": [
             {
                 "run_id": r.run_id,
@@ -667,6 +687,15 @@ def render_summary(summary: Dict) -> str:
             f"{cache.get('corrupt', 0)} corrupt, "
             f"{cache.get('bytes_read', 0):,} B read, "
             f"{cache.get('bytes_written', 0):,} B written"
+        )
+    replay = summary.get("replay") or {}
+    if any(replay.values()):
+        lines.append(
+            f"replay kernel: {replay.get('batch_outcomes', 0)} batch "
+            f"outcome(s), {replay.get('scalar_replays', 0)} scalar "
+            f"replay(s), {replay.get('vectorized_events', 0):,} "
+            f"vectorized / {replay.get('scalar_events', 0):,} scalar "
+            f"event(s)"
         )
     if summary.get("slowest"):
         lines.append("slowest runs:")

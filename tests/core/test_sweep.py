@@ -11,6 +11,7 @@ from repro.core.sweep import (
 )
 from repro.errors import AnalysisError
 from repro.sim.config import baseline_config
+from repro.sim.replaykernel import KernelStats
 from repro.trace.suite import build_suite
 from repro.units import KB
 
@@ -62,6 +63,40 @@ class TestSpeedSizeSweep:
         assert (serial.execution_ns == parallel.execution_ns).all()
         assert (serial.read_miss_ratio == parallel.read_miss_ratio).all()
 
+    def test_replay_kernel_equals_scalar(self, small_suite):
+        kernel_stats = KernelStats()
+        scalar_stats = KernelStats()
+        kernel = run_speed_size_sweep(
+            small_suite, [2 * KB, 8 * KB], [20.0, 40.0, 56.0],
+            use_replay_kernel=True, kernel_stats=kernel_stats,
+        )
+        scalar = run_speed_size_sweep(
+            small_suite, [2 * KB, 8 * KB], [20.0, 40.0, 56.0],
+            use_replay_kernel=False, kernel_stats=scalar_stats,
+        )
+        assert (kernel.execution_ns == scalar.execution_ns).all()
+        assert (
+            kernel.cycles_per_reference == scalar.cycles_per_reference
+        ).all()
+        assert (kernel.read_miss_ratio == scalar.read_miss_ratio).all()
+        # 2 traces x 2 sizes, each priced at 3 clocks.
+        assert kernel_stats.batch_outcomes == 12
+        assert kernel_stats.scalar_replays == 0
+        assert scalar_stats.batch_outcomes == 0
+        assert scalar_stats.scalar_replays == 12
+
+    def test_replay_jobs_equal_serial(self, small_suite):
+        serial = run_speed_size_sweep(
+            small_suite, [2 * KB, 8 * KB], [20.0, 40.0], replay_jobs=1
+        )
+        sharded = run_speed_size_sweep(
+            small_suite, [2 * KB, 8 * KB], [20.0, 40.0], replay_jobs=2
+        )
+        assert (serial.execution_ns == sharded.execution_ns).all()
+        assert (
+            serial.cycles_per_reference == sharded.cycles_per_reference
+        ).all()
+
 
 class TestAssociativitySweeps:
     def test_one_grid_per_assoc(self, small_suite):
@@ -94,6 +129,43 @@ class TestBlocksizeSweep:
             assert (
                 serial[key].execution_ns == parallel[key].execution_ns
             ).all()
+
+    def test_replay_kernel_equals_scalar(self, small_suite):
+        kwargs = dict(
+            block_sizes_words=[4, 8], latencies_ns=[100.0, 180.0],
+            transfer_rates=[1.0, 2.0], cache_size_each_bytes=8 * KB,
+        )
+        kernel = run_blocksize_sweep(
+            small_suite, use_replay_kernel=True, **kwargs
+        )
+        scalar = run_blocksize_sweep(
+            small_suite, use_replay_kernel=False, **kwargs
+        )
+        assert set(kernel) == set(scalar)
+        for key in kernel:
+            assert (
+                kernel[key].execution_ns == scalar[key].execution_ns
+            ).all()
+            assert (
+                kernel[key].load_miss_ratio == scalar[key].load_miss_ratio
+            ).all()
+
+    def test_colliding_quantized_keys_deduped(self, small_suite):
+        # 180 ns and 190 ns both quantize to 5 cycles at a 40 ns clock;
+        # the sweep must price the collision once and keep one curve.
+        curves = run_blocksize_sweep(
+            small_suite, [4, 8], [180.0, 190.0], [1.0],
+            cache_size_each_bytes=8 * KB,
+        )
+        assert set(curves) == {(5, 1.0)}
+        reference = run_blocksize_sweep(
+            small_suite, [4, 8], [180.0], [1.0],
+            cache_size_each_bytes=8 * KB,
+        )
+        assert (
+            curves[(5, 1.0)].execution_ns
+            == reference[(5, 1.0)].execution_ns
+        ).all()
 
 
 class TestRunFunctionalPasses:

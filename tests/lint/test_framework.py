@@ -217,7 +217,9 @@ def test_write_fingerprints_round_trip(tmp_path):
     schemas = write_fingerprints(sources, config, out)
     payload = json.loads(out.read_text(encoding="utf-8"))
     assert payload["schemas"] == schemas
-    assert {"campaign_result", "run_report"} <= set(schemas)
+    assert {
+        "campaign_result", "run_report", "replay_outcome"
+    } <= set(schemas)
 
 
 # ----------------------------------------------------------------------

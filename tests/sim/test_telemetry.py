@@ -434,6 +434,24 @@ class TestRunReport:
         assert report.stall_fraction == 0.0
         assert report.total_wall_s == 0.0
 
+    def test_replay_block_round_trips_and_aggregates(
+        self, mu3_small, small_config
+    ):
+        telemetry = Telemetry(ledger=CycleLedger())
+        stats = fast_simulate(small_config, mu3_small, telemetry=telemetry)
+        report = build_run_report(
+            stats, telemetry.ledger, StageTimer(), config=small_config,
+            replay={"scalar_replays": 1},
+        )
+        payload = report.to_dict()
+        assert payload["replay"] == {"scalar_replays": 1}
+        assert RunReport.from_dict(payload) == report
+        # Version-2 documents predate the replay block; it defaults off.
+        del payload["replay"]
+        assert RunReport.from_dict(payload).replay == {}
+        summary = aggregate_reports([report, report])
+        assert summary["replay"] == {"scalar_replays": 2}
+
 
 class TestAggregation:
     def test_aggregate_and_render(self, mu3_small, rd2n4_small, small_config):
