@@ -21,15 +21,23 @@ Main subcommands:
   ``--self-test`` runs every rule against its fixtures,
   ``--write-baseline`` ratchets pre-existing violations,
   ``--update-fingerprints`` refreshes the REPRO008 schema ratchet;
-* ``repro-sim campaign run|status|report|fsck <dir>`` — fault-tolerant
-  sweep execution over a persisted campaign directory: ``run`` executes
-  a (size x cycle-time) sweep with worker isolation, per-run timeouts
-  and retries (``--jobs/--timeout/--retries/--keep-going``; add
-  ``--metrics`` to persist per-run telemetry RunReports); ``status``
-  prints the manifest journal; ``report`` aggregates stored RunReports
-  (slowest runs, stall breakdowns, throughput percentiles); ``fsck``
-  validates every stored result's checksum and optionally quarantines
-  corruption (``--repair``);
+* ``repro-sim campaign run|enqueue|worker|drain|status|report|fsck
+  <dir>`` — fault-tolerant sweep execution over a persisted campaign
+  directory: ``run`` executes a (size x cycle-time) sweep with worker
+  isolation, per-run timeouts and retries
+  (``--jobs/--timeout/--retries/--keep-going``; add ``--metrics`` to
+  persist per-run telemetry RunReports; ``--backend spool`` drives the
+  sweep through the durable on-disk work queue so a killed coordinator
+  loses nothing); ``enqueue`` only materializes the sweep into
+  ``<dir>/spool/`` without executing it; ``worker`` runs one persistent
+  lease-holding worker against an enqueued spool (launch any number, on
+  any schedule; SIGTERM drains gracefully); ``drain`` runs workers until
+  the spool empties and folds completions into the manifest; ``status``
+  prints the manifest journal (plus spool occupancy when one exists);
+  ``report`` aggregates stored RunReports (slowest runs, stall
+  breakdowns, throughput percentiles); ``fsck`` validates every stored
+  result's checksum, flags stray temp files and stale leases, and
+  optionally quarantines/repairs (``--repair``);
 * ``repro-sim cache stats|gc|verify <dir>`` — maintain a persistent
   functional-pass cache (see ``docs/internals.md``): ``stats`` prints
   the on-disk footprint, ``gc`` evicts least-recently-modified entries
@@ -413,7 +421,84 @@ def build_parser() -> argparse.ArgumentParser:
                       help="directory of a persistent functional-pass "
                            "cache shared by the sweep's workers "
                            "(incompatible with --engine)")
+    crun.add_argument("--backend", choices=("pool", "spool"),
+                      default="pool",
+                      help="execution fabric: 'pool' (in-process worker "
+                           "pool) or 'spool' (durable on-disk work "
+                           "queue under <dir>/spool/; killing the "
+                           "coordinator loses nothing and re-running "
+                           "resumes)")
     crun.set_defaults(func=_cmd_campaign_run)
+
+    cenq = csub.add_parser(
+        "enqueue",
+        help="materialize a sweep into <dir>/spool/ without running it",
+    )
+    cenq.add_argument("directory", help="campaign results directory")
+    cenq.add_argument("--sizes-kb", default="4,16,64",
+                      help="comma-separated per-cache sizes in KB")
+    cenq.add_argument("--cycles-ns", default="20,40,80",
+                      help="comma-separated cycle times in ns")
+    cenq.add_argument("--assoc", type=int, default=1)
+    cenq.add_argument("--block-words", type=int, default=4)
+    cenq.add_argument("--traces", default="",
+                      help="comma-separated subset of trace names")
+    cenq.add_argument("--length", type=int, default=120_000)
+    cenq.add_argument("--seed", type=int, default=0)
+    cenq.add_argument("--engine", action="store_true",
+                      help="workers will use the reference engine")
+    cenq.add_argument("--pass-cache", default="",
+                      help="workers will share this functional-pass "
+                           "cache directory (incompatible with "
+                           "--engine)")
+    cenq.set_defaults(func=_cmd_campaign_enqueue)
+
+    cwork = csub.add_parser(
+        "worker",
+        help="run one persistent lease-holding worker against an "
+             "enqueued spool (SIGTERM drains gracefully)",
+    )
+    cwork.add_argument("directory", help="campaign results directory")
+    cwork.add_argument("--name", default="",
+                       help="worker identity recorded in leases "
+                            "(default: host:pid)")
+    cwork.add_argument("--ttl", type=float, default=30.0,
+                       help="lease time-to-live in seconds; a heartbeat "
+                            "stalled this long forfeits the lease")
+    cwork.add_argument("--heartbeat", type=float, default=None,
+                       help="renew the lease every N seconds from a "
+                            "background thread while a job runs")
+    cwork.add_argument("--max-jobs", type=int, default=None,
+                       help="exit after publishing this many jobs")
+    cwork.add_argument("--timeout", type=float, default=None,
+                       help="per-run wall-clock timeout in seconds")
+    cwork.add_argument("--retries", type=int, default=2,
+                       help="retries after a failed attempt "
+                            "(max attempts = retries + 1)")
+    cwork.add_argument("--metrics", action="store_true",
+                       help="persist per-run telemetry RunReports")
+    cwork.set_defaults(func=_cmd_campaign_worker)
+
+    cdrain = csub.add_parser(
+        "drain",
+        help="run workers until the spool empties; fold completions "
+             "into the manifest",
+    )
+    cdrain.add_argument("directory", help="campaign results directory")
+    cdrain.add_argument("--jobs", type=int, default=1,
+                        help="concurrent workers draining the spool")
+    cdrain.add_argument("--ttl", type=float, default=30.0,
+                        help="lease time-to-live in seconds")
+    cdrain.add_argument("--heartbeat", type=float, default=None,
+                        help="background lease renewal period in "
+                             "seconds")
+    cdrain.add_argument("--timeout", type=float, default=None,
+                        help="per-run wall-clock timeout in seconds")
+    cdrain.add_argument("--retries", type=int, default=2,
+                        help="retries after a failed attempt")
+    cdrain.add_argument("--metrics", action="store_true",
+                        help="persist per-run telemetry RunReports")
+    cdrain.set_defaults(func=_cmd_campaign_drain)
 
     cstat = csub.add_parser(
         "status", help="print the campaign manifest journal"
@@ -564,6 +649,35 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0 if result.clean else 1
 
 
+def _spool_spec_from_args(args: argparse.Namespace):
+    """Build the durable SweepSpec the spool subcommands share."""
+    from .sim.workqueue import SweepSpec
+
+    if args.pass_cache and args.engine:
+        from .errors import ConfigurationError
+
+        raise ConfigurationError(
+            "--pass-cache caches fastpath functional passes and cannot "
+            "be combined with --engine"
+        )
+    simulator = "engine" if args.engine else (
+        "cached" if args.pass_cache else "fastpath"
+    )
+    return SweepSpec(
+        sizes_kb=tuple(_parse_float_list(args.sizes_kb, "--sizes-kb")),
+        cycles_ns=tuple(_parse_float_list(args.cycles_ns, "--cycles-ns")),
+        assoc=args.assoc,
+        block_words=args.block_words,
+        trace_names=tuple(
+            t.strip() for t in args.traces.split(",")
+        ) if args.traces else (),
+        length=args.length,
+        seed=args.seed,
+        simulator=simulator,
+        pass_cache_dir=args.pass_cache,
+    )
+
+
 def _cmd_campaign_run(args: argparse.Namespace) -> int:
     from .errors import CampaignError, ConfigurationError
     from .sim.campaign import Campaign
@@ -607,6 +721,18 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     campaign = Campaign(args.directory)
+    if args.backend == "spool":
+        # Persist the sweep description so independently-launched
+        # `campaign worker` processes can rebuild the same job list.
+        from .sim.workqueue import WorkQueue
+
+        try:
+            WorkQueue.for_campaign(campaign).save_spec(
+                _spool_spec_from_args(args)
+            )
+        except (CampaignError, ConfigurationError) as exc:
+            print(f"repro-sim campaign run: error: {exc}", file=sys.stderr)
+            return 2
     executor = CampaignExecutor(
         campaign,
         jobs=args.jobs,
@@ -614,6 +740,7 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         retry=RetryPolicy(max_attempts=args.retries + 1),
         keep_going=args.keep_going,
         collect_metrics=args.metrics,
+        backend=args.backend,
     )
     try:
         report = executor.run_sweep(jobs)
@@ -622,7 +749,95 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         print(f"campaign aborted: {exc}")
         return 1
     print(report.render())
+    if executor.fabric:
+        fabric = executor.fabric
+        print(f"fabric: {fabric.get('workers', 0)} worker(s), "
+              f"{fabric.get('leases_issued', 0)} lease(s) issued, "
+              f"{fabric.get('leases_reclaimed', 0)} reclaimed, "
+              f"{fabric.get('jobs_poisoned', 0)} poisoned")
     return 0 if report.all_ok else 1
+
+
+def _cmd_campaign_enqueue(args: argparse.Namespace) -> int:
+    from .errors import CampaignError, ConfigurationError
+    from .sim.campaign import Campaign
+    from .sim.workqueue import WorkQueue
+
+    campaign = Campaign(args.directory)
+    queue = WorkQueue.for_campaign(campaign)
+    try:
+        ids = queue.enqueue(_spool_spec_from_args(args))
+    except (CampaignError, ConfigurationError) as exc:
+        print(f"repro-sim campaign enqueue: error: {exc}",
+              file=sys.stderr)
+        return 2
+    print(f"spooled {len(ids)} job(s) into {queue.directory}")
+    print(queue.render_status())
+    return 0
+
+
+def _cmd_campaign_worker(args: argparse.Namespace) -> int:
+    from .errors import CampaignError
+    from .sim.campaign import Campaign
+    from .sim.resilience import RetryPolicy
+    from .sim.workqueue import SpoolWorker, WorkQueue
+
+    campaign = Campaign(args.directory)
+    queue = WorkQueue.for_campaign(campaign)
+    try:
+        spec = queue.load_spec()
+    except CampaignError as exc:
+        print(f"repro-sim campaign worker: error: {exc}", file=sys.stderr)
+        return 2
+    jobs = spec.build_jobs()
+    ids = queue.enqueue_jobs(jobs)  # idempotent: completes the spool
+    jobs_by_id = {
+        identifier: (index, job)
+        for index, (identifier, job) in enumerate(zip(ids, jobs))
+    }
+    worker = SpoolWorker(
+        queue,
+        campaign,
+        jobs_by_id,
+        name=args.name,
+        ttl_s=args.ttl,
+        heartbeat_s=args.heartbeat,
+        timeout_s=args.timeout,
+        retry=RetryPolicy(max_attempts=args.retries + 1),
+        collect_metrics=args.metrics,
+    )
+    worker.install_signal_handlers()
+    processed = worker.run(max_jobs=args.max_jobs)
+    queue.sync_manifest(campaign)
+    print(f"worker {worker.name}: published {processed} job(s) in "
+          f"{worker.lifetime_s:.1f}s")
+    print(queue.render_status())
+    return 0
+
+
+def _cmd_campaign_drain(args: argparse.Namespace) -> int:
+    from .errors import CampaignError
+    from .sim.campaign import Campaign
+    from .sim.resilience import RetryPolicy
+    from .sim.workqueue import WorkQueue, drain_spool
+
+    campaign = Campaign(args.directory)
+    try:
+        manifest = drain_spool(
+            campaign,
+            workers=args.jobs,
+            ttl_s=args.ttl,
+            heartbeat_s=args.heartbeat,
+            timeout_s=args.timeout,
+            retry=RetryPolicy(max_attempts=args.retries + 1),
+            collect_metrics=args.metrics,
+        )
+    except CampaignError as exc:
+        print(f"repro-sim campaign drain: error: {exc}", file=sys.stderr)
+        return 2
+    print(manifest.render())
+    print(WorkQueue.for_campaign(campaign).render_status())
+    return 0 if not manifest.incomplete() else 1
 
 
 def _cmd_campaign_status(args: argparse.Namespace) -> int:
@@ -634,12 +849,18 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
     if not manifest.runs:
         print(f"{args.directory}: no manifest "
               f"({len(campaign)} result file(s) on disk)")
+    else:
+        print(manifest.render())
+        stored = len(campaign)
+        if stored != len(manifest.runs):
+            print(f"note: {stored} result file(s) on disk vs "
+                  f"{len(manifest.runs)} journaled run(s)")
+    if campaign.spool_dir.is_dir():
+        from .sim.workqueue import WorkQueue
+
+        print(WorkQueue.for_campaign(campaign).render_status())
+    if not manifest.runs:
         return 0
-    print(manifest.render())
-    stored = len(campaign)
-    if stored != len(manifest.runs):
-        print(f"note: {stored} result file(s) on disk vs "
-              f"{len(manifest.runs)} journaled run(s)")
     return 0 if not manifest.incomplete() else 1
 
 

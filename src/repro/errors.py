@@ -61,6 +61,18 @@ class CorruptResultError(CampaignError):
         self.path = path
 
 
+class LeaseLostError(CampaignError):
+    """A worker's lease on a spooled job is no longer its own.
+
+    Raised by the work-queue fabric when a heartbeat renewal finds the
+    lease file gone, rewritten by another owner, or advanced to a newer
+    epoch — the observer-side expiry machinery decided this worker was
+    dead and reclaimed the job.  The worker must stop treating the job
+    as exclusively its own; any result it still produces is published
+    through the exclusive done-record link, which arbitrates duplicates.
+    """
+
+
 class RunTimeoutError(CampaignError):
     """A single simulation run exceeded its wall-clock budget.
 

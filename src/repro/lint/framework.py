@@ -123,6 +123,24 @@ DEFAULT_SCHEMAS = (
         constant="REPLAY_SCHEMA",
         locator=("assign", "outcome_to_dict", "doc"),
     ),
+    SchemaSpec(
+        name="spool_manifest",
+        module="repro/sim/workqueue.py",
+        constant="SPOOL_SCHEMA",
+        locator=("assign", "spec_to_dict", "doc"),
+    ),
+    SchemaSpec(
+        name="work_lease",
+        module="repro/sim/workqueue.py",
+        constant="LEASE_SCHEMA",
+        locator=("assign", "lease_to_dict", "doc"),
+    ),
+    SchemaSpec(
+        name="done_record",
+        module="repro/sim/workqueue.py",
+        constant="DONE_SCHEMA",
+        locator=("assign", "done_to_dict", "doc"),
+    ),
 )
 
 
@@ -146,8 +164,15 @@ class LintConfig:
     #: Modules implementing the functional-pass cache (REPRO009 holds
     #: them to the same atomic-write contract as persistence modules).
     pass_cache_modules: Tuple[str, ...] = ("repro/sim/passcache.py",)
-    #: Functions allowed to perform raw writes (the atomic primitive).
-    atomic_writers: Tuple[str, ...] = ("atomic_write_text",)
+    #: Modules implementing the durable work-queue fabric (REPRO010:
+    #: spool/lease state is a coordination token — a torn write breaks
+    #: mutual exclusion, so the atomic-writer contract is mandatory).
+    workqueue_modules: Tuple[str, ...] = ("repro/sim/workqueue.py",)
+    #: Functions allowed to perform raw writes (the atomic primitives:
+    #: staged rename, and the exclusive hard-link claim).
+    atomic_writers: Tuple[str, ...] = (
+        "atomic_write_text", "atomic_claim_text",
+    )
     #: Packages where silent exception swallowing is forbidden
     #: (REPRO004; the faults harness depends on BaseException flow).
     exception_paths: Tuple[str, ...] = ("repro/sim", "repro/cache")
@@ -197,6 +222,7 @@ def load_config(root: Path) -> LintConfig:
         "deterministic-paths": "deterministic_paths",
         "persistence-modules": "persistence_modules",
         "pass-cache-modules": "pass_cache_modules",
+        "workqueue-modules": "workqueue_modules",
         "atomic-writers": "atomic_writers",
         "exception-paths": "exception_paths",
     }

@@ -126,6 +126,34 @@ class PassCacheAtomicRule(AtomicPersistenceRule):
         )
 
 
+class WorkQueueAtomicRule(AtomicPersistenceRule):
+    """REPRO010 — spool/lease state writes go through atomic helpers.
+
+    Same mechanics as REPRO003, scoped to the work-queue fabric modules
+    (``workqueue-modules`` in ``[tool.reprolint]``).  The lease
+    protocol's safety rests on a stronger property than crash-safe
+    persistence: a lease or done record is a *coordination token*, and
+    a torn one that another worker can observe breaks mutual exclusion,
+    not just one file.  Every write in these modules must go through
+    ``atomic_write_text`` (renewals, archives) or ``atomic_claim_text``
+    (exclusive claims/publishes) — both listed in ``atomic-writers``.
+    """
+
+    rule_id = "REPRO010"
+    title = "work-queue spool/lease writes go through atomic helpers"
+    invariant = (
+        "lease integrity: a visible lease or done record must be "
+        "complete and checksummed — a bare open(..., 'w') can expose a "
+        "torn coordination token, double-granting a job or losing a "
+        "completion"
+    )
+
+    def applies_to(self, rel: str, config: LintConfig) -> bool:
+        return any(
+            path_matches(rel, p) for p in config.workqueue_modules
+        )
+
+
 _BROAD_TYPES = {"Exception", "BaseException"}
 
 
@@ -264,6 +292,6 @@ class MutableDefaultRule(Rule):
 
 
 ROBUSTNESS_RULES = (
-    AtomicPersistenceRule(), PassCacheAtomicRule(), SilentSwallowRule(),
-    MutableDefaultRule(),
+    AtomicPersistenceRule(), PassCacheAtomicRule(), WorkQueueAtomicRule(),
+    SilentSwallowRule(), MutableDefaultRule(),
 )

@@ -317,6 +317,15 @@ def rule_fixtures() -> List[RuleFixture]:
             clean=((f"{sim}/passcache.py", _R3_CLEAN),),
             expect_min=2,
         ),
+        # REPRO010 likewise: the write-pattern fixtures, scoped to the
+        # work-queue fabric module (lease/done records are coordination
+        # tokens, so the atomic contract is load-bearing there).
+        RuleFixture(
+            "REPRO010",
+            violating=((f"{sim}/workqueue.py", _R3_VIOLATING),),
+            clean=((f"{sim}/workqueue.py", _R3_CLEAN),),
+            expect_min=2,
+        ),
     ]
 
 

@@ -63,6 +63,10 @@ METRICS_DIRNAME = "metrics"
 #: File name of the sweep-level aggregation inside ``metrics/``.
 SUMMARY_NAME = "summary.json"
 
+#: Subdirectory holding the durable work-queue spool (jobs, leases,
+#: done and poison records; see :mod:`repro.sim.workqueue`).
+SPOOL_DIRNAME = "spool"
+
 #: Prefix of the temporary files :func:`atomic_write_text` stages writes
 #: in.  They never match the ``*.json`` result glob; ``fsck`` sweeps any
 #: that a hard crash left behind.
@@ -236,15 +240,26 @@ class FsckReport:
     unknown_fields: List[Tuple[str, str]] = dataclasses.field(
         default_factory=list
     )
+    #: Spool lease files whose owner is provably dead, whose job is
+    #: already done/poisoned, or that fail validation — debris a killed
+    #: worker left behind (cleaned by ``fsck --repair``; a pending
+    #: job's stale lease is archived as a loss so epochs stay
+    #: monotonic).
+    stale_leases: List[Path] = dataclasses.field(default_factory=list)
 
     @property
     def clean(self) -> bool:
-        return not self.corrupt and not self.stray_tmp
+        return (
+            not self.corrupt
+            and not self.stray_tmp
+            and not self.stale_leases
+        )
 
     def render(self) -> str:
         lines = [
             f"{len(self.ok)} result(s) ok, {len(self.corrupt)} corrupt, "
-            f"{len(self.stray_tmp)} stray temp file(s)"
+            f"{len(self.stray_tmp)} stray temp file(s), "
+            f"{len(self.stale_leases)} stale lease(s)"
         ]
         for path, reason in self.corrupt:
             lines.append(f"  corrupt: {path.name}: {reason}")
@@ -252,6 +267,8 @@ class FsckReport:
             lines.append(f"  quarantined -> {path}")
         for path in self.stray_tmp:
             lines.append(f"  stray temp: {path.name}")
+        for path in self.stale_leases:
+            lines.append(f"  stale lease: {path.name}")
         if self.unknown_fields:
             lines.append(
                 f"{len(self.unknown_fields)} unknown field(s) from a "
@@ -302,6 +319,10 @@ class Campaign:
     @property
     def summary_path(self) -> Path:
         return self.metrics_dir / SUMMARY_NAME
+
+    @property
+    def spool_dir(self) -> Path:
+        return self.directory / SPOOL_DIRNAME
 
     def _result_paths(self) -> Iterator[Path]:
         for path in sorted(self.directory.glob("*.json")):
@@ -494,9 +515,13 @@ class Campaign:
     def fsck(self, repair: bool = False) -> FsckReport:
         """Validate every stored result's checksum and payload shape.
 
-        With ``repair=True``, corrupt files are quarantined and stray
-        temp files (left by a crash between write and rename) deleted;
-        otherwise they are only reported.
+        With ``repair=True``, corrupt files are quarantined, stray temp
+        files (left by a crash between write and rename) deleted, and
+        stale spool leases (left by killed workers) cleaned; otherwise
+        they are only reported.  When the campaign has a work-queue
+        spool, its state is checked too: orphaned ``.tmp.*`` staging
+        files anywhere under the spool, plus lease files whose owner is
+        dead or whose job already finished.
         """
         ok: List[str] = []
         corrupt: List[Tuple[Path, str]] = []
@@ -525,7 +550,17 @@ class Campaign:
             for path in stray:
                 with contextlib.suppress(OSError):
                     path.unlink()
+        stale_leases: List[Path] = []
+        if self.spool_dir.is_dir():
+            # Imported lazily: workqueue builds on this module.
+            from .workqueue import WorkQueue
+
+            spool_stray, stale_leases = WorkQueue(self.spool_dir).fsck(
+                repair=repair
+            )
+            stray = stray + spool_stray
         return FsckReport(
             ok=ok, corrupt=corrupt, quarantined=quarantined,
             stray_tmp=stray, unknown_fields=unknown_fields,
+            stale_leases=stale_leases,
         )

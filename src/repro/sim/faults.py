@@ -50,8 +50,10 @@ HANG = "hang"            # parent: simulated timeout (no wall time passes)
 ENOSPC = "enospc"        # parent: save raises OSError(ENOSPC)
 CORRUPT = "corrupt"      # parent: garbage written into the saved file
 TRUNCATE = "truncate"    # parent: saved file cut in half
+STALL_BEAT = "stall_beat"  # spool worker: stops renewing its lease
 
-KINDS = (CRASH, ERROR, SLEEP, HANG, ENOSPC, CORRUPT, TRUNCATE)
+KINDS = (CRASH, ERROR, SLEEP, HANG, ENOSPC, CORRUPT, TRUNCATE,
+         STALL_BEAT)
 
 #: How long a ``sleep`` fault hangs the worker.  Far longer than any
 #: test timeout, so the outcome (terminated by the parent) is
@@ -135,6 +137,15 @@ class FaultPlan:
     def is_simulated_hang(self, index: int, attempt: int) -> bool:
         return self.should(index, HANG, attempt)
 
+    # -- spool-worker-side ---------------------------------------------
+    def should_stall_heartbeat(self, index: int, attempt: int) -> bool:
+        """Chaos for the work-queue fabric: the worker 'wedges' — it
+        keeps executing but stops renewing its lease, so observers see
+        the heartbeat stall, expire the lease, and reclaim the job.
+        The wedged worker's late result then loses the exclusive
+        done-record publish (see :mod:`repro.sim.workqueue`)."""
+        return self.should(index, STALL_BEAT, attempt)
+
     def save_faults(self, index: int, attempt: int) -> None:
         if self.should(index, ENOSPC, attempt):
             raise OSError(
@@ -211,6 +222,59 @@ def kill9_writer(when: str = "mid-write"):
         raise InjectedCrash(f"kill -9 before rename of {path.name}")
 
     return writer
+
+
+class SteppedClock:
+    """A settable fake clock for chaos tests: NTP steps, DST jumps,
+    operator fat-fingers — any discontinuity a wall clock can suffer.
+
+    Injected wherever the fabric takes a ``clock`` callable, it proves
+    the lease protocol's claim that only *monotonic observation*
+    matters: :meth:`step` models a wall-clock discontinuity, which a
+    correct (monotonic-only) consumer must ignore entirely, while
+    :meth:`advance` models genuine elapsed time.  Both mutate the same
+    reading — the distinction is the *test's* intent, and a consumer
+    that treats them differently is reading the wrong clock.
+    """
+
+    def __init__(self, start: float = 1_000_000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        """Genuine elapsed time (what a monotonic clock would report)."""
+        self.now += dt
+
+    def step(self, dt: float) -> None:
+        """A wall-clock discontinuity (forward or backward)."""
+        self.now += dt
+
+
+def duplicate_claim(queue, job_id: str, owner: str = "chaos-intruder"):
+    """Chaos: forge a competing claim against a job's lease slot.
+
+    Returns True when the intrusion *succeeded* (the invariant under
+    test is that it must return False whenever a lease exists — the
+    hard-link claim is exclusive, so a second claimant always loses).
+    """
+    import json as _json
+
+    from .workqueue import Lease, atomic_claim_text, lease_to_dict
+
+    forged = Lease(
+        job_id=job_id, owner=owner, host="chaos", pid=0,
+        epoch=999, beat=0, ttl_s=1.0,
+    )
+    try:
+        atomic_claim_text(
+            queue.lease_path(job_id),
+            _json.dumps(lease_to_dict(forged), indent=1),
+        )
+    except FileExistsError:
+        return False
+    return True
 
 
 def flaky_writer(fail_first: int = 1, base=atomic_write_text):

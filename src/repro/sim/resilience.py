@@ -221,8 +221,14 @@ def make_deadline_check(
 ) -> Callable[[], None]:
     """A cooperative-cancellation hook for :meth:`Engine.run`.
 
-    Raises :exc:`~repro.errors.RunTimeoutError` once ``timeout_s`` of
-    wall-clock time has elapsed since creation.
+    Raises :exc:`~repro.errors.RunTimeoutError` once ``timeout_s`` has
+    elapsed since creation, measured on ``clock`` — ``time.monotonic``
+    by default, *never* the wall clock, so an NTP step, DST change or
+    operator clock-set mid-run can neither fire a deadline early nor
+    postpone it.  The same discipline governs every interval in this
+    module and in :mod:`repro.sim.workqueue` (lease TTLs, heartbeat
+    stall detection, re-claim backoff): wall-clock timestamps are never
+    compared.
     """
     deadline = clock() + timeout_s
 
@@ -410,6 +416,13 @@ class CampaignExecutor:
     ``sleep_fn`` injects the backoff sleep (tests pass a recorder, so no
     test ever waits on a real clock); ``fault_plan`` injects
     deterministic failures (see :mod:`repro.sim.faults`).
+
+    ``backend`` selects the execution fabric: ``"pool"`` (default) is
+    the in-process fork pool above; ``"spool"`` drives the same jobs
+    through the durable on-disk work queue of
+    :mod:`repro.sim.workqueue` — identical results and journal, but the
+    sweep's state lives entirely on disk, so killing this coordinator
+    at any point loses nothing and re-running resumes from the spool.
     """
 
     def __init__(
@@ -424,11 +437,16 @@ class CampaignExecutor:
         mp_context: Optional[multiprocessing.context.BaseContext] = None,
         grace_s: float = 5.0,
         collect_metrics: bool = False,
+        backend: str = "pool",
     ) -> None:
         if jobs < 1:
             raise CampaignError(f"jobs must be >= 1, got {jobs}")
         if timeout_s is not None and timeout_s <= 0:
             raise CampaignError(f"timeout must be positive, got {timeout_s}")
+        if backend not in ("pool", "spool"):
+            raise CampaignError(
+                f"backend must be pool|spool, got {backend!r}"
+            )
         self.campaign = campaign
         self.jobs = jobs
         self.timeout_s = timeout_s
@@ -444,6 +462,16 @@ class CampaignExecutor:
         self.retry = retry or RetryPolicy()
         self.keep_going = keep_going
         self.fault_plan = fault_plan
+        self.backend = backend
+        #: Optional per-attempt hook, called with the 1-based attempt
+        #: number just before each execution attempt.  The spool worker
+        #: uses it to renew its lease; a raised
+        #: :exc:`~repro.errors.LeaseLostError` abandons the job.
+        self.on_attempt: Optional[Callable[[int], None]] = None
+        #: Fabric counter totals of the last spool-backend sweep
+        #: (leases issued/expired/reclaimed, heartbeats, worker
+        #: lifetimes); empty for the pool backend.
+        self.fabric: Dict[str, int] = {}
         self._sleep = sleep_fn
         self._mp = mp_context or multiprocessing.get_context()
         self.manifest = CampaignManifest.for_campaign(campaign)
@@ -508,7 +536,19 @@ class CampaignExecutor:
         return (STATUS_FAILED, payload)
 
     # -- one run with retries ------------------------------------------
-    def _run_one(self, job_index: int, job: RunJob) -> RunRecord:
+    def run_record(self, job_index: int, job: RunJob) -> RunRecord:
+        """Execute one job (cache check, retries, save, verify) and
+        return its finished :class:`RunRecord` *without* journaling it.
+
+        This is the execution core shared by the pool backend (which
+        journals via :meth:`_run_one`) and the spool workers of
+        :mod:`repro.sim.workqueue` (which publish durable done records
+        instead).  The optional :attr:`on_attempt` hook fires before
+        every attempt; an exception it raises propagates (the spool
+        worker's lease renewal raises
+        :exc:`~repro.errors.LeaseLostError` there to abandon a
+        reclaimed job).
+        """
         identifier = run_id(job.config, job.trace)
         record = RunRecord(
             run_id=identifier,
@@ -523,7 +563,6 @@ class CampaignExecutor:
                 self.campaign.verify(identifier)
                 record.status = STATUS_OK
                 record.cached = True
-                self._journal(record)
                 return record
             except CorruptResultError:
                 self.campaign.quarantine(identifier)
@@ -534,6 +573,8 @@ class CampaignExecutor:
             record.attempts = attempt
             if attempt > 1:
                 self._sleep(self.retry.delay_s(identifier, attempt - 1))
+            if self.on_attempt is not None:
+                self.on_attempt(attempt)
             if plan is not None and plan.is_simulated_hang(job_index, attempt):
                 last_status = STATUS_TIMEOUT
                 last_error = "injected hang (simulated timeout)"
@@ -571,15 +612,18 @@ class CampaignExecutor:
                     pass  # metrics are advisory; never fail the run
             record.status = STATUS_OK
             record.error = ""
-            self._journal(record)
             return record
 
         record.status = (
             STATUS_TIMEOUT if last_status == STATUS_TIMEOUT else last_status
         )
         record.error = last_error
+        return record
+
+    def _run_one(self, job_index: int, job: RunJob) -> RunRecord:
+        record = self.run_record(job_index, job)
         self._journal(record)
-        if not self.keep_going:
+        if record.status != STATUS_OK and not self.keep_going:
             self._abort.set()
         return record
 
@@ -587,7 +631,7 @@ class CampaignExecutor:
         with self._manifest_lock:
             self.manifest.record(record)
 
-    def _write_summary(self) -> None:
+    def _write_summary(self, fabric: Optional[Dict] = None) -> None:
         """Aggregate every stored RunReport into ``metrics/summary.json``."""
         from .telemetry import RunReport, aggregate_reports
 
@@ -597,7 +641,9 @@ class CampaignExecutor:
         ]
         if reports:
             try:
-                self.campaign.save_summary(aggregate_reports(reports))
+                self.campaign.save_summary(
+                    aggregate_reports(reports, fabric=fabric)
+                )
             except OSError:
                 pass  # advisory, like the per-run documents
 
@@ -609,6 +655,8 @@ class CampaignExecutor:
         from being scheduled and the sweep raises
         :exc:`~repro.errors.CampaignError` once in-flight work settles.
         """
+        if self.backend == "spool":
+            return self._run_sweep_spool(list(jobs))
         jobs = list(jobs)
         self._abort.clear()
         slots: List[Optional[RunRecord]] = [None] * len(jobs)
@@ -634,6 +682,88 @@ class CampaignExecutor:
         )
         if self.collect_metrics:
             self._write_summary()
+        if not self.keep_going and not report.all_ok:
+            bad = [r for r in report.records if r.status != STATUS_OK]
+            skipped = len(jobs) - len(report.records)
+            raise CampaignError(
+                f"{len(bad)} run(s) did not complete "
+                f"({skipped} never scheduled); first: "
+                f"{bad[0].run_id}: {bad[0].status}: {bad[0].error}"
+            )
+        return report
+
+    def _run_sweep_spool(self, jobs: List[RunJob]) -> CampaignReport:
+        """Run the sweep through the durable on-disk work queue.
+
+        Jobs are materialized into ``<campaign>/spool/`` and drained by
+        ``self.jobs`` persistent workers, each with its own
+        :class:`~repro.sim.workqueue.WorkQueue` observer over the same
+        directory — exactly the multi-process protocol, in threads.
+        All sweep state lives on disk: killing the coordinator loses
+        nothing, and re-running resumes past every published job.
+        """
+        from .workqueue import SpoolWorker, WorkQueue
+
+        self._abort.clear()
+        queue = WorkQueue.for_campaign(self.campaign, retry=self.retry)
+        ids = queue.enqueue_jobs(jobs)
+        jobs_by_id = {
+            identifier: (index, job)
+            for index, (identifier, job) in enumerate(zip(ids, jobs))
+        }
+        workers = [
+            SpoolWorker(
+                WorkQueue.for_campaign(self.campaign, retry=self.retry),
+                self.campaign,
+                jobs_by_id,
+                name=f"spool:w{n}",
+                timeout_s=self.timeout_s,
+                grace_s=self.grace_s,
+                retry=self.retry,
+                fault_plan=self.fault_plan,
+                keep_going=self.keep_going,
+                collect_metrics=self.collect_metrics,
+                mp_context=self._mp,
+                sleep_fn=self._sleep,
+                journal_fn=self._journal,
+                stop_event=self._abort,
+            )
+            for n in range(self.jobs)
+        ]
+        if len(workers) == 1:
+            workers[0].run()
+        else:
+            threads = [
+                threading.Thread(target=worker.run, daemon=True)
+                for worker in workers
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        fabric: Dict[str, int] = {"workers": len(workers)}
+        for worker in workers:
+            for name, count in worker.queue.counters.items():
+                fabric[name] = fabric.get(name, 0) + count
+            fabric["worker_lifetime_ms"] = (
+                fabric.get("worker_lifetime_ms", 0)
+                + int(worker.lifetime_s * 1000)
+            )
+        self.fabric = fabric
+        # The spool's done records are the source of truth; fold them
+        # (plus any poison quarantines) back into the manifest so a
+        # resumed or multi-process sweep reports completions this
+        # executor never journaled itself.
+        with self._manifest_lock:
+            self.manifest = queue.sync_manifest(self.campaign)
+        records = [
+            self.manifest.runs[identifier]
+            for identifier in ids
+            if identifier in self.manifest.runs
+        ]
+        report = CampaignReport(records=records)
+        if self.collect_metrics:
+            self._write_summary(fabric=fabric)
         if not self.keep_going and not report.all_ok:
             bad = [r for r in report.records if r.status != STATUS_OK]
             skipped = len(jobs) - len(report.records)

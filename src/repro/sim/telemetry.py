@@ -454,7 +454,11 @@ def quantization_info(config) -> Dict[str, float]:
 #: no grid repricing).  Telemetry-enabled replays always price through
 #: the scalar path — the batch kernel takes no ``telemetry`` handle —
 #: so a run with a ledger reports ``scalar_replays`` only.
-REPORT_SCHEMA = 3
+#: Version 4 adds the ``fabric`` counter block (work-queue lease
+#: activity for the run: leases issued/lost, heartbeats; see
+#: :mod:`repro.sim.workqueue`; empty when the run did not execute
+#: through the spool backend).
+REPORT_SCHEMA = 4
 
 
 @dataclass
@@ -490,6 +494,10 @@ class RunReport:
     #: :meth:`repro.sim.replaykernel.KernelStats.as_dict`); empty when
     #: the run did no grid repricing.
     replay: Dict[str, int] = field(default_factory=dict)
+    #: Work-queue fabric activity for this run (lease epochs, losses,
+    #: heartbeats; see :mod:`repro.sim.workqueue`); empty when the run
+    #: executed outside the spool backend.
+    fabric: Dict[str, int] = field(default_factory=dict)
 
     @property
     def total_wall_s(self) -> float:
@@ -524,6 +532,7 @@ class RunReport:
             "quantization": dict(self.quantization),
             "pass_cache": dict(self.pass_cache),
             "replay": dict(self.replay),
+            "fabric": dict(self.fabric),
         }
 
     @classmethod
@@ -533,7 +542,7 @@ class RunReport:
             "n_refs_measured", "cycles", "total_cycles", "warm_cycles",
             "buckets", "buckets_measured", "conserved", "wall_s",
             "refs_per_sec", "peak_rss_kb", "quantization", "pass_cache",
-            "replay",
+            "replay", "fabric",
         }
         return cls(**{k: v for k, v in payload.items() if k in names})
 
@@ -548,6 +557,7 @@ def build_run_report(
     config=None,
     pass_cache: Optional[Dict[str, int]] = None,
     replay: Optional[Dict[str, int]] = None,
+    fabric: Optional[Dict[str, int]] = None,
 ) -> RunReport:
     """Assemble the metrics document for one completed run.
 
@@ -555,9 +565,10 @@ def build_run_report(
     ``ledger`` may be ``None`` when only host metrics were collected.
     ``pass_cache`` is the counter dict of the functional-pass cache the
     run used, if any; ``replay`` the batch replay-kernel counters, if
-    the run repriced timing grids.  Conservation is *checked* here
-    (never trusted): ``conserved`` is the outcome of
-    :meth:`CycleLedger.verify`.
+    the run repriced timing grids; ``fabric`` the work-queue lease
+    counters, if the run executed through the spool backend.
+    Conservation is *checked* here (never trusted): ``conserved`` is
+    the outcome of :meth:`CycleLedger.verify`.
     """
     buckets: Dict[str, int] = {}
     buckets_measured: Dict[str, int] = {}
@@ -591,6 +602,7 @@ def build_run_report(
         quantization=quantization_info(config) if config is not None else {},
         pass_cache=dict(pass_cache) if pass_cache else {},
         replay=dict(replay) if replay else {},
+        fabric=dict(fabric) if fabric else {},
     )
 
 
@@ -606,7 +618,9 @@ def _percentile(sorted_values: List[float], fraction: float) -> float:
 
 
 def aggregate_reports(
-    reports: Sequence[RunReport], slowest: int = 5
+    reports: Sequence[RunReport],
+    slowest: int = 5,
+    fabric: Optional[Dict[str, int]] = None,
 ) -> Dict:
     """Fold a sweep's per-run reports into one summary document.
 
@@ -614,12 +628,17 @@ def aggregate_reports(
     with: how fast was the sweep (throughput percentiles), which runs
     dominated it (slowest list), where did the simulated cycles go
     (aggregate bucket breakdown), and did every run conserve.
+    ``fabric`` overlays sweep-level work-queue counters (worker count
+    and lifetimes, leases expired/reclaimed) over the per-run lease
+    sums — the sweep-level view wins where both exist, because it also
+    counts leases whose jobs never produced a report (crashed owners).
     """
     throughputs = sorted(r.refs_per_sec for r in reports)
     walls = sorted(r.total_wall_s for r in reports)
     bucket_totals: Dict[str, int] = {name: 0 for name in BUCKETS}
     cache_totals: Dict[str, int] = {}
     replay_totals: Dict[str, int] = {}
+    fabric_totals: Dict[str, int] = {}
     for report in reports:
         for name, cycles in report.buckets_measured.items():
             bucket_totals[name] = bucket_totals.get(name, 0) + cycles
@@ -627,6 +646,9 @@ def aggregate_reports(
             cache_totals[name] = cache_totals.get(name, 0) + count
         for name, count in report.replay.items():
             replay_totals[name] = replay_totals.get(name, 0) + count
+        for name, count in report.fabric.items():
+            fabric_totals[name] = fabric_totals.get(name, 0) + count
+    fabric_totals.update(fabric or {})
     ranked = sorted(
         reports, key=lambda r: r.total_wall_s, reverse=True
     )[:slowest]
@@ -644,6 +666,7 @@ def aggregate_reports(
         "buckets_measured": bucket_totals,
         "pass_cache": cache_totals,
         "replay": replay_totals,
+        "fabric": fabric_totals,
         "slowest": [
             {
                 "run_id": r.run_id,
@@ -687,6 +710,17 @@ def render_summary(summary: Dict) -> str:
             f"{cache.get('corrupt', 0)} corrupt, "
             f"{cache.get('bytes_read', 0):,} B read, "
             f"{cache.get('bytes_written', 0):,} B written"
+        )
+    fabric = summary.get("fabric") or {}
+    if any(fabric.values()):
+        lines.append(
+            f"work-queue fabric: {fabric.get('workers', 0)} worker(s), "
+            f"{fabric.get('leases_issued', 0)} lease(s) issued, "
+            f"{fabric.get('leases_expired', 0)} expired, "
+            f"{fabric.get('leases_reclaimed', 0)} reclaimed, "
+            f"{fabric.get('jobs_poisoned', 0)} poisoned, "
+            f"{fabric.get('duplicate_publishes', 0)} duplicate "
+            f"publish(es) dropped"
         )
     replay = summary.get("replay") or {}
     if any(replay.values()):

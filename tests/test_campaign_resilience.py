@@ -460,6 +460,41 @@ class TestCancelHook:
 
 
 # ----------------------------------------------------------------------
+# Monotonic deadline discipline (satellite: no wall-clock comparisons)
+# ----------------------------------------------------------------------
+class TestMonotonicDeadlines:
+    def test_default_clock_is_monotonic(self):
+        """The deadline hook must default to time.monotonic — an NTP
+        step, DST change or operator clock-set cannot move a deadline
+        that never reads the wall clock."""
+        import time
+
+        assert time.monotonic in make_deadline_check.__defaults__
+
+    def test_deadline_driven_by_injected_clock_only(self, monkeypatch):
+        """Chaos on the wall clock is invisible: the check consults only
+        the clock it was built with."""
+        import time
+
+        mono = faults.SteppedClock(start=100.0)
+        check = make_deadline_check(5.0, clock=mono)
+        # The wall clock goes haywire; a correct check never reads it.
+        monkeypatch.setattr(time, "time", lambda: 1e18)
+        check()                      # fresh: well within budget
+        mono.advance(4.9)
+        check()                      # still inside the 5 s budget
+        mono.advance(0.2)
+        with pytest.raises(RunTimeoutError):
+            check()                  # genuine elapsed time expires it
+
+    def test_retry_backoff_takes_no_clock_at_all(self):
+        """Backoff delays are pure functions of (id, attempt) — there
+        is no clock to step, which is the strongest immunity there is."""
+        policy = RetryPolicy()
+        assert policy.delay_s("r", 2) == policy.delay_s("r", 2)
+
+
+# ----------------------------------------------------------------------
 # Manifest
 # ----------------------------------------------------------------------
 class TestManifest:
