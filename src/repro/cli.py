@@ -33,11 +33,22 @@ Main subcommands:
   lease-holding worker against an enqueued spool (launch any number, on
   any schedule; SIGTERM drains gracefully); ``drain`` runs workers until
   the spool empties and folds completions into the manifest; ``status``
-  prints the manifest journal (plus spool occupancy when one exists);
+  prints the manifest journal (plus spool occupancy when one exists;
+  ``--json`` emits a machine-readable document with manifest counts and
+  spool/fabric blocks);
   ``report`` aggregates stored RunReports (slowest runs, stall
   breakdowns, throughput percentiles); ``fsck`` validates every stored
   result's checksum, flags stray temp files and stale leases, and
   optionally quarantines/repairs (``--repair``);
+* ``repro-sim bench run|record|diff|history`` — the continuous
+  performance ratchet (see ``docs/internals.md``): ``run`` executes the
+  local bench suites with ``--repeat`` repetitions and records
+  per-metric medians; ``record`` ingests a raw ``BENCH_*.json``
+  document into the common schema-versioned record and appends it to an
+  append-only JSONL history; ``diff`` gates one commit's records
+  against the baseline's median ± a MAD-derived noise band (exit 1 on
+  regression; identical reruns always pass); ``history`` prints
+  per-metric trajectories;
 * ``repro-sim cache stats|gc|verify <dir>`` — maintain a persistent
   functional-pass cache (see ``docs/internals.md``): ``stats`` prints
   the on-disk footprint, ``gc`` evicts least-recently-modified entries
@@ -504,6 +515,10 @@ def build_parser() -> argparse.ArgumentParser:
         "status", help="print the campaign manifest journal"
     )
     cstat.add_argument("directory")
+    cstat.add_argument("--json", action="store_true",
+                       help="machine-readable output: manifest counts "
+                            "plus spool/fabric blocks when a spool "
+                            "exists")
     cstat.set_defaults(func=_cmd_campaign_status)
 
     crep = csub.add_parser(
@@ -558,6 +573,91 @@ def build_parser() -> argparse.ArgumentParser:
                               "stray temp files instead of only "
                               "reporting them")
     cverify.set_defaults(func=_cmd_cache_verify)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run, record and ratchet benchmark measurements "
+             "(append-only JSONL history with a MAD noise-band gate)",
+    )
+    benchsub = bench.add_subparsers(dest="bench_command", required=True)
+
+    def _bench_identity_args(p) -> None:
+        p.add_argument("--commit", default="",
+                       help="commit id for new records (default: "
+                            "REPRO_BENCH_COMMIT or git rev-parse)")
+        p.add_argument("--host", default="",
+                       help="host fingerprint override (default: "
+                            "platform-derived)")
+
+    brun = benchsub.add_parser(
+        "run",
+        help="run local bench suites with N repetitions; report (and "
+             "optionally append) per-metric medians",
+    )
+    brun.add_argument("--suites", default="all",
+                      help="comma-separated suite names (default: all)")
+    brun.add_argument("--repeat", type=int, default=3,
+                      help="repetitions per suite; the recorded value "
+                           "is the median")
+    brun.add_argument("--length", type=int, default=20_000,
+                      help="trace length in references")
+    brun.add_argument("--seed", type=int, default=0,
+                      help="replacement seed")
+    brun.add_argument("--history", default="",
+                      help="append records to this JSONL history file")
+    _bench_identity_args(brun)
+    brun.set_defaults(func=_cmd_bench_run)
+
+    brec = benchsub.add_parser(
+        "record",
+        help="ingest one raw BENCH_*.json document into common "
+             "records ('-' reads stdin)",
+    )
+    brec.add_argument("raw", help="raw bench JSON path, or '-'")
+    brec.add_argument("--history", default="",
+                      help="append records to this JSONL history file")
+    brec.add_argument("--out", default="",
+                      help="also write the normalized records to this "
+                           "JSON file (atomic)")
+    brec.add_argument("--suite", default="",
+                      help="suite name override (default: the "
+                           "document's 'bench' key)")
+    brec.add_argument("--repetitions", type=int, default=1,
+                      help="repetitions the raw values summarize")
+    _bench_identity_args(brec)
+    brec.set_defaults(func=_cmd_bench_record)
+
+    bdiff = benchsub.add_parser(
+        "diff",
+        help="gate one commit's records against the history's noise "
+             "band; exit 1 on regression",
+    )
+    bdiff.add_argument("--history", required=True,
+                       help="JSONL history file")
+    bdiff.add_argument("--commit", default="",
+                       help="candidate commit (default: the history's "
+                            "last record)")
+    bdiff.add_argument("--mad-scale", type=float, default=4.0,
+                       help="noise-band width in MADs")
+    bdiff.add_argument("--rel-floor", type=float, default=0.05,
+                       help="minimum band as a fraction of the "
+                            "baseline median")
+    bdiff.add_argument("--min-baseline", type=int, default=1,
+                       help="prior records needed before a metric "
+                            "gates (fewer report 'new')")
+    bdiff.set_defaults(func=_cmd_bench_diff)
+
+    bhist = benchsub.add_parser(
+        "history", help="print per-metric trajectories from a history"
+    )
+    bhist.add_argument("--history", required=True,
+                       help="JSONL history file")
+    bhist.add_argument("--metric", default="",
+                       help="only this metric (name or suite.name)")
+    bhist.add_argument("--last", type=int, default=10,
+                       help="show at most this many recent records "
+                            "per metric")
+    bhist.set_defaults(func=_cmd_bench_history)
     return parser
 
 
@@ -840,12 +940,50 @@ def _cmd_campaign_drain(args: argparse.Namespace) -> int:
     return 0 if not manifest.incomplete() else 1
 
 
+def _campaign_status_doc(campaign, manifest) -> dict:
+    """Machine-readable campaign status, from durable state only.
+
+    Everything here comes off disk (manifest journal, stored results,
+    spool occupancy, published done records) — never from the
+    observer-local counters of a live :class:`WorkQueue`, which are
+    zeros in a fresh status process.
+    """
+    doc = {
+        "directory": str(campaign.directory),
+        "counts": manifest.counts(),
+        "runs": len(manifest.runs),
+        "stored_results": len(campaign),
+        "complete": bool(manifest.runs) and not manifest.incomplete(),
+    }
+    if campaign.spool_dir.is_dir():
+        from .sim.workqueue import WorkQueue
+
+        queue = WorkQueue.for_campaign(campaign)
+        done = queue.done_records()
+        doc["spool"] = queue.status()
+        doc["fabric"] = {
+            "done_records": len(done),
+            "max_lease_epoch": max((r.epoch for r in done), default=0),
+            "total_attempts": sum(r.attempts for r in done),
+            "quarantines": sum(r.quarantines for r in done),
+        }
+    return doc
+
+
 def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    import json as json_mod
+
     from .sim.campaign import Campaign
     from .sim.resilience import CampaignManifest
 
     campaign = Campaign(args.directory)
     manifest = CampaignManifest.for_campaign(campaign)
+    if args.json:
+        doc = _campaign_status_doc(campaign, manifest)
+        print(json_mod.dumps(doc, indent=2, sort_keys=True))
+        if not manifest.runs:
+            return 0
+        return 0 if doc["complete"] else 1
     if not manifest.runs:
         print(f"{args.directory}: no manifest "
               f"({len(campaign)} result file(s) on disk)")
@@ -865,17 +1003,27 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign_report(args: argparse.Namespace) -> int:
+    from .errors import CorruptResultError
     from .sim.campaign import Campaign
     from .sim.telemetry import RunReport, aggregate_reports, render_summary
 
     campaign = Campaign(args.directory)
-    reports = [
-        RunReport.from_dict(payload) for payload in campaign.load_reports()
-    ]
+    reports = []
+    skipped = 0
+    for payload in campaign.load_reports():
+        try:
+            reports.append(RunReport.from_dict(payload))
+        except CorruptResultError as exc:
+            skipped += 1
+            print(f"note: skipping invalid run report: {exc}",
+                  file=sys.stderr)
     if not reports:
         print(f"{args.directory}: no metrics stored "
               f"(run the sweep with --metrics)")
         return 1
+    if skipped:
+        print(f"note: {skipped} invalid run report(s) skipped",
+              file=sys.stderr)
     summary = aggregate_reports(reports, slowest=args.slowest)
     print(render_summary(summary))
     return 0 if summary["all_conserved"] else 1
@@ -995,6 +1143,156 @@ def _cmd_cache_verify(args: argparse.Namespace) -> int:
     if report.clean or args.repair:
         return 0
     return 1
+
+
+def _bench_identity(args: argparse.Namespace):
+    """(commit, host) for new bench records, honoring CLI overrides."""
+    from .sim.benchhistory import current_commit, host_fingerprint
+
+    commit = args.commit or current_commit()
+    host = args.host or host_fingerprint()
+    return commit, host
+
+
+def _cmd_bench_run(args: argparse.Namespace) -> int:
+    from .errors import ConfigurationError
+    from .sim.benchhistory import (
+        BENCH_SUITES,
+        BenchHistory,
+        run_bench_suites,
+    )
+
+    names = (
+        sorted(BENCH_SUITES)
+        if args.suites in ("", "all")
+        else [s.strip() for s in args.suites.split(",") if s.strip()]
+    )
+    commit, host = _bench_identity(args)
+    try:
+        records, noise = run_bench_suites(
+            names, repeat=args.repeat, length=args.length,
+            seed=args.seed, commit=commit, host=host,
+        )
+    except ConfigurationError as exc:
+        print(f"repro-sim bench run: error: {exc}", file=sys.stderr)
+        return 2
+    for record in records:
+        spread = noise.get((record.suite, record.metric), 0.0)
+        print(f"{record.suite}.{record.metric:<16} "
+              f"{record.value:>12.6g} {record.unit:<7} "
+              f"(median of {record.repetitions}, MAD {spread:.3g})")
+    if args.history:
+        written = BenchHistory(args.history).append(records)
+        print(f"{written} record(s) appended to {args.history} "
+              f"@ {commit or '(no commit)'}")
+    return 0
+
+
+def _cmd_bench_record(args: argparse.Namespace) -> int:
+    import json as json_mod
+
+    from .errors import CorruptResultError
+    from .sim.benchhistory import (
+        BenchHistory,
+        ingest_raw_bench,
+        record_to_dict,
+    )
+    from .sim.campaign import atomic_write_text
+
+    if args.raw == "-":
+        raw_text = sys.stdin.read()
+    else:
+        try:
+            with open(args.raw, "r", encoding="utf-8") as handle:
+                raw_text = handle.read()
+        except OSError as exc:
+            print(f"repro-sim bench record: error: {exc}", file=sys.stderr)
+            return 2
+    try:
+        payload = json_mod.loads(raw_text)
+    except json_mod.JSONDecodeError as exc:
+        print(f"repro-sim bench record: error: malformed JSON: {exc}",
+              file=sys.stderr)
+        return 2
+    commit, host = _bench_identity(args)
+    try:
+        records = ingest_raw_bench(
+            payload, commit=commit, host=host,
+            repetitions=args.repetitions, suite=args.suite,
+        )
+    except CorruptResultError as exc:
+        print(f"repro-sim bench record: error: {exc}", file=sys.stderr)
+        return 2
+    if args.out:
+        from pathlib import Path
+
+        doc = [record_to_dict(record) for record in records]
+        atomic_write_text(
+            Path(args.out), json_mod.dumps(doc, indent=2, sort_keys=True)
+        )
+    if args.history:
+        try:
+            BenchHistory(args.history).append(records)
+        except CorruptResultError as exc:
+            print(f"repro-sim bench record: error: {exc}", file=sys.stderr)
+            return 2
+    print(f"{len(records)} record(s) from suite "
+          f"{records[0].suite!r} @ {commit or '(no commit)'}")
+    return 0
+
+
+def _cmd_bench_diff(args: argparse.Namespace) -> int:
+    from .errors import ConfigurationError, CorruptResultError
+    from .sim.benchhistory import (
+        BenchHistory,
+        DiffPolicy,
+        diff_history,
+        render_diff,
+    )
+
+    try:
+        records = BenchHistory(args.history).load()
+        policy = DiffPolicy(
+            mad_scale=args.mad_scale,
+            rel_floor=args.rel_floor,
+            min_baseline=args.min_baseline,
+        )
+    except (CorruptResultError, ConfigurationError) as exc:
+        print(f"repro-sim bench diff: error: {exc}", file=sys.stderr)
+        return 2
+    if not records:
+        print(f"{args.history}: no bench history")
+        return 0
+    commit = args.commit or records[-1].commit
+    deltas = diff_history(records, commit=commit, policy=policy)
+    print(render_diff(deltas, commit))
+    regressions = [d for d in deltas if d.status == "regression"]
+    return 1 if regressions else 0
+
+
+def _cmd_bench_history(args: argparse.Namespace) -> int:
+    from .errors import CorruptResultError
+    from .sim.benchhistory import BenchHistory
+
+    try:
+        series = BenchHistory(args.history).series()
+    except CorruptResultError as exc:
+        print(f"repro-sim bench history: error: {exc}", file=sys.stderr)
+        return 2
+    if not series:
+        print(f"{args.history}: no bench history")
+        return 0
+    for (suite, metric), records in sorted(series.items()):
+        if args.metric and f"{suite}.{metric}" != args.metric \
+                and metric != args.metric:
+            continue
+        print(f"{suite}.{metric} ({records[-1].unit or '-'}, "
+              f"{records[-1].direction}):")
+        for record in records[-args.last:]:
+            print(f"  {record.commit or '(no commit)':<14} "
+                  f"{record.value:>12.6g}  x{record.repetitions} "
+                  f"on {record.host or '(unknown host)'}")
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager, nullcontext
 from typing import (
     TYPE_CHECKING,
     Callable,
@@ -47,6 +48,7 @@ from ..trace.record import Trace
 
 if TYPE_CHECKING:  # pragma: no cover — import cycle guard only
     from ..sim.passcache import PassCache
+    from ..sim.telemetry import MetricsRegistry
 from ..units import quantize_ns
 from .metrics import (
     GM_FLOOR,
@@ -62,6 +64,57 @@ from .timing import DEFAULT_CYCLE_NS, MemoryTiming
 
 #: Optional progress callback: called with a human-readable step label.
 ProgressFn = Callable[[str], None]
+
+
+def _span(registry: Optional["MetricsRegistry"], name: str):
+    """The registry's span context when metrics are on; no-op otherwise."""
+    return registry.span(name) if registry is not None else nullcontext()
+
+
+@contextmanager
+def _cache_metrics(
+    registry: Optional["MetricsRegistry"],
+    pass_cache: Optional["PassCache"],
+):
+    """Point the pass cache at this sweep's registry, then restore.
+
+    Scoped (rather than a permanent attach) so two sweeps sharing one
+    cache each collect their own ``passcache.*`` counts, and a registry
+    the cache owner wired up beforehand comes back untouched.
+    """
+    if registry is None or pass_cache is None:
+        yield
+        return
+    prior = pass_cache.registry
+    pass_cache.registry = registry
+    try:
+        yield
+    finally:
+        pass_cache.registry = prior
+
+
+def _local_kernel_stats(
+    registry: Optional["MetricsRegistry"],
+) -> Optional[KernelStats]:
+    """A *fresh* :class:`KernelStats` to price with when metrics are on —
+    fresh so publishing it after the sweep cannot double-count work a
+    caller-supplied stats object already held.  ``None`` (metrics off)
+    means the caller's own ``kernel_stats`` is used directly."""
+    return KernelStats() if registry is not None else None
+
+
+def _publish_kernel(
+    registry: Optional["MetricsRegistry"],
+    local_stats: Optional[KernelStats],
+    kernel_stats: Optional[KernelStats],
+) -> None:
+    """Fold sweep-local kernel counters into the registry and the
+    caller's accumulator."""
+    if registry is None or local_stats is None:
+        return
+    local_stats.publish(registry)
+    if kernel_stats is not None:
+        kernel_stats.merge(local_stats)
 
 
 def _as_trace_list(traces) -> List[Trace]:
@@ -322,6 +375,7 @@ def run_speed_size_sweep(
     use_replay_kernel: bool = True,
     replay_jobs: int = 1,
     kernel_stats: Optional[KernelStats] = None,
+    registry: Optional["MetricsRegistry"] = None,
 ) -> SpeedSizeGrid:
     """Sweep (cache size x cycle time); aggregate over the trace suite.
 
@@ -339,6 +393,11 @@ def run_speed_size_sweep(
     ``kernel_stats`` (if given) accumulates the kernel's counters.
     ``use_replay_kernel=False`` restores the scalar ``replay()`` loop —
     outcomes are cycle-for-cycle identical either way.
+
+    ``registry`` (a :class:`~repro.sim.telemetry.MetricsRegistry`)
+    times the two phases as ``sweep.functional_passes`` /
+    ``sweep.price_grid`` spans and folds the kernel and pass-cache
+    counters in as ``replay.*`` / ``passcache.*`` metrics.
     """
     traces = _as_trace_list(traces)
     if not traces:
@@ -362,15 +421,19 @@ def run_speed_size_sweep(
             f"{len(configs)} organizations x {len(traces)} traces, "
             f"n_jobs={n_jobs}"
         )
-    all_streams = run_functional_passes(
-        [
-            (config, trace, seed)
-            for config in configs
-            for trace in traces
-        ],
-        n_jobs=n_jobs,
-        cache=pass_cache,
-    )
+    local_stats = _local_kernel_stats(registry)
+    price_stats = local_stats if local_stats is not None else kernel_stats
+    with _cache_metrics(registry, pass_cache), \
+            _span(registry, "sweep.functional_passes"):
+        all_streams = run_functional_passes(
+            [
+                (config, trace, seed)
+                for config in configs
+                for trace in traces
+            ],
+            n_jobs=n_jobs,
+            cache=pass_cache,
+        )
     n_i, n_j = len(sizes), len(cycles_ns)
     exec_gm = np.empty((n_i, n_j))
     cpr_gm = np.empty((n_i, n_j))
@@ -381,9 +444,12 @@ def run_speed_size_sweep(
         )
         for cycle_ns in cycles_ns
     ]
-    outcome_rows = _price_streams(
-        all_streams, points, use_replay_kernel, replay_jobs, kernel_stats
-    )
+    with _span(registry, "sweep.price_grid"):
+        outcome_rows = _price_streams(
+            all_streams, points, use_replay_kernel, replay_jobs,
+            price_stats,
+        )
+    _publish_kernel(registry, local_stats, kernel_stats)
     per_size_metrics: List[AggregateMetrics] = []
     for i, size in enumerate(sizes):
         lo = i * len(traces)
@@ -472,6 +538,7 @@ def run_blocksize_sweep(
     use_replay_kernel: bool = True,
     replay_jobs: int = 1,
     kernel_stats: Optional[KernelStats] = None,
+    registry: Optional["MetricsRegistry"] = None,
 ) -> Dict[Tuple[int, float], BlockSizeCurve]:
     """Sweep block size against memory latency and transfer rate (§5).
 
@@ -486,7 +553,7 @@ def run_blocksize_sweep(
     occurrence wins; the outcomes are identical by construction).  The
     memory grid is priced per stream in one batch-kernel call; see
     :func:`run_speed_size_sweep` for ``use_replay_kernel``,
-    ``replay_jobs`` and ``kernel_stats``.
+    ``replay_jobs``, ``kernel_stats`` and ``registry``.
     """
     traces = _as_trace_list(traces)
     if not traces:
@@ -506,15 +573,19 @@ def run_blocksize_sweep(
             f"{len(configs)} block sizes x {len(traces)} traces, "
             f"n_jobs={n_jobs}"
         )
-    all_streams = run_functional_passes(
-        [
-            (config, trace, seed)
-            for config in configs
-            for trace in traces
-        ],
-        n_jobs=n_jobs,
-        cache=pass_cache,
-    )
+    local_stats = _local_kernel_stats(registry)
+    price_stats = local_stats if local_stats is not None else kernel_stats
+    with _cache_metrics(registry, pass_cache), \
+            _span(registry, "sweep.functional_passes"):
+        all_streams = run_functional_passes(
+            [
+                (config, trace, seed)
+                for config in configs
+                for trace in traces
+            ],
+            n_jobs=n_jobs,
+            cache=pass_cache,
+        )
     # One functional pass per (block size, trace); the memory grid is
     # built once — not per block size — and deduplicated by quantized
     # key before any replay runs.
@@ -539,9 +610,12 @@ def run_blocksize_sweep(
         )
         for _key, mem in unique_memories
     ]
-    outcome_rows = _price_streams(
-        all_streams, points, use_replay_kernel, replay_jobs, kernel_stats
-    )
+    with _span(registry, "sweep.price_grid"):
+        outcome_rows = _price_streams(
+            all_streams, points, use_replay_kernel, replay_jobs,
+            price_stats,
+        )
+    _publish_kernel(registry, local_stats, kernel_stats)
     curves: Dict[Tuple[int, float], Dict[int, AggregateMetrics]] = {}
     for b_index, block_words in enumerate(block_sizes):
         lo = b_index * len(traces)

@@ -136,6 +136,12 @@ DEFAULT_SCHEMAS = (
         locator=("assign", "lease_to_dict", "doc"),
     ),
     SchemaSpec(
+        name="bench_record",
+        module="repro/sim/benchhistory.py",
+        constant="BENCH_SCHEMA",
+        locator=("assign", "record_to_dict", "doc"),
+    ),
+    SchemaSpec(
         name="done_record",
         module="repro/sim/workqueue.py",
         constant="DONE_SCHEMA",
@@ -168,6 +174,10 @@ class LintConfig:
     #: spool/lease state is a coordination token — a torn write breaks
     #: mutual exclusion, so the atomic-writer contract is mandatory).
     workqueue_modules: Tuple[str, ...] = ("repro/sim/workqueue.py",)
+    #: Modules emitting benchmark records (REPRO011: the history is the
+    #: perf-ratchet baseline — a torn append silently shrinks it, so
+    #: BENCH emitters must write through the atomic primitives).
+    bench_modules: Tuple[str, ...] = ("repro/sim/benchhistory.py",)
     #: Functions allowed to perform raw writes (the atomic primitives:
     #: staged rename, and the exclusive hard-link claim).
     atomic_writers: Tuple[str, ...] = (
@@ -223,6 +233,7 @@ def load_config(root: Path) -> LintConfig:
         "persistence-modules": "persistence_modules",
         "pass-cache-modules": "pass_cache_modules",
         "workqueue-modules": "workqueue_modules",
+        "bench-modules": "bench_modules",
         "atomic-writers": "atomic_writers",
         "exception-paths": "exception_paths",
     }

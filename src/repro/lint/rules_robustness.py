@@ -154,6 +154,33 @@ class WorkQueueAtomicRule(AtomicPersistenceRule):
         )
 
 
+class BenchHistoryAtomicRule(AtomicPersistenceRule):
+    """REPRO011 — benchmark-history writes go through the atomic writer.
+
+    Same mechanics as REPRO003, scoped to the bench-record emitters
+    (``bench-modules`` in ``[tool.reprolint]``).  The history file is
+    the perf-ratchet's *baseline*: ``bench diff`` derives its noise
+    band from whatever records load, so a torn append would not crash
+    anything — it would silently shrink or skew the baseline and let a
+    real regression pass the gate.  Every write must go through
+    ``atomic_write_text`` (whole-file staged rename), so a crash leaves
+    the previous history intact, never a truncated tail line.
+    """
+
+    rule_id = "REPRO011"
+    title = "benchmark-history writes go through the atomic writer"
+    invariant = (
+        "ratchet integrity: the bench history is the regression gate's "
+        "baseline; a bare write can leave a torn JSONL tail that loads "
+        "as a shorter history and widens or shifts the noise band"
+    )
+
+    def applies_to(self, rel: str, config: LintConfig) -> bool:
+        return any(
+            path_matches(rel, p) for p in config.bench_modules
+        )
+
+
 _BROAD_TYPES = {"Exception", "BaseException"}
 
 
@@ -293,5 +320,5 @@ class MutableDefaultRule(Rule):
 
 ROBUSTNESS_RULES = (
     AtomicPersistenceRule(), PassCacheAtomicRule(), WorkQueueAtomicRule(),
-    SilentSwallowRule(), MutableDefaultRule(),
+    BenchHistoryAtomicRule(), SilentSwallowRule(), MutableDefaultRule(),
 )

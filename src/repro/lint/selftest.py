@@ -326,6 +326,15 @@ def rule_fixtures() -> List[RuleFixture]:
             clean=((f"{sim}/workqueue.py", _R3_CLEAN),),
             expect_min=2,
         ),
+        # REPRO011 likewise: the write-pattern fixtures, scoped to the
+        # bench-history module (the history is the perf-ratchet's
+        # baseline, so a torn append skews the regression gate).
+        RuleFixture(
+            "REPRO011",
+            violating=((f"{sim}/benchhistory.py", _R3_VIOLATING),),
+            clean=((f"{sim}/benchhistory.py", _R3_CLEAN),),
+            expect_min=2,
+        ),
     ]
 
 

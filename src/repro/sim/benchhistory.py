@@ -1,0 +1,746 @@
+"""Benchmark history: the repo's continuous performance ratchet.
+
+CI has measured this reproduction for a while — telemetry throughput,
+pass-cache warm/cold speedup, replay-kernel speedup, work-queue chaos
+outcomes — but every number evaporated with its workflow run.  This
+module makes the trajectory durable and *enforceable*:
+
+* :class:`BenchRecord` is the one common shape every benchmark lands
+  in: suite, metric, value, unit, gating direction, the commit and host
+  that produced it, and how many repetitions the value summarizes.
+  Records serialize through :func:`record_to_dict` (schema-versioned
+  and checksummed, ratcheted by reprolint REPRO008);
+
+* :class:`BenchHistory` is an append-only JSONL store of those records.
+  Appends rewrite the whole file through
+  :func:`~repro.sim.campaign.atomic_write_text`, so a crash leaves
+  either the old history or the new one — never a torn tail line
+  (reprolint REPRO011 holds this module to that contract);
+
+* :func:`ingest_raw_bench` converts the raw ``BENCH_*.json`` documents
+  the CI jobs emit (``telemetry_smoke``, ``passcache_warm_vs_cold``,
+  ``replay_kernel_vs_scalar``, ``workqueue_chaos``) into common
+  records, with curated units and directions for the known suites and
+  conservative inference for new ones;
+
+* :func:`diff_history` is the gate.  For each (suite, metric) the
+  baseline is every record from *other* commits; the noise band is
+  ``max(mad_scale * MAD, rel_floor * |median|, abs_floor)`` around the
+  baseline median (MAD = median absolute deviation, robust to the odd
+  slow CI runner).  A candidate outside the band against its gating
+  direction is a regression; a bit-identical rerun sits exactly on the
+  median and always passes;
+
+* :data:`BENCH_SUITES` are small local suites ``repro-sim bench run``
+  executes with N repetitions, recording the per-metric median (the
+  per-repetition MAD is reported alongside as the local noise floor).
+
+Wall-clock reads here measure the *simulator*, never the simulation:
+they land only in benchmark records, not in simulated state, which is
+why the ``perf_counter`` calls carry REPRO001 waivers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import platform
+import subprocess
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import ConfigurationError, CorruptResultError
+from .campaign import WriterFn, atomic_write_text, payload_checksum
+
+#: Version of one serialized benchmark record (a JSONL line).
+BENCH_SCHEMA = 1
+
+#: Gating directions: ``higher`` / ``lower`` say which way is better
+#: (and therefore which way a regression points); ``info`` metrics are
+#: recorded for the trajectory but never gate.
+DIRECTIONS = ("higher", "lower", "info")
+
+
+# ----------------------------------------------------------------------
+# The common record
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class BenchRecord:
+    """One benchmark measurement: a point on one metric's trajectory."""
+
+    suite: str
+    metric: str
+    value: float
+    unit: str = ""
+    direction: str = "info"
+    commit: str = ""
+    host: str = ""
+    repetitions: int = 1
+
+    def __post_init__(self):
+        if not self.suite or not self.metric:
+            raise ConfigurationError(
+                f"bench record needs a suite and a metric: "
+                f"suite={self.suite!r} metric={self.metric!r}"
+            )
+        if self.direction not in DIRECTIONS:
+            raise ConfigurationError(
+                f"bench direction must be one of {DIRECTIONS}: "
+                f"{self.direction!r}"
+            )
+        if self.repetitions < 1:
+            raise ConfigurationError(
+                f"repetitions must be >= 1: {self.repetitions}"
+            )
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.suite, self.metric)
+
+
+def record_to_dict(record: BenchRecord) -> Dict:
+    """Serialize one record as a sealed, schema-versioned document."""
+    doc = {
+        "schema": BENCH_SCHEMA,
+        "suite": record.suite,
+        "metric": record.metric,
+        "value": float(record.value),
+        "unit": record.unit,
+        "direction": record.direction,
+        "commit": record.commit,
+        "host": record.host,
+        "repetitions": record.repetitions,
+        "checksum": "",
+    }
+    doc["checksum"] = payload_checksum(
+        {k: v for k, v in doc.items() if k != "checksum"}
+    )
+    return doc
+
+
+def record_from_dict(payload: Dict) -> BenchRecord:
+    """Inverse of :func:`record_to_dict`, validating as it goes.
+
+    Unknown keys a future schema may add are ignored (the checksum
+    covers whatever was sealed at write time); a wrong schema marker,
+    checksum mismatch or malformed field raises
+    :exc:`~repro.errors.CorruptResultError`.
+    """
+    if not isinstance(payload, dict):
+        raise CorruptResultError(
+            f"bench record is {type(payload).__name__}, expected object"
+        )
+    if payload.get("schema") != BENCH_SCHEMA:
+        raise CorruptResultError(
+            f"bench record schema {payload.get('schema')!r} is not "
+            f"the supported version {BENCH_SCHEMA}"
+        )
+    stored = payload.get("checksum")
+    expected = payload_checksum(
+        {k: v for k, v in payload.items() if k != "checksum"}
+    )
+    if stored != expected:
+        raise CorruptResultError(
+            f"bench record checksum mismatch (stored "
+            f"{str(stored)[:12]}…, computed {expected[:12]}…)"
+        )
+    value = payload.get("value")
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise CorruptResultError(
+            f"bench record value {value!r} is not a number"
+        )
+    repetitions = payload.get("repetitions", 1)
+    if isinstance(repetitions, bool) or not isinstance(repetitions, int):
+        raise CorruptResultError(
+            f"bench record repetitions {repetitions!r} is not an integer"
+        )
+    try:
+        return BenchRecord(
+            suite=str(payload.get("suite", "")),
+            metric=str(payload.get("metric", "")),
+            value=float(value),
+            unit=str(payload.get("unit", "")),
+            direction=str(payload.get("direction", "info")),
+            commit=str(payload.get("commit", "")),
+            host=str(payload.get("host", "")),
+            repetitions=repetitions,
+        )
+    except ConfigurationError as exc:
+        raise CorruptResultError(f"bench record is malformed: {exc}") \
+            from exc
+
+
+def host_fingerprint() -> str:
+    """A short, stable description of the measuring host.
+
+    Built only from platform facts (OS, architecture, interpreter,
+    core count) — comparable across runs of the same runner class, and
+    an honest flag when two histories came from different hardware.
+    """
+    return "-".join((
+        platform.system().lower() or "unknown",
+        platform.machine() or "unknown",
+        f"py{platform.python_version()}",
+        f"c{os.cpu_count() or 1}",
+    ))
+
+
+def current_commit(cwd: Optional[Union[str, Path]] = None) -> str:
+    """The current git commit (short), or ``""`` outside a checkout.
+
+    ``REPRO_BENCH_COMMIT`` overrides the lookup — CI sets it to the
+    workflow's SHA so records gate on what triggered the run, not on
+    whatever the runner happens to have checked out.
+    """
+    override = os.environ.get("REPRO_BENCH_COMMIT", "")
+    if override:
+        return override
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short=12", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=str(cwd) if cwd is not None else None,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return ""
+    if proc.returncode != 0:
+        return ""
+    return proc.stdout.strip()
+
+
+# ----------------------------------------------------------------------
+# The append-only store
+# ----------------------------------------------------------------------
+class BenchHistory:
+    """An append-only JSONL store of :class:`BenchRecord` documents.
+
+    One record per line, in append order — the file *is* the
+    trajectory.  Every mutation goes through the atomic writer (the
+    whole file is staged and renamed), so a crash mid-append leaves the
+    previous history intact; a torn or tampered line surfaces as
+    :exc:`~repro.errors.CorruptResultError` naming the line, never as a
+    silently shortened baseline.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        writer: Optional[WriterFn] = None,
+    ) -> None:
+        self.path = Path(path)
+        self._writer: WriterFn = writer or atomic_write_text
+
+    def load(self) -> List[BenchRecord]:
+        """Every record, in append order; raises on corruption."""
+        if not self.path.exists():
+            return []
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise CorruptResultError(
+                f"{self.path}: unreadable: {exc}", path=self.path
+            ) from exc
+        records = []
+        for number, line in enumerate(text.splitlines(), start=1):
+            if not line.strip():
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise CorruptResultError(
+                    f"{self.path.name}:{number}: malformed JSON: {exc}",
+                    path=self.path,
+                ) from exc
+            try:
+                records.append(record_from_dict(payload))
+            except CorruptResultError as exc:
+                raise CorruptResultError(
+                    f"{self.path.name}:{number}: {exc}", path=self.path
+                ) from exc
+        return records
+
+    def append(self, records: Sequence[BenchRecord]) -> int:
+        """Append records atomically; returns how many were written.
+
+        The existing file is validated first, so an append never buries
+        corruption deeper into the history — it fails loudly instead.
+        """
+        records = list(records)
+        if not records:
+            return 0
+        self.load()
+        prefix = ""
+        if self.path.exists():
+            prefix = self.path.read_text(encoding="utf-8")
+            if prefix and not prefix.endswith("\n"):
+                prefix += "\n"
+        lines = [
+            json.dumps(record_to_dict(record), sort_keys=True,
+                       separators=(",", ":"))
+            for record in records
+        ]
+        self._writer(self.path, prefix + "\n".join(lines) + "\n")
+        return len(lines)
+
+    def series(self) -> Dict[Tuple[str, str], List[BenchRecord]]:
+        """Records grouped per (suite, metric), each in append order."""
+        grouped: Dict[Tuple[str, str], List[BenchRecord]] = {}
+        for record in self.load():
+            grouped.setdefault(record.key, []).append(record)
+        return grouped
+
+
+# ----------------------------------------------------------------------
+# Ingestion of the raw CI bench documents
+# ----------------------------------------------------------------------
+#: Curated (unit, direction) per metric of the known raw bench shapes —
+#: the four ``BENCH_*.json`` documents CI has emitted since PR 2.
+_BENCH_SHAPES: Dict[str, Dict[str, Tuple[str, str]]] = {
+    "telemetry_smoke": {
+        "runs": ("count", "info"),
+        "refs_per_sec_p10": ("refs/s", "higher"),
+        "refs_per_sec_p50": ("refs/s", "higher"),
+        "refs_per_sec_p90": ("refs/s", "higher"),
+        "total_wall_s": ("s", "lower"),
+    },
+    "passcache_warm_vs_cold": {
+        "passes": ("count", "info"),
+        "cold_s": ("s", "lower"),
+        "warm_s": ("s", "lower"),
+        "speedup": ("ratio", "higher"),
+        "hits": ("count", "info"),
+        "bytes_on_disk": ("bytes", "info"),
+    },
+    "replay_kernel_vs_scalar": {
+        "streams": ("count", "info"),
+        "replay_jobs": ("count", "info"),
+        "scalar_s": ("s", "lower"),
+        "batch_serial_s": ("s", "lower"),
+        "batch_s": ("s", "lower"),
+        "speedup_serial": ("ratio", "higher"),
+        "speedup": ("ratio", "higher"),
+        "vectorized_events": ("count", "info"),
+        "scalar_events": ("count", "info"),
+    },
+    "workqueue_chaos": {
+        "jobs": ("count", "info"),
+        "workers_killed": ("count", "info"),
+        "leases_reclaimed": ("count", "info"),
+        "max_lease_epoch": ("count", "info"),
+    },
+}
+
+#: Raw-document keys that describe the measurement, not a metric.
+_RAW_META_KEYS = ("bench", "python")
+
+
+def _infer_metric(name: str) -> Tuple[str, str]:
+    """Conservative (unit, direction) for a metric no shape curates.
+
+    Only unmistakable naming conventions gate (`*_s` wall times lower,
+    throughput/speedup higher); everything else records as ``info`` so
+    an unknown metric can never fail a build by accident.
+    """
+    if name.endswith("_s") or name.endswith("_wall_s"):
+        return ("s", "lower")
+    if "per_sec" in name:
+        return ("refs/s", "higher")
+    if "speedup" in name:
+        return ("ratio", "higher")
+    return ("", "info")
+
+
+def ingest_raw_bench(
+    payload: Dict,
+    commit: str = "",
+    host: str = "",
+    repetitions: int = 1,
+    suite: str = "",
+) -> List[BenchRecord]:
+    """Convert one raw ``BENCH_*.json`` document into common records.
+
+    The suite name comes from the document's ``bench`` key (or the
+    ``suite`` override).  Numeric scalars become records — booleans as
+    0/1 ``info`` flags — and non-numeric values (version strings, grid
+    shapes) are skipped.  Known suites get curated units and gating
+    directions; unknown suites fall back to :func:`_infer_metric`.
+    """
+    if not isinstance(payload, dict):
+        raise CorruptResultError(
+            f"raw bench document is {type(payload).__name__}, "
+            f"expected object"
+        )
+    name = suite or str(payload.get("bench") or "")
+    if not name:
+        raise CorruptResultError(
+            "raw bench document has no 'bench' key (and no --suite "
+            "override was given)"
+        )
+    shape = _BENCH_SHAPES.get(name, {})
+    records = []
+    for key in sorted(payload):
+        if key in _RAW_META_KEYS:
+            continue
+        value = payload[key]
+        if isinstance(value, bool):
+            unit, direction = ("flag", "info")
+            value = 1.0 if value else 0.0
+        elif isinstance(value, (int, float)):
+            unit, direction = shape.get(key) or _infer_metric(key)
+        else:
+            continue
+        records.append(BenchRecord(
+            suite=name, metric=key, value=float(value), unit=unit,
+            direction=direction, commit=commit, host=host,
+            repetitions=repetitions,
+        ))
+    if not records:
+        raise CorruptResultError(
+            f"raw bench document {name!r} holds no numeric metrics"
+        )
+    return records
+
+
+# ----------------------------------------------------------------------
+# Noise-band math and the diff gate
+# ----------------------------------------------------------------------
+def median(values: Sequence[float]) -> float:
+    """Plain median (mean of the middle pair on even counts)."""
+    ordered = sorted(values)
+    if not ordered:
+        raise ConfigurationError("median of an empty sequence")
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def mad(values: Sequence[float]) -> float:
+    """Median absolute deviation — the robust spread estimator.
+
+    Unlike a standard deviation, one CI runner having a bad day moves
+    the MAD hardly at all; and for a baseline of identical reruns it is
+    exactly zero, which the band floors below absorb.
+    """
+    center = median(values)
+    return median([abs(v - center) for v in values])
+
+
+@dataclasses.dataclass(frozen=True)
+class DiffPolicy:
+    """How wide the tolerated noise band is around the baseline median.
+
+    ``tolerance = max(mad_scale * MAD, rel_floor * |median|,
+    abs_floor)``.  The MAD term adapts to each metric's observed noise;
+    the relative floor keeps a dead-quiet baseline (identical reruns,
+    MAD = 0) from flagging sub-percent jitter; the absolute floor
+    guards metrics whose median is zero.  Defaults flag a 10% move on a
+    quiet metric (10% > rel_floor) while staying silent on reruns.
+    """
+
+    mad_scale: float = 4.0
+    rel_floor: float = 0.05
+    abs_floor: float = 1e-9
+    #: Baselines smaller than this report ``new`` instead of gating.
+    min_baseline: int = 1
+
+    def __post_init__(self):
+        if self.mad_scale <= 0 or self.rel_floor < 0 or self.abs_floor < 0:
+            raise ConfigurationError(
+                f"diff policy out of range: mad_scale={self.mad_scale}, "
+                f"rel_floor={self.rel_floor}, abs_floor={self.abs_floor}"
+            )
+        if self.min_baseline < 1:
+            raise ConfigurationError(
+                f"min_baseline must be >= 1: {self.min_baseline}"
+            )
+
+    def tolerance(self, baseline: Sequence[float]) -> float:
+        center = median(baseline)
+        return max(
+            self.mad_scale * mad(baseline),
+            self.rel_floor * abs(center),
+            self.abs_floor,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class MetricDelta:
+    """One metric's verdict from :func:`diff_history`."""
+
+    suite: str
+    metric: str
+    value: float
+    unit: str
+    direction: str
+    status: str  # "ok" | "regression" | "improved" | "new" | "info"
+    baseline_n: int = 0
+    baseline_median: float = 0.0
+    tolerance: float = 0.0
+
+    def render(self) -> str:
+        base = f"{self.suite}.{self.metric:<20} {self.value:>12.4g}"
+        if self.unit:
+            base += f" {self.unit}"
+        if self.status in ("new", "info"):
+            return f"  {self.status:<10} {base}"
+        delta = self.value - self.baseline_median
+        return (
+            f"  {self.status:<10} {base}  vs median "
+            f"{self.baseline_median:.4g} ± {self.tolerance:.4g} "
+            f"({delta:+.4g}, n={self.baseline_n})"
+        )
+
+
+def diff_history(
+    records: Sequence[BenchRecord],
+    commit: str = "",
+    policy: Optional[DiffPolicy] = None,
+) -> List[MetricDelta]:
+    """Gate the candidate commit's records against everyone else's.
+
+    The candidate for each (suite, metric) is its *latest* record with
+    the candidate commit (default: the commit of the last record in
+    the history); the baseline is every record of the same metric from
+    other commits.  ``info`` metrics and metrics with no baseline
+    never gate — they report ``info`` / ``new``.
+    """
+    policy = policy or DiffPolicy()
+    records = list(records)
+    if not commit:
+        if not records:
+            return []
+        commit = records[-1].commit
+    grouped: Dict[Tuple[str, str], List[BenchRecord]] = {}
+    for record in records:
+        grouped.setdefault(record.key, []).append(record)
+    deltas = []
+    for key in sorted(grouped):
+        candidates = [r for r in grouped[key] if r.commit == commit]
+        if not candidates:
+            continue
+        candidate = candidates[-1]
+        baseline = [
+            r.value for r in grouped[key] if r.commit != commit
+        ]
+        if candidate.direction == "info":
+            status, center, tolerance = "info", 0.0, 0.0
+        elif len(baseline) < policy.min_baseline:
+            status, center, tolerance = "new", 0.0, 0.0
+        else:
+            center = median(baseline)
+            tolerance = policy.tolerance(baseline)
+            worse = (
+                candidate.value < center - tolerance
+                if candidate.direction == "higher"
+                else candidate.value > center + tolerance
+            )
+            better = (
+                candidate.value > center + tolerance
+                if candidate.direction == "higher"
+                else candidate.value < center - tolerance
+            )
+            status = (
+                "regression" if worse else "improved" if better else "ok"
+            )
+        deltas.append(MetricDelta(
+            suite=candidate.suite, metric=candidate.metric,
+            value=candidate.value, unit=candidate.unit,
+            direction=candidate.direction, status=status,
+            baseline_n=len(baseline), baseline_median=center,
+            tolerance=tolerance,
+        ))
+    return deltas
+
+
+def render_diff(deltas: Sequence[MetricDelta], commit: str = "") -> str:
+    """Terminal rendering of a diff, regressions first."""
+    order = {"regression": 0, "improved": 1, "ok": 2, "new": 3, "info": 4}
+    tallies: Dict[str, int] = {}
+    for delta in deltas:
+        tallies[delta.status] = tallies.get(delta.status, 0) + 1
+    header = f"bench diff{f' @ {commit}' if commit else ''}: " + (
+        ", ".join(
+            f"{tallies[s]} {s}" for s in order if s in tallies
+        ) or "no candidate records"
+    )
+    lines = [header]
+    for delta in sorted(
+        deltas, key=lambda d: (order[d.status], d.suite, d.metric)
+    ):
+        lines.append(delta.render())
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Local bench suites (`repro-sim bench run`)
+# ----------------------------------------------------------------------
+#: (unit, direction) of every metric the local suites emit.
+_SUITE_METRICS: Dict[str, Dict[str, Tuple[str, str]]] = {
+    "functional_pass": {
+        "wall_s": ("s", "lower"),
+        "refs_per_sec": ("refs/s", "higher"),
+    },
+    "replay_kernel": {
+        "scalar_s": ("s", "lower"),
+        "batch_s": ("s", "lower"),
+        "speedup": ("ratio", "higher"),
+    },
+    "passcache": {
+        "cold_s": ("s", "lower"),
+        "warm_s": ("s", "lower"),
+        "speedup": ("ratio", "higher"),
+    },
+}
+
+
+def _bench_functional_pass(length: int, seed: int) -> Dict[str, float]:
+    """Time one functional pass (the organization-dependent cost)."""
+    from ..trace.suite import build_trace
+    from ..units import KB
+    from .config import baseline_config
+    from .fastpath import functional_pass
+
+    trace = build_trace("mu3", length=length, seed=seed)
+    config = baseline_config(cache_size_bytes=16 * KB)
+    t0 = time.perf_counter()  # reprolint: disable=REPRO001
+    functional_pass(config, trace, seed=seed)
+    wall = time.perf_counter() - t0  # reprolint: disable=REPRO001
+    return {
+        "wall_s": wall,
+        "refs_per_sec": length / wall if wall > 0 else 0.0,
+    }
+
+
+def _bench_replay_kernel(length: int, seed: int) -> Dict[str, float]:
+    """Scalar vs batch grid pricing over one warm stream."""
+    from ..trace.suite import build_trace
+    from ..units import KB
+    from .config import baseline_config
+    from .fastpath import functional_pass, replay
+    from .replaykernel import BatchReplayKernel, TimingPoint
+
+    trace = build_trace("mu3", length=length, seed=seed)
+    config = baseline_config(cache_size_bytes=16 * KB)
+    stream = functional_pass(config, trace, seed=seed)
+    points = [
+        TimingPoint(
+            memory=config.memory, cycle_ns=cycle_ns,
+            write_buffer_depth=config.l1.write_buffer_depth,
+        )
+        for cycle_ns in (20.0, 30.0, 40.0, 56.0, 80.0)
+    ]
+    t0 = time.perf_counter()  # reprolint: disable=REPRO001
+    scalar = [
+        replay(
+            stream, point.memory, point.cycle_ns,
+            write_buffer_depth=point.write_buffer_depth,
+        )
+        for point in points
+    ]
+    scalar_s = time.perf_counter() - t0  # reprolint: disable=REPRO001
+    t0 = time.perf_counter()  # reprolint: disable=REPRO001
+    batch = BatchReplayKernel(stream).replay_grid(points)
+    batch_s = time.perf_counter() - t0  # reprolint: disable=REPRO001
+    if [o.cycles for o in scalar] != [o.cycles for o in batch]:
+        raise CorruptResultError(
+            "replay_kernel bench: scalar and batch pricing diverged"
+        )
+    return {
+        "scalar_s": scalar_s,
+        "batch_s": batch_s,
+        "speedup": scalar_s / batch_s if batch_s > 0 else 0.0,
+    }
+
+
+def _bench_passcache(length: int, seed: int) -> Dict[str, float]:
+    """Cold-then-warm functional passes against a throwaway cache."""
+    import shutil
+    import tempfile
+
+    from ..trace.suite import build_trace
+    from ..units import KB
+    from .config import baseline_config
+    from .passcache import PassCache
+
+    trace = build_trace("mu3", length=length, seed=seed)
+    configs = [
+        baseline_config(cache_size_bytes=size * KB)
+        for size in (4, 8, 16)
+    ]
+    directory = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    try:
+        cold_cache = PassCache(directory)
+        t0 = time.perf_counter()  # reprolint: disable=REPRO001
+        for config in configs:
+            cold_cache.get_or_run(config, trace, seed=seed)
+        cold_s = time.perf_counter() - t0  # reprolint: disable=REPRO001
+        warm_cache = PassCache(directory)
+        t0 = time.perf_counter()  # reprolint: disable=REPRO001
+        for config in configs:
+            warm_cache.get_or_run(config, trace, seed=seed)
+        warm_s = time.perf_counter() - t0  # reprolint: disable=REPRO001
+        if warm_cache.counters.misses:
+            raise CorruptResultError(
+                f"passcache bench: warm pass missed "
+                f"{warm_cache.counters.misses} time(s)"
+            )
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+    return {
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "speedup": cold_s / warm_s if warm_s > 0 else 0.0,
+    }
+
+
+#: The local suites, by name.  Each runner returns ``{metric: value}``
+#: matching its :data:`_SUITE_METRICS` declaration.
+BENCH_SUITES: Dict[str, Callable[[int, int], Dict[str, float]]] = {
+    "functional_pass": _bench_functional_pass,
+    "replay_kernel": _bench_replay_kernel,
+    "passcache": _bench_passcache,
+}
+
+
+def run_bench_suites(
+    names: Sequence[str],
+    repeat: int = 3,
+    length: int = 20_000,
+    seed: int = 0,
+    commit: str = "",
+    host: str = "",
+) -> Tuple[List[BenchRecord], Dict[Tuple[str, str], float]]:
+    """Run local suites ``repeat`` times; median each metric.
+
+    Returns ``(records, noise)``: one record per (suite, metric) whose
+    value is the median over the repetitions, and the per-metric MAD of
+    those same repetitions — the local noise floor, worth printing next
+    to the medians so a wide band is visible at record time.
+    """
+    if repeat < 1:
+        raise ConfigurationError(f"repeat must be >= 1: {repeat}")
+    unknown = [n for n in names if n not in BENCH_SUITES]
+    if unknown:
+        raise ConfigurationError(
+            f"unknown bench suite(s) {', '.join(unknown)}; available: "
+            f"{', '.join(sorted(BENCH_SUITES))}"
+        )
+    samples: Dict[Tuple[str, str], List[float]] = {}
+    for _ in range(repeat):
+        for name in names:
+            for metric, value in BENCH_SUITES[name](length, seed).items():
+                samples.setdefault((name, metric), []).append(value)
+    records = []
+    noise = {}
+    for (suite, metric), values in samples.items():
+        unit, direction = _SUITE_METRICS[suite][metric]
+        records.append(BenchRecord(
+            suite=suite, metric=metric, value=median(values), unit=unit,
+            direction=direction, commit=commit, host=host,
+            repetitions=repeat,
+        ))
+        noise[(suite, metric)] = mad(values)
+    return records, noise

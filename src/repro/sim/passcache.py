@@ -55,7 +55,15 @@ import os
 import sys
 from array import array
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from ..errors import CorruptResultError
 from ..trace.record import Trace
@@ -75,6 +83,9 @@ from .fastpath import (
     replay,
 )
 from .statistics import CacheCounters, SimStats
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard
+    from .telemetry import MetricsRegistry
 
 #: Version of the on-disk pass-cache payload.  Readers treat any other
 #: version as a clean miss (never an error): old entries are simply
@@ -289,11 +300,19 @@ class PassCache:
         self,
         directory: Union[str, Path],
         writer: Optional[WriterFn] = None,
+        registry: Optional["MetricsRegistry"] = None,
     ) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self._writer: WriterFn = writer or atomic_write_text
         self.counters = PassCacheCounters()
+        #: Optional live :class:`~repro.sim.telemetry.MetricsRegistry`
+        #: mirroring every counter bump as a ``passcache.*`` metric.
+        self.registry = registry
+
+    def _note(self, name: str, delta: int = 1) -> None:
+        if self.registry is not None and delta:
+            self.registry.count(f"passcache.{name}", delta)
 
     # ------------------------------------------------------------------
     # Layout
@@ -337,6 +356,8 @@ class PassCache:
         self._writer(self._path(key), text)
         self.counters.puts += 1
         self.counters.bytes_written += len(text)
+        self._note("puts")
+        self._note("bytes_written", len(text))
         return key
 
     def get(
@@ -352,26 +373,34 @@ class PassCache:
         path = self._path(cache_key(config, trace, seed))
         if not path.exists():
             self.counters.misses += 1
+            self._note("misses")
             return None
         try:
             payload, n_bytes = self._read_payload(path)
         except CorruptResultError:
             self.counters.corrupt += 1
             self.counters.misses += 1
+            self._note("corrupt")
+            self._note("misses")
             self._quarantine(path)
             return None
         if payload is None:  # schema mismatch: clean miss
             self.counters.misses += 1
+            self._note("misses")
             return None
         try:
             stream = stream_from_dict(payload["stream"])
         except CorruptResultError:
             self.counters.corrupt += 1
             self.counters.misses += 1
+            self._note("corrupt")
+            self._note("misses")
             self._quarantine(path)
             return None
         self.counters.hits += 1
         self.counters.bytes_read += n_bytes
+        self._note("hits")
+        self._note("bytes_read", n_bytes)
         return stream
 
     def get_or_run(
@@ -541,20 +570,25 @@ def cached_fast_simulate(
     cache_dir: Optional[Union[str, Path]] = None,
     seed: int = 0,
     telemetry=None,
+    registry=None,
 ) -> SimStats:
     """:func:`repro.sim.fastpath.fast_simulate` with a pass cache.
 
     Accepts either a live :class:`PassCache` or a ``cache_dir`` path —
     the latter keeps the callable picklable, so campaign workers can
     carry it as ``functools.partial(cached_fast_simulate,
-    cache_dir=...)`` across the process boundary.
+    cache_dir=...)`` across the process boundary.  A ``registry``
+    (:class:`~repro.sim.telemetry.MetricsRegistry`) captures the
+    cache's hit/miss counters as live ``passcache.*`` metrics.
     """
     if cache is None:
         if cache_dir is None:
             raise ValueError(
                 "cached_fast_simulate needs a cache or a cache_dir"
             )
-        cache = PassCache(cache_dir)
+        cache = PassCache(cache_dir, registry=registry)
+    elif registry is not None and cache.registry is None:
+        cache.registry = registry
     stream = cache.get_or_run(config, trace, seed=seed)
     outcome = replay(
         stream, config.memory, config.cycle_ns,

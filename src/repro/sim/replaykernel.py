@@ -135,6 +135,16 @@ class KernelStats:
             "contended_runs": self.contended_runs,
         }
 
+    def publish(self, registry) -> None:
+        """Fold these counters into a live metrics registry.
+
+        Each nonzero counter lands as a ``replay.*`` counter on the
+        :class:`~repro.sim.telemetry.MetricsRegistry`, so kernel
+        fallbacks (``replay.scalar_replays``) are visible next to the
+        vectorized work they displaced.
+        """
+        registry.count_many("replay", self.as_dict())
+
 
 def outcome_to_dict(outcome: ReplayOutcome) -> Dict[str, int]:
     """Serialize a :class:`ReplayOutcome` (buffer counters flattened).

@@ -281,15 +281,19 @@ def _worker_main(
             conn.send(("ok", stats))
         else:
             from .telemetry import (
-                CycleLedger, StageTimer, Telemetry, build_run_report,
+                CycleLedger, MetricsRegistry, StageTimer, Telemetry,
+                build_run_report,
             )
 
             ledger = None
             if _supports_kwarg(simulate_fn, "telemetry"):
                 ledger = CycleLedger()
                 kwargs["telemetry"] = Telemetry(ledger=ledger)
+            registry = MetricsRegistry()
+            if _supports_kwarg(simulate_fn, "registry"):
+                kwargs["registry"] = registry
             timer = StageTimer()
-            with timer.stage("simulate"):
+            with timer.stage("simulate"), registry.span("worker.simulate"):
                 stats = simulate_fn(config, trace, **kwargs)
             simulator = (
                 "engine"
@@ -311,6 +315,7 @@ def _worker_main(
                     if simulator == "fastpath" and ledger is not None
                     else None
                 ),
+                registry=registry,
             )
             conn.send(("ok", (stats, report.to_dict())))
     except RunTimeoutError as exc:
@@ -632,13 +637,20 @@ class CampaignExecutor:
             self.manifest.record(record)
 
     def _write_summary(self, fabric: Optional[Dict] = None) -> None:
-        """Aggregate every stored RunReport into ``metrics/summary.json``."""
+        """Aggregate every stored RunReport into ``metrics/summary.json``.
+
+        Per-run reports are advisory, so one that fails schema
+        validation (a truncated write, a foreign document) is skipped
+        rather than sinking the whole summary.
+        """
         from .telemetry import RunReport, aggregate_reports
 
-        reports = [
-            RunReport.from_dict(payload)
-            for payload in self.campaign.load_reports()
-        ]
+        reports = []
+        for payload in self.campaign.load_reports():
+            try:
+                reports.append(RunReport.from_dict(payload))
+            except CorruptResultError:
+                continue
         if reports:
             try:
                 self.campaign.save_summary(

@@ -40,7 +40,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from ..errors import SimulationError
+from ..errors import CorruptResultError, SimulationError
 
 #: A segment is (bucket name, cycle count); each simulator half-access
 #: reports its service time as an ordered list of segments.
@@ -401,6 +401,104 @@ class StageTimer:
         return sum(self.stages.values())
 
 
+class MetricsRegistry:
+    """Named counters, gauges and wall-clock spans, in one place.
+
+    The perf-bearing subsystems (sweep, pass cache, replay kernel,
+    resilience, work queue) each keep their own counter structures; the
+    registry is the thin layer that lets one run — or one bench suite —
+    collect them all under dotted names (``passcache.hits``,
+    ``replay.batch_outcomes``, ``fabric.leases_reclaimed``) without the
+    subsystems knowing about each other.  A registry dump
+    (:meth:`as_dict`) is the ``metrics`` block of RunReport schema 5,
+    and ``repro-sim bench`` flattens the same dump into benchmark
+    records.
+
+    Spans measure the *simulator* on the host clock, exactly like
+    :class:`StageTimer`: wall-clock readings land only in advisory
+    metrics, never in simulated state or cycle counts.
+    """
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
+        #: span name -> {"count": n, "total_s": s, "max_s": s}
+        self.spans: Dict[str, Dict[str, float]] = {}
+
+    def count(self, name: str, delta: int = 1) -> None:
+        """Add ``delta`` to the named counter (created at zero)."""
+        self.counters[name] = self.counters.get(name, 0) + delta
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record the latest value of a point-in-time measurement."""
+        self.gauges[name] = value
+
+    def count_many(self, prefix: str, counts: Dict[str, int]) -> None:
+        """Fold a subsystem's counter dict in under ``prefix.*``.
+
+        Zero counts are skipped so an idle subsystem leaves no trace in
+        the dump — the block stays exactly as large as the activity.
+        """
+        for name, delta in counts.items():
+            if delta:
+                self.count(f"{prefix}.{name}", delta)
+
+    @contextmanager
+    def span(self, name: str):
+        """Time one named stage; nests and repeats accumulate."""
+        start = time.perf_counter()  # reprolint: disable=REPRO001
+        try:
+            yield
+        finally:
+            elapsed = (
+                time.perf_counter() - start  # reprolint: disable=REPRO001
+            )
+            entry = self.spans.setdefault(
+                name, {"count": 0, "total_s": 0.0, "max_s": 0.0}
+            )
+            entry["count"] += 1
+            entry["total_s"] += elapsed
+            entry["max_s"] = max(entry["max_s"], elapsed)
+
+    def empty(self) -> bool:
+        return not (self.counters or self.gauges or self.spans)
+
+    def as_dict(self) -> Dict:
+        """The JSON-able dump: the RunReport schema-5 ``metrics`` block."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "spans": {
+                name: dict(entry) for name, entry in self.spans.items()
+            },
+        }
+
+    def merge(self, dump: Dict) -> None:
+        """Fold another registry's :meth:`as_dict` dump into this one.
+
+        Counters and span counts/totals add; span maxima and gauges take
+        the larger / latest value.  Used by aggregation, where per-run
+        metrics blocks from many workers combine into one sweep view.
+        """
+        if not isinstance(dump, dict):
+            return
+        for name, delta in (dump.get("counters") or {}).items():
+            if isinstance(delta, int):
+                self.count(name, delta)
+        for name, value in (dump.get("gauges") or {}).items():
+            if isinstance(value, (int, float)):
+                self.gauge(name, float(value))
+        for name, entry in (dump.get("spans") or {}).items():
+            if not isinstance(entry, dict):
+                continue
+            mine = self.spans.setdefault(
+                name, {"count": 0, "total_s": 0.0, "max_s": 0.0}
+            )
+            mine["count"] += int(entry.get("count", 0))
+            mine["total_s"] += float(entry.get("total_s", 0.0))
+            mine["max_s"] = max(mine["max_s"], float(entry.get("max_s", 0.0)))
+
+
 def peak_rss_kb() -> Optional[int]:
     """Peak resident set size of this process in KiB, if measurable."""
     try:
@@ -458,7 +556,11 @@ def quantization_info(config) -> Dict[str, float]:
 #: activity for the run: leases issued/lost, heartbeats; see
 #: :mod:`repro.sim.workqueue`; empty when the run did not execute
 #: through the spool backend).
-REPORT_SCHEMA = 4
+#: Version 5 adds the ``metrics`` block — a :class:`MetricsRegistry`
+#: dump (named counters, gauges and wall-clock spans) collected across
+#: every subsystem the run touched; empty when no registry was threaded
+#: through the run.
+REPORT_SCHEMA = 5
 
 
 @dataclass
@@ -498,6 +600,10 @@ class RunReport:
     #: heartbeats; see :mod:`repro.sim.workqueue`); empty when the run
     #: executed outside the spool backend.
     fabric: Dict[str, int] = field(default_factory=dict)
+    #: Unified metrics block: a :class:`MetricsRegistry` dump
+    #: (``{"counters": ..., "gauges": ..., "spans": ...}``); empty when
+    #: no registry was threaded through the run.
+    metrics: Dict = field(default_factory=dict)
 
     @property
     def total_wall_s(self) -> float:
@@ -533,17 +639,49 @@ class RunReport:
             "pass_cache": dict(self.pass_cache),
             "replay": dict(self.replay),
             "fabric": dict(self.fabric),
+            "metrics": dict(self.metrics),
         }
 
     @classmethod
-    def from_dict(cls, payload: Dict) -> "RunReport":
+    def from_dict(
+        cls, payload: Dict, unknown: Optional[List[str]] = None
+    ) -> "RunReport":
+        """Rebuild a report from a stored document, tolerating drift.
+
+        Older schema versions upgrade cleanly: blocks they predate
+        (``pass_cache``, ``replay``, ``fabric``, ``metrics``) default to
+        empty.  Fields a *newer* schema may have added are dropped, but
+        never silently — pass a list as ``unknown`` to collect their
+        names, the same reporting contract as
+        :func:`repro.sim.campaign.stats_from_dict`.  A payload that is
+        not an object, or whose schema marker is not a positive integer,
+        is rejected with :exc:`~repro.errors.CorruptResultError` rather
+        than surfacing as a :exc:`TypeError` deep in aggregation.
+        """
+        if not isinstance(payload, dict):
+            raise CorruptResultError(
+                f"run report payload is {type(payload).__name__}, "
+                f"expected object"
+            )
+        schema = payload.get("schema", 1)
+        if isinstance(schema, bool) or not isinstance(schema, int) \
+                or schema < 1:
+            raise CorruptResultError(
+                f"run report schema marker {schema!r} is not a "
+                f"positive integer"
+            )
         names = {
             "run_id", "trace", "config", "simulator", "n_refs_total",
             "n_refs_measured", "cycles", "total_cycles", "warm_cycles",
             "buckets", "buckets_measured", "conserved", "wall_s",
             "refs_per_sec", "peak_rss_kb", "quantization", "pass_cache",
-            "replay", "fabric",
+            "replay", "fabric", "metrics",
         }
+        if unknown is not None:
+            unknown.extend(
+                k for k in sorted(payload)
+                if k not in names and k != "schema"
+            )
         return cls(**{k: v for k, v in payload.items() if k in names})
 
 
@@ -558,6 +696,7 @@ def build_run_report(
     pass_cache: Optional[Dict[str, int]] = None,
     replay: Optional[Dict[str, int]] = None,
     fabric: Optional[Dict[str, int]] = None,
+    registry: Optional[MetricsRegistry] = None,
 ) -> RunReport:
     """Assemble the metrics document for one completed run.
 
@@ -566,7 +705,9 @@ def build_run_report(
     ``pass_cache`` is the counter dict of the functional-pass cache the
     run used, if any; ``replay`` the batch replay-kernel counters, if
     the run repriced timing grids; ``fabric`` the work-queue lease
-    counters, if the run executed through the spool backend.
+    counters, if the run executed through the spool backend;
+    ``registry`` the run's :class:`MetricsRegistry`, dumped into the
+    schema-5 ``metrics`` block when it collected anything.
     Conservation is *checked* here (never trusted): ``conserved`` is
     the outcome of :meth:`CycleLedger.verify`.
     """
@@ -603,6 +744,10 @@ def build_run_report(
         pass_cache=dict(pass_cache) if pass_cache else {},
         replay=dict(replay) if replay else {},
         fabric=dict(fabric) if fabric else {},
+        metrics=(
+            registry.as_dict()
+            if registry is not None and not registry.empty() else {}
+        ),
     )
 
 
@@ -639,6 +784,7 @@ def aggregate_reports(
     cache_totals: Dict[str, int] = {}
     replay_totals: Dict[str, int] = {}
     fabric_totals: Dict[str, int] = {}
+    metrics_totals = MetricsRegistry()
     for report in reports:
         for name, cycles in report.buckets_measured.items():
             bucket_totals[name] = bucket_totals.get(name, 0) + cycles
@@ -648,6 +794,7 @@ def aggregate_reports(
             replay_totals[name] = replay_totals.get(name, 0) + count
         for name, count in report.fabric.items():
             fabric_totals[name] = fabric_totals.get(name, 0) + count
+        metrics_totals.merge(report.metrics)
     fabric_totals.update(fabric or {})
     ranked = sorted(
         reports, key=lambda r: r.total_wall_s, reverse=True
@@ -667,6 +814,9 @@ def aggregate_reports(
         "pass_cache": cache_totals,
         "replay": replay_totals,
         "fabric": fabric_totals,
+        "metrics": (
+            {} if metrics_totals.empty() else metrics_totals.as_dict()
+        ),
         "slowest": [
             {
                 "run_id": r.run_id,
@@ -731,6 +881,16 @@ def render_summary(summary: Dict) -> str:
             f"vectorized / {replay.get('scalar_events', 0):,} scalar "
             f"event(s)"
         )
+    spans = (summary.get("metrics") or {}).get("spans") or {}
+    if spans:
+        lines.append("stage spans across the sweep:")
+        for name in sorted(spans):
+            entry = spans[name]
+            lines.append(
+                f"  {name:<24} {entry.get('count', 0):>6} x  "
+                f"{entry.get('total_s', 0.0):9.3f}s total  "
+                f"(max {entry.get('max_s', 0.0):7.3f}s)"
+            )
     if summary.get("slowest"):
         lines.append("slowest runs:")
         for entry in summary["slowest"]:

@@ -76,10 +76,11 @@ def test_config_table_is_read_from_pyproject():
         pytest.skip("tomllib unavailable; defaults apply")
     assert config.enabled == tuple(
         f"REPRO00{i}" for i in range(1, 10)
-    ) + ("REPRO010",)
+    ) + ("REPRO010", "REPRO011")
     assert "repro/sim" in config.deterministic_paths
     assert "repro/sim/campaign.py" in config.persistence_modules
     assert "repro/sim/workqueue.py" in config.workqueue_modules
+    assert "repro/sim/benchhistory.py" in config.bench_modules
     assert "atomic_claim_text" in config.atomic_writers
 
 

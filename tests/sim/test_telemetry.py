@@ -22,7 +22,7 @@ from repro.core.policy import (
     CachePolicy, MissHandling, ReplacementKind, WriteMissPolicy, WritePolicy,
 )
 from repro.core.timing import MemoryTiming
-from repro.errors import SimulationError
+from repro.errors import CorruptResultError, SimulationError
 from repro.sim.config import (
     L1Spec, LowerLevelSpec, TranslationSpec, baseline_config,
 )
@@ -32,6 +32,7 @@ from repro.sim.telemetry import (
     BUCKETS,
     CycleLedger,
     EventTracer,
+    MetricsRegistry,
     RunReport,
     StageTimer,
     Telemetry,
@@ -451,6 +452,143 @@ class TestRunReport:
         assert RunReport.from_dict(payload).replay == {}
         summary = aggregate_reports([report, report])
         assert summary["replay"] == {"scalar_replays": 2}
+
+
+class TestMetricsRegistry:
+    def test_counters_and_gauges(self):
+        registry = MetricsRegistry()
+        assert registry.empty()
+        registry.count("passcache.hits")
+        registry.count("passcache.hits", 3)
+        registry.gauge("queue.depth", 2.0)
+        registry.gauge("queue.depth", 7.0)
+        assert registry.counters["passcache.hits"] == 4
+        assert registry.gauges["queue.depth"] == 7.0
+        assert not registry.empty()
+
+    def test_count_many_skips_zeros(self):
+        registry = MetricsRegistry()
+        registry.count_many("replay", {"hits": 2, "misses": 0})
+        assert registry.counters == {"replay.hits": 2}
+
+    def test_span_accumulates_and_tracks_max(self):
+        registry = MetricsRegistry()
+        for _ in range(3):
+            with registry.span("sweep.price_grid"):
+                pass
+        entry = registry.spans["sweep.price_grid"]
+        assert entry["count"] == 3
+        assert entry["total_s"] >= entry["max_s"] >= 0.0
+
+    def test_span_records_even_on_exception(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            with registry.span("worker.simulate"):
+                raise ValueError("boom")
+        assert registry.spans["worker.simulate"]["count"] == 1
+
+    def test_dump_round_trips_through_merge(self):
+        source = MetricsRegistry()
+        source.count("a", 2)
+        source.gauge("g", 1.5)
+        with source.span("s"):
+            pass
+        dump = json.loads(json.dumps(source.as_dict()))
+        target = MetricsRegistry()
+        target.merge(dump)
+        target.merge(dump)
+        assert target.counters == {"a": 4}
+        assert target.gauges == {"g": 1.5}
+        assert target.spans["s"]["count"] == 2
+        assert target.spans["s"]["max_s"] == source.spans["s"]["max_s"]
+
+    def test_merge_ignores_malformed_dumps(self):
+        registry = MetricsRegistry()
+        registry.merge("not a dict")
+        registry.merge({"counters": {"x": "NaN-ish"}, "spans": {"s": 3}})
+        assert registry.empty()
+
+
+class TestRunReportSchemaDrift:
+    """Satellite: drift handling around the versioned report document.
+
+    Forward drift (a newer writer added fields) must be collected, not
+    silently dropped; backward drift (older schema without the newer
+    blocks) must upgrade with empty defaults; garbage must be rejected
+    with :exc:`CorruptResultError`, never a ``TypeError`` mid-aggregate.
+    """
+
+    def _payload(self, mu3_small, small_config):
+        telemetry = Telemetry(ledger=CycleLedger())
+        stats = fast_simulate(small_config, mu3_small, telemetry=telemetry)
+        report = build_run_report(
+            stats, telemetry.ledger, StageTimer(), config=small_config
+        )
+        return report.to_dict()
+
+    def test_unknown_fields_are_collected(self, mu3_small, small_config):
+        payload = self._payload(mu3_small, small_config)
+        payload["future_block"] = {"x": 1}
+        payload["another"] = 2
+        unknown = []
+        report = RunReport.from_dict(payload, unknown=unknown)
+        assert unknown == ["another", "future_block"]
+        assert not hasattr(report, "future_block")
+
+    def test_older_schema_upgrades_to_empty_blocks(
+        self, mu3_small, small_config
+    ):
+        payload = self._payload(mu3_small, small_config)
+        # A schema-4 writer predates the metrics block entirely.
+        payload["schema"] = 4
+        del payload["metrics"]
+        report = RunReport.from_dict(payload)
+        assert report.metrics == {}
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(CorruptResultError, match="expected object"):
+            RunReport.from_dict(["schema", 5])
+
+    @pytest.mark.parametrize("marker", [True, 0, -3, "5", 2.0, None])
+    def test_bad_schema_marker_rejected(
+        self, marker, mu3_small, small_config
+    ):
+        payload = self._payload(mu3_small, small_config)
+        payload["schema"] = marker
+        with pytest.raises(CorruptResultError, match="schema marker"):
+            RunReport.from_dict(payload)
+
+    def test_metrics_block_round_trips(self, mu3_small, small_config):
+        registry = MetricsRegistry()
+        registry.count("passcache.hits", 2)
+        with registry.span("worker.simulate"):
+            pass
+        telemetry = Telemetry(ledger=CycleLedger())
+        stats = fast_simulate(small_config, mu3_small, telemetry=telemetry)
+        report = build_run_report(
+            stats, telemetry.ledger, StageTimer(), config=small_config,
+            registry=registry,
+        )
+        payload = json.loads(json.dumps(report.to_dict()))
+        restored = RunReport.from_dict(payload)
+        assert restored.metrics["counters"] == {"passcache.hits": 2}
+        summary = aggregate_reports([restored, restored])
+        assert summary["metrics"]["counters"] == {"passcache.hits": 4}
+        assert summary["metrics"]["spans"]["worker.simulate"]["count"] == 2
+        text = render_summary(summary)
+        assert "stage spans across the sweep:" in text
+        assert "worker.simulate" in text
+
+    def test_empty_registry_leaves_no_block(self, mu3_small, small_config):
+        telemetry = Telemetry(ledger=CycleLedger())
+        stats = fast_simulate(small_config, mu3_small, telemetry=telemetry)
+        report = build_run_report(
+            stats, telemetry.ledger, StageTimer(), config=small_config,
+            registry=MetricsRegistry(),
+        )
+        assert report.metrics == {}
+        summary = aggregate_reports([report])
+        assert summary["metrics"] == {}
 
 
 class TestAggregation:
