@@ -389,6 +389,16 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--no-cache", action="store_true",
                       help="disable the per-file content-hash result "
                            "cache (.reprolint-cache.json)")
+    lint.add_argument("--graph-stats", action="store_true",
+                      help="print project-graph statistics (modules, "
+                           "call edges, summary counts, cache reuse) "
+                           "after the run")
+    lint.add_argument("--why", default="",
+                      metavar="RULE[:PATH]",
+                      help="explain an interprocedural rule: print the "
+                           "call chain(s) behind REPRO012/REPRO013 (or "
+                           "the REPRO014 findings) for modules "
+                           "matching PATH, then exit")
     lint.set_defaults(func=_cmd_lint)
 
     camp = sub.add_parser(
@@ -723,6 +733,27 @@ def _cmd_lint(args: argparse.Namespace) -> int:
               f"{config.fingerprints_path}")
         return 0
 
+    if args.why:
+        from .lint.rules_interproc import explain_why
+
+        rule_spec, _, path_filter = args.why.partition(":")
+        try:
+            chains = explain_why(
+                collect_sources(paths, root), config,
+                rule_spec.strip(), path_filter.strip() or None,
+            )
+        except ValueError as exc:
+            print(f"repro-sim lint: error: {exc}", file=sys.stderr)
+            return 2
+        if chains:
+            print("\n".join(chains))
+        else:
+            scope = f" under {path_filter.strip()}" if path_filter \
+                else ""
+            print(f"no {rule_spec.strip()} chains{scope} in the "
+                  f"analyzed files")
+        return 0
+
     baseline_path = (
         Path(args.baseline) if args.baseline
         else root / "lint-baseline.json"
@@ -742,10 +773,23 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         Baseline.from_violations(pairs).save(baseline_path)
         print(f"{len(pairs)} violation(s) baselined to {baseline_path}")
         return 0
+    graph_stats = None
+    if args.graph_stats:
+        from .lint.projectgraph import build_project_graph
+
+        graph = build_project_graph(
+            collect_sources(paths, root), config
+        )
+        graph_stats = graph.stats
     if args.format == "json":
-        print(_json.dumps(result.to_dict(), indent=1))
+        payload = result.to_dict()
+        if graph_stats is not None:
+            payload["graph"] = graph_stats.to_dict()
+        print(_json.dumps(payload, indent=1))
     else:
         print(result.render())
+        if graph_stats is not None:
+            print(graph_stats.render())
     return 0 if result.clean else 1
 
 
@@ -1272,7 +1316,7 @@ def _cmd_bench_diff(args: argparse.Namespace) -> int:
 
 def _cmd_bench_history(args: argparse.Namespace) -> int:
     from .errors import CorruptResultError
-    from .sim.benchhistory import BenchHistory
+    from .sim.benchhistory import BenchHistory, sparkline
 
     try:
         series = BenchHistory(args.history).series()
@@ -1286,8 +1330,12 @@ def _cmd_bench_history(args: argparse.Namespace) -> int:
         if args.metric and f"{suite}.{metric}" != args.metric \
                 and metric != args.metric:
             continue
+        trend = sparkline(
+            [r.value for r in records],
+            width=args.last if args.last > 0 else len(records),
+        )
         print(f"{suite}.{metric} ({records[-1].unit or '-'}, "
-              f"{records[-1].direction}):")
+              f"{records[-1].direction})  {trend}:")
         for record in records[-args.last:]:
             print(f"  {record.commit or '(no commit)':<14} "
                   f"{record.value:>12.6g}  x{record.repetitions} "

@@ -30,9 +30,15 @@ from .framework import (  # noqa: F401
     lint_sources,
     load_config,
 )
+from .projectgraph import (  # noqa: F401
+    ProjectGraph,
+    build_project_graph,
+)
 from .selftest import run_self_test  # noqa: F401
 
 __all__ = [
+    "ProjectGraph",
+    "build_project_graph",
     "Baseline",
     "LintCache",
     "LintConfig",

@@ -15,28 +15,121 @@ from typing import Dict, Iterator, List, Optional, Tuple
 # ----------------------------------------------------------------------
 # Import-aware name resolution
 # ----------------------------------------------------------------------
-def import_aliases(tree: ast.AST) -> Dict[str, str]:
+def module_dotted(rel: str) -> str:
+    """Dotted module name of a repo-relative path.
+
+    ``src/repro/sim/engine.py`` -> ``repro.sim.engine``;
+    ``src/repro/sim/__init__.py`` -> ``repro.sim``.  A leading ``src/``
+    (the layout's import root) is stripped; other ancestors are kept,
+    which is correct for anything importable from the repo root.
+    """
+    parts = rel.replace("\\", "/").split("/")
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def module_package(rel: str) -> str:
+    """Dotted name of the package *containing* ``rel``.
+
+    For a plain module this is its parent package; for an
+    ``__init__.py`` it is the package itself (matching how a
+    one-level-relative import resolves from either).
+    """
+    dotted = module_dotted(rel)
+    if rel.replace("\\", "/").endswith("/__init__.py"):
+        return dotted
+    return dotted.rsplit(".", 1)[0] if "." in dotted else ""
+
+
+def _resolve_relative(package: str, level: int, module: str) -> str:
+    """Absolute dotted target of ``from <dots><module> import ...``.
+
+    ``level`` is the number of leading dots; ``package`` is the dotted
+    package containing the importing module.  Over-deep relatives
+    (more dots than packages) degrade to the bare module name, the
+    pre-existing suffix-matching behaviour.
+    """
+    parts = package.split(".") if package else []
+    if level - 1 > len(parts):
+        return module
+    base = parts[: len(parts) - (level - 1)]
+    if module:
+        base.append(module)
+    return ".".join(base)
+
+
+def import_aliases(
+    tree: ast.AST, package: Optional[str] = None
+) -> Dict[str, str]:
     """Map local names to the dotted path they were imported as.
 
     ``import time as t`` yields ``{"t": "time"}``;
     ``from time import perf_counter as pc`` yields
-    ``{"pc": "time.perf_counter"}``.  Relative imports keep their bare
-    module name (callers match on suffixes anyway).
+    ``{"pc": "time.perf_counter"}``.
+
+    With ``package`` (the importing module's dotted package, e.g.
+    ``"repro.sim"``), relative imports resolve to absolute dotted
+    paths: ``from . import engine`` yields
+    ``{"engine": "repro.sim.engine"}`` and ``from ..cache.cache import
+    Cache`` yields ``{"Cache": "repro.cache.cache.Cache"}``.  Without
+    it they keep their bare module name (callers match on suffixes).
+
+    A module-level assignment, function or class definition that
+    rebinds an imported name *after* the import shadows it — the alias
+    is dropped so ``time = FakeClock()`` stops ``time.time()`` from
+    resolving to the real clock.
     """
     aliases: Dict[str, str] = {}
+    import_lines: Dict[str, int] = {}
     for node in ast.walk(tree):
         if isinstance(node, ast.Import):
             for alias in node.names:
                 local = alias.asname or alias.name.split(".")[0]
                 full = alias.name if alias.asname else local
                 aliases[local] = full
+                import_lines[local] = node.lineno
         elif isinstance(node, ast.ImportFrom):
             module = node.module or ""
+            if node.level and package is not None:
+                module = _resolve_relative(package, node.level, module)
             for alias in node.names:
                 local = alias.asname or alias.name
                 full = f"{module}.{alias.name}" if module else alias.name
                 aliases[local] = full
+                import_lines[local] = node.lineno
+    for name, line in _module_level_bindings(tree):
+        if name in aliases and line > import_lines.get(name, 0):
+            del aliases[name]
     return aliases
+
+
+def _module_level_bindings(tree: ast.AST) -> List[Tuple[str, int]]:
+    """(name, line) for every module-level non-import binding."""
+    bound: List[Tuple[str, int]] = []
+    body = getattr(tree, "body", [])
+    for node in body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                targets = (
+                    target.elts
+                    if isinstance(target, (ast.Tuple, ast.List))
+                    else [target]
+                )
+                for t in targets:
+                    if isinstance(t, ast.Name):
+                        bound.append((t.id, node.lineno))
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name) and node.value is not None:
+                bound.append((node.target.id, node.lineno))
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            bound.append((node.name, node.lineno))
+    return bound
 
 
 def dotted_name(node: ast.AST) -> Optional[str]:

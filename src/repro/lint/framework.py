@@ -38,7 +38,7 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 #: Bumped whenever rule behaviour changes; invalidates stale caches.
-LINT_VERSION = 2
+LINT_VERSION = 3
 
 #: ``disable-file=`` comments are honoured only this early in a file,
 #: so a whole-file opt-out is visible at the top where reviewers look.
@@ -194,8 +194,20 @@ class LintConfig:
     fingerprints_path: str = "src/repro/lint/schema_fingerprints.json"
     #: Schema payloads REPRO008 tracks.
     schemas: Tuple[SchemaSpec, ...] = DEFAULT_SCHEMAS
+    #: Simulation hot-path modules: REPRO012 proves no call chain from
+    #: any function here reaches a wall-clock/entropy source, even
+    #: through helpers in modules the per-file rules never scope.
+    hot_path_modules: Tuple[str, ...] = (
+        "repro/sim/engine.py",
+        "repro/sim/fastpath.py",
+        "repro/sim/replaykernel.py",
+        "repro/sim/passcache.py",
+    )
     #: Direct fingerprint injection (tests/self-test); wins over file.
     fingerprints_data: Optional[Mapping] = None
+    #: On-disk project-graph cache (set by lint_paths with the cache
+    #: enabled; None keeps the graph purely in-memory).
+    graph_cache_path: Optional[str] = None
 
 
 def _tuple(value) -> Tuple[str, ...]:
@@ -236,6 +248,7 @@ def load_config(root: Path) -> LintConfig:
         "bench-modules": "bench_modules",
         "atomic-writers": "atomic_writers",
         "exception-paths": "exception_paths",
+        "hot-path-modules": "hot_path_modules",
     }
     for key, attr in mapping.items():
         if key in section:
@@ -371,11 +384,19 @@ class Rule:
 class LintCache:
     """File-scope results keyed on content hash, persisted as JSON.
 
-    The signature ties entries to the lint version and the enabled
-    rule set, so upgrading the linter or toggling rules invalidates
-    everything stale at once.  Project-scope rules are never cached —
-    they are cross-file by definition.
+    Every entry key carries the run's *signature* — lint version,
+    enabled rule set and effective ``[tool.reprolint]`` config (see
+    :func:`cache_signature`) — so editing pyproject or switching
+    ``--rule`` selections can never serve a stale result.  Entries for
+    a bounded number of recent signatures coexist, so alternating
+    between (say) a full run and a ``--rule REPRO002`` run does not
+    thrash the cache.  Project-scope rules are never cached — they are
+    cross-file by definition.
     """
+
+    #: How many distinct (version, rules, config) generations keep
+    #: their entries; older ones are evicted on save.
+    KEEP_GENERATIONS = 4
 
     def __init__(self, path: Optional[Path], signature: str) -> None:
         self.path = path
@@ -383,19 +404,27 @@ class LintCache:
         self.hits = 0
         self.misses = 0
         self._entries: Dict[str, Dict] = {}
+        self._generations: List[str] = []
         self._dirty = False
         if path is not None and path.is_file():
             try:
                 payload = json.loads(path.read_text(encoding="utf-8"))
-                if payload.get("signature") == signature:
-                    entries = payload.get("files", {})
-                    if isinstance(entries, dict):
-                        self._entries = entries
             except (OSError, ValueError):
-                self._entries = {}
+                payload = {}
+            generations = payload.get("generations")
+            entries = payload.get("files", {})
+            # Legacy single-signature payloads (no generation list)
+            # are discarded wholesale: their keys carry no signature.
+            if isinstance(generations, list) and \
+                    isinstance(entries, dict):
+                self._generations = [str(g) for g in generations]
+                self._entries = entries
+
+    def _key(self, rel: str) -> str:
+        return f"{self.signature}|{rel}"
 
     def get(self, src: SourceFile) -> Optional[List[Violation]]:
-        entry = self._entries.get(src.rel)
+        entry = self._entries.get(self._key(src.rel))
         if not entry or entry.get("hash") != src.content_hash:
             self.misses += 1
             return None
@@ -403,7 +432,7 @@ class LintCache:
         return [Violation(**v) for v in entry.get("violations", [])]
 
     def put(self, src: SourceFile, violations: List[Violation]) -> None:
-        self._entries[src.rel] = {
+        self._entries[self._key(src.rel)] = {
             "hash": src.content_hash,
             "violations": [v.to_dict() for v in violations],
         }
@@ -412,7 +441,21 @@ class LintCache:
     def save(self) -> None:
         if self.path is None or not self._dirty:
             return
-        payload = {"signature": self.signature, "files": self._entries}
+        generations = [
+            g for g in self._generations if g != self.signature
+        ]
+        generations.append(self.signature)  # most recent last
+        generations = generations[-self.KEEP_GENERATIONS:]
+        kept = set(generations)
+        entries = {
+            key: value for key, value in self._entries.items()
+            if key.partition("|")[0] in kept
+        }
+        payload = {
+            "version": LINT_VERSION,
+            "generations": generations,
+            "files": entries,
+        }
         try:
             self.path.write_text(
                 json.dumps(payload, indent=1), encoding="utf-8"
@@ -529,11 +572,13 @@ class LintResult:
 
 def _registered_rules() -> List[Rule]:
     from .rules_determinism import DETERMINISM_RULES
+    from .rules_interproc import INTERPROC_RULES
     from .rules_robustness import ROBUSTNESS_RULES
     from .rules_structure import STRUCTURE_RULES
 
     return [
         *DETERMINISM_RULES, *ROBUSTNESS_RULES, *STRUCTURE_RULES,
+        *INTERPROC_RULES,
     ]
 
 
@@ -653,10 +698,16 @@ def lint_sources(
 
 
 def cache_signature(config: LintConfig, rules: Sequence[Rule]) -> str:
+    """Fingerprint of everything that can change a file's findings:
+    lint version, the enabled rule set, and the effective config.
+    ``fingerprints_data`` and the graph-cache location are excluded —
+    they only feed project-scope rules, which are never cached."""
     ids = ",".join(sorted(r.rule_id for r in rules))
     cfg = json.dumps(
         dataclasses.asdict(
-            dataclasses.replace(config, fingerprints_data=None)
+            dataclasses.replace(
+                config, fingerprints_data=None, graph_cache_path=None
+            )
         ),
         sort_keys=True, default=str,
     )
@@ -701,6 +752,13 @@ def lint_paths(
             root / ".reprolint-cache.json",
             cache_signature(config, rules),
         )
+        if config.graph_cache_path is None:
+            config = dataclasses.replace(
+                config,
+                graph_cache_path=str(
+                    root / ".reprolint-graph-cache.json"
+                ),
+            )
     baseline = None
     if baseline_path is None:
         baseline_path = root / "lint-baseline.json"

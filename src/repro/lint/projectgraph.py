@@ -1,0 +1,852 @@
+"""Whole-project import/call graph with bottom-up function summaries.
+
+The per-file rules (REPRO001, REPRO003 and friends) see one module at a
+time, so a helper that reads the wall clock or writes a raw file is
+invisible to them the moment it moves one module away from the scoped
+code that calls it.  This module is the second analysis engine: it
+parses every source handed to the linter, builds
+
+* a **module-import graph** (who imports whom, project modules only),
+* an **alias-resolved call graph** (``from .campaign import save as s``
+  and re-exports through ``__init__`` both resolve to the defining
+  function), and
+* **per-function summaries** — for each function (and each module's
+  top-level code, the ``<module>`` pseudo-function), whether it can
+  *transitively* reach a wall-clock/entropy source, perform a raw
+  filesystem write, introduce a float into cycle math, spawn a
+  thread/process, take an exclusive spool claim, or return a monotonic
+  clock reading.
+
+Summaries are computed bottom-up over the call graph with a fixed-point
+loop, so mutual recursion converges (properties only ever turn on —
+the lattice is a product of booleans).  Each summary stores a *next
+hop* rather than a flat flag: either the offending call site itself or
+the call edge it was inherited through, so ``lint --why`` can print the
+full chain from an entry point down to ``time.time()``.
+
+Results are cached on disk (``.reprolint-graph-cache.json``), keyed
+per-module on a fingerprint of the module's **transitive import
+closure** contents: editing ``campaign.py`` invalidates the summaries
+of every module that can reach it through imports, and nothing else.
+
+Known over-approximations (deliberate — this is a linter, not a
+verifier): code inside nested functions and lambdas is attributed to
+the enclosing top-level function whether or not the closure is ever
+called, and calls through variables or data structures do not create
+edges (the per-file rules still catch direct use at the definition
+site).
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .astutil import (
+    dotted_name,
+    import_aliases,
+    is_cycle_counter_name,
+    is_floaty,
+    module_dotted,
+    module_package,
+    terminal_name,
+)
+from .framework import LintConfig, SourceFile
+from .rules_determinism import _BANNED_CALLS, _BANNED_PREFIXES
+from .rules_robustness import _open_write_mode
+
+#: Bumped whenever summary semantics change; invalidates graph caches.
+GRAPH_VERSION = 1
+
+# The summary lattice: one monotone boolean per property.
+PROP_WALLCLOCK = "wallclock"    # reaches a wall-clock/entropy source
+PROP_RAWWRITE = "rawwrite"      # performs a raw (non-atomic) FS write
+PROP_FLOATCYCLE = "floatcycle"  # introduces a float into cycle math
+PROP_THREAD = "thread"          # spawns a thread/process/pool
+PROP_LEASE = "lease"            # takes an exclusive spool claim
+PROP_MONOTONIC = "monotonic"    # returns a monotonic clock reading
+
+PROPS = (
+    PROP_WALLCLOCK, PROP_RAWWRITE, PROP_FLOATCYCLE,
+    PROP_THREAD, PROP_LEASE, PROP_MONOTONIC,
+)
+
+#: Host-clock readers (the monotonic-discipline sources, REPRO014).
+HOST_CLOCK_CALLS = frozenset(
+    name for name in _BANNED_CALLS if name.startswith("time.")
+)
+
+_THREAD_CALLS = {
+    "threading.Thread": "spawns a thread",
+    "concurrent.futures.ThreadPoolExecutor": "spawns a thread pool",
+    "concurrent.futures.ProcessPoolExecutor": "spawns worker processes",
+    "multiprocessing.Process": "spawns a process",
+    "multiprocessing.Pool": "spawns a process pool",
+    "os.fork": "forks the process",
+}
+
+_CLAIM_WRITER = "atomic_claim_text"
+
+#: A direct fact is skipped when its line carries a suppression for any
+#: of these rule ids — an accepted, documented exception (StageTimer's
+#: host profiling, the torn-write fault helpers) must not taint every
+#: caller upstream.
+_PROP_SUPPRESS: Dict[str, Tuple[str, ...]] = {
+    PROP_WALLCLOCK: ("REPRO001", "REPRO012"),
+    PROP_RAWWRITE: (
+        "REPRO003", "REPRO009", "REPRO010", "REPRO011", "REPRO013",
+    ),
+    PROP_FLOATCYCLE: ("REPRO002",),
+    PROP_MONOTONIC: ("REPRO001", "REPRO014"),
+    PROP_THREAD: (),
+    PROP_LEASE: (),
+}
+
+
+def fkey(rel: str, qualname: str) -> str:
+    """Stable function key: ``<repo-relative path>::<qualname>``."""
+    return f"{rel}::{qualname}"
+
+
+def fkey_parts(key: str) -> Tuple[str, str]:
+    rel, _, qualname = key.partition("::")
+    return rel, qualname
+
+
+def _last_segment(qualname: str) -> str:
+    return qualname.rsplit(".", 1)[-1]
+
+
+@dataclasses.dataclass(frozen=True)
+class Hop:
+    """One step of a summary's explanation chain.
+
+    ``kind == "direct"``: the fact itself — ``detail`` describes the
+    offending expression at ``rel:line``.  ``kind == "call"``: the fact
+    was inherited through the call at ``rel:line`` to the function key
+    in ``detail``; follow that key's summary for the next hop.
+    """
+
+    kind: str
+    rel: str
+    line: int
+    detail: str
+
+    def to_list(self) -> List:
+        return [self.kind, self.rel, self.line, self.detail]
+
+    @classmethod
+    def from_list(cls, row: Sequence) -> "Hop":
+        return cls(str(row[0]), str(row[1]), int(row[2]), str(row[3]))
+
+
+@dataclasses.dataclass
+class ModuleTable:
+    """One module's resolvable surface: defs, classes, import aliases."""
+
+    functions: Set[str]
+    classes: Dict[str, Set[str]]
+    aliases: Dict[str, str]
+
+
+@dataclasses.dataclass
+class FunctionNode:
+    """One scanned function: resolved call sites plus direct facts."""
+
+    key: str
+    rel: str
+    qualname: str
+    lineno: int
+    calls: List[Tuple[int, str]] = dataclasses.field(default_factory=list)
+    return_calls: List[Tuple[int, str]] = \
+        dataclasses.field(default_factory=list)
+    direct: Dict[str, Hop] = dataclasses.field(default_factory=dict)
+
+
+@dataclasses.dataclass
+class GraphStats:
+    """Build statistics for ``lint --graph-stats``."""
+
+    modules: int = 0
+    functions: int = 0
+    call_edges: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    prop_counts: Dict[str, int] = dataclasses.field(default_factory=dict)
+
+    def to_dict(self) -> Dict:
+        return dataclasses.asdict(self)
+
+    def render(self) -> str:
+        props = ", ".join(
+            f"{p}={self.prop_counts.get(p, 0)}" for p in PROPS
+        )
+        return (
+            f"project graph: {self.modules} module(s), "
+            f"{self.functions} function(s), "
+            f"{self.call_edges} call edge(s)\n"
+            f"summaries: {props}\n"
+            f"graph cache: {self.cache_hits} module(s) reused, "
+            f"{self.cache_misses} rescanned"
+        )
+
+
+class CallResolver:
+    """Resolve one module's call expressions to project functions.
+
+    Resolution order: ``self.``/``cls.`` methods of the enclosing
+    class; import aliases (already shadowing-aware) expanded to dotted
+    paths and matched against project modules by longest prefix, with
+    re-exports chased through ``__init__`` aliases; local top-level
+    functions and class constructors; everything else is external and
+    reported by its canonical dotted name for fact classification.
+    """
+
+    _MAX_CHASE = 5  # re-export indirection bound
+
+    def __init__(
+        self,
+        rel: str,
+        tables: Dict[str, ModuleTable],
+        dotted_to_rel: Dict[str, str],
+    ) -> None:
+        self.rel = rel
+        self.tables = tables
+        self.dotted_to_rel = dotted_to_rel
+
+    def resolve(
+        self, func: ast.AST, enclosing_class: Optional[str] = None
+    ) -> Optional[Tuple[str, str]]:
+        """``("local", fkey)`` | ``("ext", dotted name)`` | ``None``."""
+        name = dotted_name(func)
+        if name is None:
+            return None  # call on a call result, subscript, lambda, ...
+        table = self.tables[self.rel]
+        parts = name.split(".")
+        head = parts[0]
+        if head in ("self", "cls") and enclosing_class is not None:
+            if len(parts) == 2 and \
+                    parts[1] in table.classes.get(enclosing_class, ()):
+                return ("local",
+                        fkey(self.rel, f"{enclosing_class}.{parts[1]}"))
+            return None
+        if len(parts) == 1:
+            if head in table.aliases:
+                hit = self._resolve_dotted(table.aliases[head], 0)
+                return hit or ("ext", table.aliases[head])
+            if head in table.functions:
+                return ("local", fkey(self.rel, head))
+            if head in table.classes:
+                return self._constructor(self.rel, head) or None
+            return ("ext", head)
+        if head in table.aliases:
+            full = table.aliases[head] + "." + ".".join(parts[1:])
+            hit = self._resolve_dotted(full, 0)
+            return hit or ("ext", full)
+        if head in table.classes and len(parts) == 2 and \
+                parts[1] in table.classes[head]:
+            return ("local", fkey(self.rel, f"{head}.{parts[1]}"))
+        return ("ext", name)
+
+    def _constructor(
+        self, rel: str, cls: str
+    ) -> Optional[Tuple[str, str]]:
+        if "__init__" in self.tables[rel].classes.get(cls, ()):
+            return ("local", fkey(rel, f"{cls}.__init__"))
+        return None  # synthesized __init__ (dataclass etc.): no edge
+
+    def _resolve_dotted(
+        self, full: str, depth: int
+    ) -> Optional[Tuple[str, str]]:
+        if depth >= self._MAX_CHASE:
+            return None
+        parts = full.split(".")
+        for i in range(len(parts) - 1, 0, -1):
+            rel2 = self.dotted_to_rel.get(".".join(parts[:i]))
+            if rel2 is not None:
+                return self._member(rel2, parts[i:], depth)
+        return None
+
+    def _member(
+        self, rel2: str, rest: Sequence[str], depth: int
+    ) -> Optional[Tuple[str, str]]:
+        table = self.tables.get(rel2)
+        if table is None:
+            return None
+        if len(rest) == 1:
+            name = rest[0]
+            if name in table.functions:
+                return ("local", fkey(rel2, name))
+            if name in table.classes:
+                return self._constructor(rel2, name)
+            if name in table.aliases:  # re-export (__init__ surface)
+                return self._resolve_dotted(table.aliases[name],
+                                            depth + 1)
+            return None
+        if len(rest) == 2:
+            cls, method = rest
+            if cls in table.classes and method in table.classes[cls]:
+                return ("local", fkey(rel2, f"{cls}.{method}"))
+            if cls in table.aliases:
+                return self._resolve_dotted(
+                    table.aliases[cls] + "." + method, depth + 1
+                )
+        return None
+
+
+class ProjectGraph:
+    """The built graph: summaries, chains, per-module function lists."""
+
+    def __init__(
+        self,
+        tables: Dict[str, ModuleTable],
+        dotted_to_rel: Dict[str, str],
+        summaries: Dict[str, Dict[str, Hop]],
+        functions_by_module: Dict[str, List[Tuple[str, int]]],
+        stats: GraphStats,
+    ) -> None:
+        self.tables = tables
+        self.dotted_to_rel = dotted_to_rel
+        self.summaries = summaries
+        self.functions_by_module = functions_by_module
+        self.stats = stats
+
+    def summary(self, key: str) -> Dict[str, Hop]:
+        return self.summaries.get(key, {})
+
+    def functions_in(self, rel: str) -> List[Tuple[str, int]]:
+        """``(qualname, lineno)`` of every function unit in ``rel``."""
+        return self.functions_by_module.get(rel, [])
+
+    def resolver_for(self, rel: str) -> CallResolver:
+        return CallResolver(rel, self.tables, self.dotted_to_rel)
+
+    def chain(self, key: str, prop: str) -> List[Hop]:
+        """The hop chain from ``key`` down to the direct fact."""
+        hops: List[Hop] = []
+        seen: Set[str] = set()
+        current = key
+        while current not in seen:
+            seen.add(current)
+            hop = self.summaries.get(current, {}).get(prop)
+            if hop is None:
+                break
+            hops.append(hop)
+            if hop.kind != "call":
+                break
+            current = hop.detail
+        return hops
+
+    def describe_chain(self, key: str, prop: str) -> str:
+        """One-line rendering of the chain, for messages and --why."""
+        rel, qualname = fkey_parts(key)
+        parts = [f"{qualname} ({rel})"]
+        for hop in self.chain(key, prop):
+            if hop.kind == "call":
+                _, callee = fkey_parts(hop.detail)
+                parts.append(f"{hop.rel}:{hop.line} calls {callee}")
+            else:
+                parts.append(f"{hop.rel}:{hop.line} {hop.detail}")
+        return " -> ".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Construction
+# ----------------------------------------------------------------------
+def _config_key(config: LintConfig) -> str:
+    cfg = dataclasses.replace(
+        config, fingerprints_data=None, graph_cache_path=None
+    )
+    return json.dumps(
+        dataclasses.asdict(cfg), sort_keys=True, default=str
+    )
+
+
+def _graph_signature(config: LintConfig) -> str:
+    key = f"g{GRAPH_VERSION}|{_config_key(config)}"
+    return hashlib.sha256(key.encode()).hexdigest()[:16]
+
+
+#: One-slot memo: the three interprocedural rules (and --why) all build
+#: the graph for the same (sources, config) within one lint run.
+_MEMO: Dict[Tuple, ProjectGraph] = {}
+
+
+def build_project_graph(
+    sources: Sequence[SourceFile], config: LintConfig
+) -> ProjectGraph:
+    """Build (or reuse) the project graph over ``sources``.
+
+    The graph covers exactly the files handed to the linter — lint a
+    single module and the analysis is correspondingly partial; CI and
+    the acceptance gate run over all of ``src/``.
+    """
+    files = sorted(
+        (s for s in sources if s.rel.endswith(".py")
+         and s.tree is not None),
+        key=lambda s: s.rel,
+    )
+    memo_key = (
+        tuple((s.rel, s.content_hash) for s in files),
+        _config_key(config),
+    )
+    cached = _MEMO.get(memo_key)
+    if cached is not None:
+        return cached
+    graph = _build(files, config)
+    _MEMO.clear()
+    _MEMO[memo_key] = graph
+    return graph
+
+
+def _load_disk_cache(path: Optional[Path], signature: str) -> Dict:
+    if path is None or not path.is_file():
+        return {}
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return {}
+    if payload.get("signature") != signature:
+        return {}
+    modules = payload.get("modules", {})
+    return modules if isinstance(modules, dict) else {}
+
+
+def _module_imports(
+    src: SourceFile, dotted_to_rel: Dict[str, str]
+) -> Tuple[str, ...]:
+    """Repo-relative paths of the project modules ``src`` imports."""
+    package = module_package(src.rel)
+    deps: Set[str] = set()
+
+    def add(dotted: str) -> None:
+        parts = dotted.split(".")
+        for i in range(len(parts), 0, -1):
+            rel = dotted_to_rel.get(".".join(parts[:i]))
+            if rel is not None:
+                if rel != src.rel:
+                    deps.add(rel)
+                return
+
+    for node in ast.walk(src.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                add(alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level:
+                from .astutil import _resolve_relative
+                base = _resolve_relative(package, node.level, base)
+            for alias in node.names:
+                if alias.name == "*" or not base:
+                    add(base or alias.name)
+                else:
+                    add(f"{base}.{alias.name}")
+    return tuple(sorted(deps))
+
+
+def _module_table(src: SourceFile) -> ModuleTable:
+    functions: Set[str] = set()
+    classes: Dict[str, Set[str]] = {}
+    for node in src.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            functions.add(node.name)
+        elif isinstance(node, ast.ClassDef):
+            methods = {
+                sub.name for sub in node.body
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            classes[node.name] = methods
+    aliases = import_aliases(src.tree, package=module_package(src.rel))
+    return ModuleTable(
+        functions=functions, classes=classes, aliases=aliases
+    )
+
+
+def _scan_module(
+    src: SourceFile, resolver: CallResolver, config: LintConfig
+) -> List[FunctionNode]:
+    """Function units of ``src`` with resolved calls and direct facts."""
+    module_stmts: List[ast.stmt] = []
+    units: List[Tuple[str, int, List[ast.stmt], Optional[str]]] = []
+    for node in src.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            units.append((node.name, node.lineno, [node], None))
+        elif isinstance(node, ast.ClassDef):
+            for sub in node.body:
+                if isinstance(sub, (ast.FunctionDef,
+                                    ast.AsyncFunctionDef)):
+                    units.append((
+                        f"{node.name}.{sub.name}", sub.lineno, [sub],
+                        node.name,
+                    ))
+                else:  # class-level code runs at import time
+                    module_stmts.append(sub)
+        else:
+            module_stmts.append(node)
+    units.append(("<module>", 1, module_stmts, None))
+    return [
+        _scan_unit(src, resolver, config, qual, lineno, stmts, cls)
+        for qual, lineno, stmts, cls in units
+    ]
+
+
+def _scan_unit(
+    src: SourceFile,
+    resolver: CallResolver,
+    config: LintConfig,
+    qualname: str,
+    lineno: int,
+    stmts: List[ast.stmt],
+    enclosing_class: Optional[str],
+) -> FunctionNode:
+    node_fn = FunctionNode(
+        key=fkey(src.rel, qualname), rel=src.rel, qualname=qualname,
+        lineno=lineno,
+    )
+    aliases = resolver.tables[src.rel].aliases
+
+    return_call_ids: Set[int] = set()
+    for stmt in stmts:
+        for sub in ast.walk(stmt):
+            if isinstance(sub, ast.Return) and \
+                    isinstance(sub.value, ast.Call):
+                return_call_ids.add(id(sub.value))
+
+    def add_direct(prop: str, line: int, desc: str) -> None:
+        if prop in node_fn.direct:
+            return
+        if any(src.suppressed(line, rid)
+               for rid in _PROP_SUPPRESS[prop]):
+            return
+        node_fn.direct[prop] = Hop("direct", src.rel, line, desc)
+
+    def handle_call(call: ast.Call, func_name: Optional[str]) -> None:
+        line = call.lineno
+        hit = resolver.resolve(call.func, enclosing_class)
+        ext_name: Optional[str] = None
+        if hit is not None and hit[0] == "local":
+            callee = hit[1]
+            if callee != node_fn.key:  # self-recursion adds nothing
+                node_fn.calls.append((line, callee))
+                if id(call) in return_call_ids:
+                    node_fn.return_calls.append((line, callee))
+            if _last_segment(fkey_parts(callee)[1]) == _CLAIM_WRITER:
+                add_direct(PROP_LEASE, line,
+                           f"{_CLAIM_WRITER}() takes an exclusive "
+                           f"spool claim")
+        elif hit is not None:
+            ext_name = hit[1]
+        if ext_name is not None:
+            _external_facts(call, ext_name, line, add_direct,
+                            return_call_ids)
+        blessed = func_name is not None and \
+            func_name in config.atomic_writers
+        if not blessed:
+            if ext_name == "open":
+                mode = _open_write_mode(call)
+                if mode is not None:
+                    add_direct(PROP_RAWWRITE, line,
+                               f"open(..., {mode!r}) raw write")
+            elif isinstance(call.func, ast.Attribute) and \
+                    call.func.attr in ("write_text", "write_bytes"):
+                add_direct(PROP_RAWWRITE, line,
+                           f".{call.func.attr}() raw write")
+
+    def visit(node: ast.AST, func_name: Optional[str]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            func_name = node.name
+        if isinstance(node, ast.Call):
+            handle_call(node, func_name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                flat = (
+                    target.elts
+                    if isinstance(target, (ast.Tuple, ast.List))
+                    else [target]
+                )
+                for t in flat:
+                    name = terminal_name(t)
+                    if is_cycle_counter_name(name) and \
+                            is_floaty(node.value, aliases):
+                        add_direct(
+                            PROP_FLOATCYCLE, node.lineno,
+                            f"float-producing expression assigned to "
+                            f"cycle counter {name!r}",
+                        )
+        elif isinstance(node, ast.AugAssign):
+            name = terminal_name(node.target)
+            if is_cycle_counter_name(name) and (
+                isinstance(node.op, ast.Div)
+                or is_floaty(node.value, aliases)
+            ):
+                add_direct(
+                    PROP_FLOATCYCLE, node.lineno,
+                    f"float-producing expression assigned to cycle "
+                    f"counter {name!r}",
+                )
+        for child in ast.iter_child_nodes(node):
+            visit(child, func_name)
+
+    outer = qualname if qualname != "<module>" else None
+    outer_name = _last_segment(outer) if outer else None
+    for stmt in stmts:
+        visit(stmt, outer_name)
+    return node_fn
+
+
+def _external_facts(
+    call: ast.Call, name: str, line: int, add_direct, return_call_ids
+) -> None:
+    """Classify an external call target into direct facts."""
+    if name in _BANNED_CALLS:
+        add_direct(PROP_WALLCLOCK, line,
+                   f"{name}() {_BANNED_CALLS[name]}")
+    else:
+        for prefix, why in _BANNED_PREFIXES:
+            if name.startswith(prefix):
+                add_direct(PROP_WALLCLOCK, line, f"{name}() {why}")
+                break
+        else:
+            _random_fact(call, name, line, add_direct)
+    if name in HOST_CLOCK_CALLS and id(call) in return_call_ids:
+        add_direct(PROP_MONOTONIC, line, f"returns {name}()")
+    if name in _THREAD_CALLS:
+        add_direct(PROP_THREAD, line, f"{name}() {_THREAD_CALLS[name]}")
+    if _last_segment(name) == _CLAIM_WRITER:
+        add_direct(PROP_LEASE, line,
+                   f"{_CLAIM_WRITER}() takes an exclusive spool claim")
+
+
+def _random_fact(call: ast.Call, name: str, line: int, add_direct):
+    head, _, tail = name.partition(".")
+    if name == "Random" or name.endswith(".Random"):
+        if not call.args and not call.keywords:
+            add_direct(PROP_WALLCLOCK, line,
+                       "random.Random() without a seed draws OS entropy")
+        elif call.args and isinstance(call.args[0], ast.Constant) and \
+                call.args[0].value is None:
+            add_direct(PROP_WALLCLOCK, line,
+                       "random.Random(None) seeds from OS entropy")
+    elif head == "random" and tail and "." not in tail:
+        add_direct(PROP_WALLCLOCK, line,
+                   f"module-level random.{tail}() uses the "
+                   f"interpreter-global RNG")
+
+
+def _build(
+    files: Sequence[SourceFile], config: LintConfig
+) -> ProjectGraph:
+    by_rel = {s.rel: s for s in files}
+    dotted_to_rel: Dict[str, str] = {}
+    for s in files:
+        dotted_to_rel.setdefault(module_dotted(s.rel), s.rel)
+
+    signature = _graph_signature(config)
+    cache_path = (
+        Path(config.graph_cache_path)
+        if config.graph_cache_path else None
+    )
+    disk = _load_disk_cache(cache_path, signature)
+
+    # Phase 1: the import graph (cached entries avoid re-parsing only
+    # when the module's own content is unchanged).
+    imports: Dict[str, Tuple[str, ...]] = {}
+    for s in files:
+        entry = disk.get(s.rel)
+        if entry and entry.get("self_hash") == s.content_hash:
+            imports[s.rel] = tuple(
+                r for r in entry.get("imports", ()) if r in by_rel
+            )
+        else:
+            imports[s.rel] = _module_imports(s, dotted_to_rel)
+
+    # Phase 2: per-module dependency fingerprints over the transitive
+    # import closure — the cache key that makes cross-file
+    # invalidation sound.
+    dep_fp: Dict[str, str] = {}
+    for s in files:
+        closure = {s.rel}
+        stack = [s.rel]
+        while stack:
+            for dep in imports.get(stack.pop(), ()):
+                if dep not in closure:
+                    closure.add(dep)
+                    stack.append(dep)
+        blob = "|".join(
+            f"{rel}:{by_rel[rel].content_hash}"
+            for rel in sorted(closure)
+        )
+        dep_fp[s.rel] = hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+    # Phase 3: split into cache-valid (frozen) and to-scan modules.
+    tables: Dict[str, ModuleTable] = {}
+    summaries: Dict[str, Dict[str, Hop]] = {}
+    functions_by_module: Dict[str, List[Tuple[str, int]]] = {}
+    frozen: Set[str] = set()
+    edge_count = 0
+    for s in files:
+        entry = disk.get(s.rel)
+        if not (entry and entry.get("self_hash") == s.content_hash
+                and entry.get("dep_fp") == dep_fp[s.rel]):
+            continue
+        frozen.add(s.rel)
+        table = entry.get("table", {})
+        tables[s.rel] = ModuleTable(
+            functions=set(table.get("functions", ())),
+            classes={
+                k: set(v) for k, v in table.get("classes", {}).items()
+            },
+            aliases=dict(table.get("aliases", {})),
+        )
+        funcs = entry.get("funcs", {})
+        functions_by_module[s.rel] = sorted(
+            (q, int(info.get("lineno", 1)))
+            for q, info in funcs.items()
+        )
+        for q, info in funcs.items():
+            summaries[fkey(s.rel, q)] = {
+                prop: Hop.from_list(row)
+                for prop, row in info.get("summary", {}).items()
+            }
+        edge_count += int(entry.get("nedges", 0))
+
+    scanned = [s for s in files if s.rel not in frozen]
+    for s in scanned:
+        tables[s.rel] = _module_table(s)
+
+    # Phase 4: scan — resolve call sites, collect direct facts.
+    nodes: Dict[str, FunctionNode] = {}
+    module_edges: Dict[str, int] = {}
+    for s in scanned:
+        resolver = CallResolver(s.rel, tables, dotted_to_rel)
+        mod_nodes = _scan_module(s, resolver, config)
+        functions_by_module[s.rel] = sorted(
+            (n.qualname, n.lineno) for n in mod_nodes
+        )
+        module_edges[s.rel] = sum(len(n.calls) for n in mod_nodes)
+        edge_count += module_edges[s.rel]
+        for n in mod_nodes:
+            nodes[n.key] = n
+            summaries[n.key] = dict(n.direct)
+
+    # Phase 5: fixed point — propagate properties bottom-up.  Each
+    # property only ever turns on, so the loop terminates; sorted
+    # iteration keeps the chosen chains deterministic.
+    atomic = set(config.atomic_writers)
+    ordered = sorted(nodes)
+    changed = True
+    while changed:
+        changed = False
+        for key in ordered:
+            node = nodes[key]
+            summary = summaries[key]
+            for prop in PROPS:
+                if prop in summary:
+                    continue
+                sites = (
+                    node.return_calls if prop == PROP_MONOTONIC
+                    else node.calls
+                )
+                for line, callee in sites:
+                    if callee not in summaries:
+                        continue
+                    if prop == PROP_RAWWRITE and \
+                            _last_segment(fkey_parts(callee)[1]) \
+                            in atomic:
+                        continue  # blessed: the write inside is atomic
+                    if prop in summaries[callee]:
+                        summary[prop] = Hop("call", node.rel, line,
+                                            callee)
+                        changed = True
+                        break
+
+    prop_counts = {
+        prop: sum(1 for s in summaries.values() if prop in s)
+        for prop in PROPS
+    }
+    stats = GraphStats(
+        modules=len(files),
+        functions=len(summaries),
+        call_edges=edge_count,
+        cache_hits=len(frozen),
+        cache_misses=len(scanned),
+        prop_counts=prop_counts,
+    )
+
+    if cache_path is not None and scanned:
+        _save_disk_cache(
+            cache_path, signature, files, disk, frozen, imports,
+            dep_fp, tables, functions_by_module, summaries,
+            module_edges,
+        )
+
+    return ProjectGraph(
+        tables=tables,
+        dotted_to_rel=dotted_to_rel,
+        summaries=summaries,
+        functions_by_module=functions_by_module,
+        stats=stats,
+    )
+
+
+def _save_disk_cache(
+    path: Path,
+    signature: str,
+    files: Sequence[SourceFile],
+    disk: Dict,
+    frozen: Set[str],
+    imports: Dict[str, Tuple[str, ...]],
+    dep_fp: Dict[str, str],
+    tables: Dict[str, ModuleTable],
+    functions_by_module: Dict[str, List[Tuple[str, int]]],
+    summaries: Dict[str, Dict[str, Hop]],
+    module_edges: Dict[str, int],
+) -> None:
+    modules: Dict[str, Dict] = {}
+    for s in files:
+        if s.rel in frozen:
+            modules[s.rel] = disk[s.rel]
+            continue
+        table = tables[s.rel]
+        funcs = {}
+        for qualname, lineno in functions_by_module.get(s.rel, []):
+            summary = summaries.get(fkey(s.rel, qualname), {})
+            funcs[qualname] = {
+                "lineno": lineno,
+                "summary": {
+                    prop: hop.to_list()
+                    for prop, hop in sorted(summary.items())
+                },
+            }
+        modules[s.rel] = {
+            "self_hash": s.content_hash,
+            "dep_fp": dep_fp[s.rel],
+            "imports": sorted(imports[s.rel]),
+            "table": {
+                "functions": sorted(table.functions),
+                "classes": {
+                    k: sorted(v)
+                    for k, v in sorted(table.classes.items())
+                },
+                "aliases": dict(sorted(table.aliases.items())),
+            },
+            "funcs": funcs,
+            "nedges": module_edges.get(s.rel, 0),
+        }
+    payload = {
+        "signature": signature,
+        "version": GRAPH_VERSION,
+        "modules": modules,
+    }
+    try:
+        path.write_text(
+            json.dumps(payload, indent=1, sort_keys=True),
+            encoding="utf-8",
+        )
+    except OSError:  # best-effort, like the per-file lint cache
+        pass

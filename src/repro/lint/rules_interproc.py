@@ -1,0 +1,376 @@
+"""Interprocedural rules over the project graph: REPRO012 (hot-path
+determinism taint), REPRO013 (atomic-write reachability), REPRO014
+(monotonic clock discipline).
+
+These are the cross-module closures of invariants the per-file rules
+already enforce locally:
+
+* REPRO001 flags a ``time.time()`` written *in* a deterministic
+  package; REPRO012 flags a hot-path function whose **call chain**
+  reaches one through helpers in modules REPRO001 never scopes.
+* REPRO003/009/010/011 flag a raw write *in* their scoped modules;
+  REPRO013 flags a raw write a scoped entry point reaches in a module
+  **outside every scope** — the hole a refactor opens by moving a
+  write helper one file away.
+* REPRO014 hardens the lease protocol's "expiry by observation only"
+  rule: a monotonic clock reading is process-local, so serializing one
+  into a spool/bench document silently re-introduces cross-host clock
+  comparison.  Durations (differences of two readings) are fine.
+
+All three report the full offending chain in the message; ``lint
+--why RULE:path`` prints the same chains standalone.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .astutil import terminal_name
+from .framework import (
+    LintConfig,
+    Rule,
+    SourceFile,
+    Violation,
+    path_matches,
+)
+from .projectgraph import (
+    HOST_CLOCK_CALLS,
+    PROP_MONOTONIC,
+    PROP_RAWWRITE,
+    PROP_WALLCLOCK,
+    ProjectGraph,
+    build_project_graph,
+    fkey,
+)
+
+#: The per-module atomic-write scopes REPRO013 unifies: each pairs a
+#: LintConfig attribute with the per-file rule that owns *direct*
+#: writes inside it.  REPRO013 only fires when a chain terminates in a
+#: module covered by none of them.
+WRITE_SCOPES: Tuple[Tuple[str, str], ...] = (
+    ("persistence_modules", "REPRO003"),
+    ("pass_cache_modules", "REPRO009"),
+    ("workqueue_modules", "REPRO010"),
+    ("bench_modules", "REPRO011"),
+)
+
+
+def _in_write_scope(rel: str, config: LintConfig) -> bool:
+    return any(
+        path_matches(rel, prefix)
+        for attr, _ in WRITE_SCOPES
+        for prefix in getattr(config, attr)
+    )
+
+
+class HotPathDeterminismRule(Rule):
+    """REPRO012 — no call chain from hot-path code to the wall clock."""
+
+    rule_id = "REPRO012"
+    title = "hot-path call chains never reach wall-clock/entropy"
+    invariant = (
+        "byte-identical re-simulation, transitively: REPRO001 only "
+        "sees direct calls, so a clean-looking helper in an unscoped "
+        "module can smuggle time.time() into the simulation path — "
+        "the call graph proves no such chain exists"
+    )
+    scope = "project"
+
+    def check_project(
+        self, files: Sequence[SourceFile], config: LintConfig
+    ) -> List[Violation]:
+        graph = build_project_graph(files, config)
+        found: List[Violation] = []
+        for src in files:
+            if not any(path_matches(src.rel, p)
+                       for p in config.hot_path_modules):
+                continue
+            for qualname, _lineno in graph.functions_in(src.rel):
+                key = fkey(src.rel, qualname)
+                hop = graph.summary(key).get(PROP_WALLCLOCK)
+                if hop is None or hop.kind != "call":
+                    continue  # direct calls are REPRO001's finding
+                found.append(Violation(
+                    rule_id=self.rule_id, path=src.rel,
+                    line=hop.line, col=0,
+                    message=(
+                        f"call chain from {qualname}() reaches a "
+                        f"wall-clock/entropy source: "
+                        f"{graph.describe_chain(key, PROP_WALLCLOCK)}"
+                        f" — hot-path code must be deterministic even "
+                        f"through helpers in unscoped modules"
+                    ),
+                ))
+        return found
+
+
+class AtomicReachabilityRule(Rule):
+    """REPRO013 — scoped entry points never reach an unscoped raw write."""
+
+    rule_id = "REPRO013"
+    title = "persistence entry points never reach unscoped raw writes"
+    invariant = (
+        "atomic persistence, transitively: REPRO003/009/010/011 guard "
+        "writes inside their module scopes — a write helper moved one "
+        "module away would silently escape all four, and only the "
+        "call graph sees the chain back into the scoped entry point"
+    )
+    scope = "project"
+
+    def check_project(
+        self, files: Sequence[SourceFile], config: LintConfig
+    ) -> List[Violation]:
+        graph = build_project_graph(files, config)
+        atomic = set(config.atomic_writers)
+        found: List[Violation] = []
+        for src in files:
+            if not _in_write_scope(src.rel, config):
+                continue
+            for qualname, _lineno in graph.functions_in(src.rel):
+                if qualname.rsplit(".", 1)[-1] in atomic:
+                    continue  # the blessed primitives themselves
+                key = fkey(src.rel, qualname)
+                hop = graph.summary(key).get(PROP_RAWWRITE)
+                if hop is None or hop.kind != "call":
+                    continue  # direct writes are the per-file rules'
+                chain = graph.chain(key, PROP_RAWWRITE)
+                terminal = chain[-1] if chain else None
+                if terminal is None or terminal.kind != "direct":
+                    continue
+                if _in_write_scope(terminal.rel, config):
+                    continue  # that module's own rule owns the write
+                found.append(Violation(
+                    rule_id=self.rule_id, path=src.rel,
+                    line=hop.line, col=0,
+                    message=(
+                        f"raw write reachable from {qualname}() in an "
+                        f"unscoped module: "
+                        f"{graph.describe_chain(key, PROP_RAWWRITE)}"
+                        f" — route it through "
+                        f"{'/'.join(sorted(atomic))}"
+                    ),
+                ))
+        return found
+
+
+class ClockDisciplineRule(Rule):
+    """REPRO014 — monotonic readings never serialized into documents."""
+
+    rule_id = "REPRO014"
+    title = "monotonic readings never cross process boundaries"
+    invariant = (
+        "expiry by observation only (the PR 6 lease protocol): a "
+        "monotonic reading is meaningless on any other host or "
+        "process, so one serialized into a spool/bench document "
+        "re-introduces exactly the cross-host clock comparison the "
+        "protocol exists to avoid; durations (reading minus reading) "
+        "are portable and stay legal"
+    )
+    scope = "project"
+
+    def _scoped(self, rel: str, config: LintConfig) -> bool:
+        return any(
+            path_matches(rel, p)
+            for p in config.workqueue_modules + config.bench_modules
+        )
+
+    def check_project(
+        self, files: Sequence[SourceFile], config: LintConfig
+    ) -> List[Violation]:
+        graph = build_project_graph(files, config)
+        found: List[Violation] = []
+        for src in files:
+            if not self._scoped(src.rel, config) or src.tree is None:
+                continue
+            resolver = graph.resolver_for(src.rel)
+            for funcdef, cls in _function_defs(src.tree):
+                found.extend(self._check_function(
+                    src, funcdef, cls, resolver, graph
+                ))
+        return found
+
+    def _check_function(
+        self,
+        src: SourceFile,
+        funcdef: ast.AST,
+        cls: Optional[str],
+        resolver,
+        graph: ProjectGraph,
+    ) -> List[Violation]:
+        tainted: Set[str] = set()
+
+        def is_reading(expr: Optional[ast.AST]) -> bool:
+            """Is ``expr`` an *absolute* monotonic reading?
+
+            A difference of two readings is a duration — portable,
+            legal.  Any other arithmetic on a reading (offsets,
+            scaling) keeps its absolute character.
+            """
+            if expr is None:
+                return False
+            if isinstance(expr, ast.Call):
+                hit = resolver.resolve(expr.func, cls)
+                if hit is None:
+                    return False
+                kind, target = hit
+                if kind == "ext":
+                    return target in HOST_CLOCK_CALLS
+                return PROP_MONOTONIC in graph.summary(target)
+            if isinstance(expr, ast.Name):
+                return expr.id in tainted
+            if isinstance(expr, ast.BinOp):
+                left, right = expr.left, expr.right
+                if isinstance(expr.op, ast.Sub) and \
+                        is_reading(left) and is_reading(right):
+                    return False
+                return is_reading(left) or is_reading(right)
+            if isinstance(expr, ast.UnaryOp):
+                return is_reading(expr.operand)
+            if isinstance(expr, ast.IfExp):
+                return is_reading(expr.body) or is_reading(expr.orelse)
+            return False
+
+        body_nodes = list(_walk_scope(funcdef))
+        # Two passes so a loop-carried assignment taints uses that
+        # appear textually earlier; booleans only turn on, so two
+        # passes reach the fixed point of this flat lattice.
+        for _ in range(2):
+            for node in body_nodes:
+                if isinstance(node, ast.Assign):
+                    if is_reading(node.value):
+                        for target in node.targets:
+                            flat = (
+                                target.elts
+                                if isinstance(target,
+                                              (ast.Tuple, ast.List))
+                                else [target]
+                            )
+                            for t in flat:
+                                name = terminal_name(t)
+                                if name:
+                                    tainted.add(name)
+                elif isinstance(node, ast.AnnAssign):
+                    if node.value is not None and \
+                            is_reading(node.value):
+                        name = terminal_name(node.target)
+                        if name:
+                            tainted.add(name)
+                elif isinstance(node, ast.AugAssign):
+                    if is_reading(node.value):
+                        name = terminal_name(node.target)
+                        if name:
+                            tainted.add(name)
+
+        found: List[Violation] = []
+        for node in body_nodes:
+            if not isinstance(node, ast.Dict):
+                continue
+            for value in node.values:
+                if value is not None and is_reading(value):
+                    found.append(Violation(
+                        rule_id=self.rule_id, path=src.rel,
+                        line=value.lineno, col=value.col_offset,
+                        message=(
+                            "monotonic clock reading serialized into "
+                            "a document literal; monotonic values are "
+                            "process-local and must never be compared "
+                            "across process boundaries (serialize "
+                            "durations — differences of readings — "
+                            "or nothing)"
+                        ),
+                    ))
+        return found
+
+
+def _function_defs(
+    tree: ast.AST,
+) -> List[Tuple[ast.AST, Optional[str]]]:
+    """Every function def with its directly-enclosing class (if any)."""
+    out: List[Tuple[ast.AST, Optional[str]]] = []
+    class_of: Dict[int, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            for sub in node.body:
+                if isinstance(sub, (ast.FunctionDef,
+                                    ast.AsyncFunctionDef)):
+                    class_of[id(sub)] = node.name
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            out.append((node, class_of.get(id(node))))
+    return out
+
+
+def _walk_scope(funcdef: ast.AST):
+    """Walk a function body without descending into nested defs (they
+    are separate scopes, analyzed on their own)."""
+    def visit(node: ast.AST):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef,
+                                  ast.AsyncFunctionDef)):
+                continue
+            yield child
+            yield from visit(child)
+    yield from visit(funcdef)
+
+
+# ----------------------------------------------------------------------
+# `lint --why` / `lint --graph-stats` support
+# ----------------------------------------------------------------------
+_WHY_PROPS = {
+    "REPRO012": PROP_WALLCLOCK,
+    "REPRO013": PROP_RAWWRITE,
+}
+
+
+def explain_why(
+    files: Sequence[SourceFile],
+    config: LintConfig,
+    rule_id: str,
+    path_filter: Optional[str] = None,
+) -> List[str]:
+    """Chains (REPRO012/013) or findings (REPRO014) for ``--why``.
+
+    With a path filter, every function in matching modules that
+    carries the property is explained — including mid-chain helpers,
+    not just scoped entry points; without one, only the rule's actual
+    entry-point scope is walked.
+    """
+    if rule_id == "REPRO014":
+        rule = ClockDisciplineRule()
+        return [
+            v.render() for v in rule.check_project(list(files), config)
+            if path_filter is None or path_filter in v.path
+        ]
+    prop = _WHY_PROPS.get(rule_id)
+    if prop is None:
+        raise ValueError(
+            f"--why supports REPRO012/REPRO013/REPRO014, not {rule_id}"
+        )
+    graph = build_project_graph(files, config)
+
+    def in_default_scope(rel: str) -> bool:
+        if rule_id == "REPRO012":
+            return any(path_matches(rel, p)
+                       for p in config.hot_path_modules)
+        return _in_write_scope(rel, config)
+
+    lines: List[str] = []
+    for rel in sorted(graph.functions_by_module):
+        if path_filter is not None:
+            if path_filter not in rel:
+                continue
+        elif not in_default_scope(rel):
+            continue
+        for qualname, _lineno in graph.functions_in(rel):
+            key = fkey(rel, qualname)
+            if prop in graph.summary(key):
+                lines.append(graph.describe_chain(key, prop))
+    return lines
+
+
+INTERPROC_RULES = (
+    HotPathDeterminismRule(),
+    AtomicReachabilityRule(),
+    ClockDisciplineRule(),
+)

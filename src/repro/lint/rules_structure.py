@@ -1,20 +1,26 @@
 """Structural rules: REPRO005 (experiment registry closure), REPRO006
-(validated config fields), REPRO008 (schema fingerprints).
+(validated config fields), REPRO008 (schema fingerprints), REPRO015
+(dead suppression comments).
 
-These are project-scope checks: each one reasons about relationships
+Most are project-scope checks: each one reasons about relationships
 *between* files — an experiment module and the registry, a dataclass
 and its ``__post_init__``, a serializer and its committed fingerprint —
-that no single-file pass can see.
+that no single-file pass can see.  REPRO015 is the odd one out: a
+file-scope hygiene check over the suppression mechanism itself.
 """
 
 from __future__ import annotations
 
 import ast
 import hashlib
+import io
+import tokenize
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from .framework import (
+    FILE_SUPPRESS_WINDOW,
+    _SUPPRESS_RE,
     LintConfig,
     Rule,
     SchemaSpec,
@@ -495,6 +501,133 @@ def write_fingerprints(
     return schemas
 
 
+def _suppression_comments(
+    src: SourceFile,
+) -> List[Tuple[int, str, List[str]]]:
+    """``(line, kind, rule_ids)`` for every *real* suppression comment.
+
+    Tokenize-based on purpose: the framework's line regex also matches
+    suppression-shaped text inside string literals (fixture sources in
+    ``selftest.py``, docs in docstrings) — those are not suppressions
+    and must not be audited as dead ones.
+    """
+    out: List[Tuple[int, str, List[str]]] = []
+    try:
+        tokens = tokenize.generate_tokens(
+            io.StringIO(src.text).readline
+        )
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(tok.string)
+            if not match:
+                continue
+            kind, raw = match.groups()
+            ids = [r.strip() for r in raw.split(",") if r.strip()]
+            out.append((tok.start[0], kind, ids))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return []
+    return out
+
+
+class DeadSuppressionRule(Rule):
+    """REPRO015 — every suppression comment still suppresses something.
+
+    A ``# reprolint: disable=...`` that no longer matches any raw
+    finding is not harmless: it pre-authorizes a *future* violation on
+    that line, silently, and rots the audit trail the in-line
+    suppression design exists for.  The check replays the other
+    enabled file-scope rules on the file (only when suppression
+    comments are present) and flags each suppressed rule id that has
+    no finding left to suppress, plus unknown rule ids and
+    ``disable-file`` comments below the honoured window.  Project-scope
+    ids are skipped — their findings need the whole file set, which a
+    file-scope audit does not see.
+    """
+
+    rule_id = "REPRO015"
+    title = "no dead suppression comments"
+    invariant = (
+        "suppression auditability: `git log -S reprolint` only shows "
+        "who accepted which exception if every disable comment maps "
+        "to a live, intentional finding"
+    )
+
+    def check_file(
+        self, src: SourceFile, config: LintConfig
+    ) -> List[Violation]:
+        comments = _suppression_comments(src)
+        if not comments or src.tree is None:
+            return []
+        from .framework import all_rules
+
+        registered = all_rules(None)
+        known = {r.rule_id for r in registered}
+        project_ids = {
+            r.rule_id for r in registered if r.scope == "project"
+        }
+        peers = [
+            r for r in all_rules(config)
+            if r.scope == "file" and r.rule_id != self.rule_id
+            and r.applies_to(src.rel, config)
+        ]
+        raw_lines: Dict[str, Set[int]] = {}
+        for rule in peers:
+            for violation in rule.check_file(src, config):
+                raw_lines.setdefault(
+                    violation.rule_id, set()
+                ).add(violation.line)
+
+        found: List[Violation] = []
+        for line, kind, ids in comments:
+            for rid in ids:
+                if rid == "all":
+                    continue  # blanket: auditing it needs every rule
+                if rid not in known:
+                    found.append(Violation(
+                        rule_id=self.rule_id, path=src.rel,
+                        line=line, col=0,
+                        message=(
+                            f"suppression names unknown rule {rid!r}; "
+                            f"it disables nothing"
+                        ),
+                    ))
+                    continue
+                if rid in project_ids:
+                    continue
+                if kind == "disable":
+                    dead = line not in raw_lines.get(rid, ())
+                    where = f"at line {line}"
+                else:
+                    if line > FILE_SUPPRESS_WINDOW:
+                        found.append(Violation(
+                            rule_id=self.rule_id, path=src.rel,
+                            line=line, col=0,
+                            message=(
+                                f"disable-file={rid} below line "
+                                f"{FILE_SUPPRESS_WINDOW} is outside "
+                                f"the honoured window and has no "
+                                f"effect"
+                            ),
+                        ))
+                        continue
+                    dead = not raw_lines.get(rid)
+                    where = "anywhere in the file"
+                if dead:
+                    found.append(Violation(
+                        rule_id=self.rule_id, path=src.rel,
+                        line=line, col=0,
+                        message=(
+                            f"dead suppression: no {rid} finding "
+                            f"{where} is left to suppress — remove "
+                            f"the comment so it cannot silently "
+                            f"pre-authorize a future violation"
+                        ),
+                    ))
+        return found
+
+
 STRUCTURE_RULES = (
     RegistryClosureRule(), ConfigValidationRule(), SchemaFingerprintRule(),
+    DeadSuppressionRule(),
 )

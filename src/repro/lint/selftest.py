@@ -231,6 +231,108 @@ def _r8_module(fields: Sequence[str]) -> str:
     return _R8_MODULE % body
 
 
+# REPRO012: the hot-path module itself is squeaky clean — the wall
+# clock hides two modules away, behind a helper REPRO001 never scopes.
+_R12_ENGINE_VIOLATING = _src("""
+    from repro.trace.stamputil import stamp
+
+    def step(state, n):
+        return stamp(state, n)
+""")
+
+_R12_HELPER_VIOLATING = _src("""
+    import time
+
+    def now_tag():
+        return time.time()
+
+    def stamp(state, n):
+        state["tag"] = now_tag() + n
+        return state
+""")
+
+_R12_ENGINE_CLEAN = _R12_ENGINE_VIOLATING
+
+_R12_HELPER_CLEAN = _src("""
+    def now_tag():
+        return 0
+
+    def stamp(state, n):
+        state["tag"] = now_tag() + n
+        return state
+""")
+
+# REPRO013: a persistence entry point reaches a raw write through a
+# helper module outside every atomic-write scope.
+_R13_CAMPAIGN_VIOLATING = _src("""
+    from repro.util.rawio import dump
+
+    def save_result(path, doc):
+        dump(path, doc)
+""")
+
+_R13_HELPER_VIOLATING = _src("""
+    def dump(path, doc):
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(doc)
+""")
+
+_R13_CAMPAIGN_CLEAN = _src("""
+    from repro.util.rawio import load
+
+    def restore_result(path):
+        return load(path)
+""")
+
+_R13_HELPER_CLEAN = _src("""
+    def load(path):
+        with open(path, encoding="utf-8") as handle:
+            return handle.read()
+""")
+
+# REPRO014: an absolute monotonic reading lands in a lease document;
+# the clean twin serializes only a duration (reading minus reading).
+_R14_VIOLATING = _src("""
+    import time
+
+    def lease_doc(job):
+        now = time.monotonic()
+        doc = {"job": job, "deadline": now}
+        return doc
+""")
+
+_R14_CLEAN = _src("""
+    import time
+
+    def lease_doc(job, beat):
+        return {"job": job, "beat": beat}
+
+    def timed(fn):
+        t0 = time.monotonic()
+        fn()
+        wall = time.monotonic() - t0
+        return {"wall_s": wall}
+""")
+
+# REPRO015: one suppression whose violation is long gone, one naming a
+# rule that never existed; the clean twin's suppression is live.
+_R15_VIOLATING = _src("""
+    def helper(value):
+        return value + 1  # reprolint: disable=REPRO001  stale comment
+
+    def other(value):
+        return value  # reprolint: disable=REPRO999
+""")
+
+_R15_CLEAN = _src("""
+    import time
+
+    def stamp(stats):
+        stats["at"] = time.time()  # reprolint: disable=REPRO001
+        return stats
+""")
+
+
 def _r8_config(fields: Sequence[str]) -> LintConfig:
     return replace(
         LintConfig(),
@@ -333,6 +435,43 @@ def rule_fixtures() -> List[RuleFixture]:
             "REPRO011",
             violating=((f"{sim}/benchhistory.py", _R3_VIOLATING),),
             clean=((f"{sim}/benchhistory.py", _R3_CLEAN),),
+            expect_min=2,
+        ),
+        # REPRO012: the engine file is identical in both fixtures —
+        # only the helper two imports away changes, which is exactly
+        # the hole the per-file REPRO001 cannot see.
+        RuleFixture(
+            "REPRO012",
+            violating=(
+                (f"{sim}/engine.py", _R12_ENGINE_VIOLATING),
+                ("src/repro/trace/stamputil.py",
+                 _R12_HELPER_VIOLATING),
+            ),
+            clean=(
+                (f"{sim}/engine.py", _R12_ENGINE_CLEAN),
+                ("src/repro/trace/stamputil.py", _R12_HELPER_CLEAN),
+            ),
+        ),
+        RuleFixture(
+            "REPRO013",
+            violating=(
+                (f"{sim}/campaign.py", _R13_CAMPAIGN_VIOLATING),
+                ("src/repro/util/rawio.py", _R13_HELPER_VIOLATING),
+            ),
+            clean=(
+                (f"{sim}/campaign.py", _R13_CAMPAIGN_CLEAN),
+                ("src/repro/util/rawio.py", _R13_HELPER_CLEAN),
+            ),
+        ),
+        RuleFixture(
+            "REPRO014",
+            violating=((f"{sim}/workqueue.py", _R14_VIOLATING),),
+            clean=((f"{sim}/workqueue.py", _R14_CLEAN),),
+        ),
+        RuleFixture(
+            "REPRO015",
+            violating=((f"{sim}/fixture_stale.py", _R15_VIOLATING),),
+            clean=((f"{sim}/fixture_stale.py", _R15_CLEAN),),
             expect_min=2,
         ),
     ]

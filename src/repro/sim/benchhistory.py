@@ -330,6 +330,13 @@ _BENCH_SHAPES: Dict[str, Dict[str, Tuple[str, str]]] = {
         "leases_reclaimed": ("count", "info"),
         "max_lease_epoch": ("count", "info"),
     },
+    "reprolint": {
+        "files": ("count", "info"),
+        "lint_wall_s": ("s", "lower"),
+        "graph_modules": ("count", "info"),
+        "graph_functions": ("count", "info"),
+        "graph_call_edges": ("count", "info"),
+    },
 }
 
 #: Raw-document keys that describe the measurement, not a metric.
@@ -553,6 +560,34 @@ def diff_history(
             tolerance=tolerance,
         ))
     return deltas
+
+
+#: Levels of the trend sparkline, lowest to highest.
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 32) -> str:
+    """Unicode trend line of a series, oldest to newest.
+
+    Each value maps to one of eight block heights scaled between the
+    series min and max; a flat series (every value equal, e.g. the
+    bit-identical reruns the diff gate is built around) renders at the
+    lowest level so any later movement is visible.  Only the newest
+    ``width`` values are drawn — the tail is what a trend glance is
+    for.
+    """
+    if width < 1:
+        raise ConfigurationError(f"sparkline width must be >= 1: {width}")
+    tail = [float(v) for v in values][-width:]
+    if not tail:
+        return ""
+    lo, hi = min(tail), max(tail)
+    if hi <= lo:
+        return _SPARK_LEVELS[0] * len(tail)
+    top = len(_SPARK_LEVELS) - 1
+    return "".join(
+        _SPARK_LEVELS[round((v - lo) / (hi - lo) * top)] for v in tail
+    )
 
 
 def render_diff(deltas: Sequence[MetricDelta], commit: str = "") -> str:

@@ -1,0 +1,159 @@
+"""Edge cases for the shared AST helpers, especially the import-alias
+resolution the project call graph depends on: relative imports, dotted
+``import a.b.c``, as-renames, and alias shadowing by later bindings."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.astutil import (
+    canonical_call_name,
+    import_aliases,
+    module_dotted,
+    module_package,
+)
+
+
+def _aliases(src, package=None):
+    return import_aliases(ast.parse(src), package=package)
+
+
+# ----------------------------------------------------------------------
+# module_dotted / module_package
+# ----------------------------------------------------------------------
+def test_module_dotted_strips_src_and_suffix():
+    assert module_dotted("src/repro/sim/engine.py") == "repro.sim.engine"
+    assert module_dotted("src/repro/sim/__init__.py") == "repro.sim"
+    assert module_dotted("tools/gen.py") == "tools.gen"
+
+
+def test_module_package_of_plain_module_and_init():
+    assert module_package("src/repro/sim/engine.py") == "repro.sim"
+    assert module_package("src/repro/sim/__init__.py") == "repro.sim"
+    assert module_package("src/top.py") == ""
+
+
+# ----------------------------------------------------------------------
+# import_aliases: plain and dotted imports
+# ----------------------------------------------------------------------
+def test_dotted_import_binds_head_name():
+    # `import a.b.c` binds only `a`; attribute access supplies the rest.
+    aliases = _aliases("import os.path.sep\n")
+    assert aliases == {"os": "os"}
+
+
+def test_dotted_import_with_asname_binds_full_path():
+    aliases = _aliases("import concurrent.futures as cf\n")
+    assert aliases == {"cf": "concurrent.futures"}
+
+
+def test_from_import_with_asname():
+    aliases = _aliases("from time import perf_counter as pc\n")
+    assert aliases == {"pc": "time.perf_counter"}
+
+
+# ----------------------------------------------------------------------
+# import_aliases: relative imports resolve against `package`
+# ----------------------------------------------------------------------
+def test_relative_import_sibling_module():
+    aliases = _aliases(
+        "from . import engine\n", package="repro.sim"
+    )
+    assert aliases == {"engine": "repro.sim.engine"}
+
+
+def test_relative_import_member_of_sibling():
+    aliases = _aliases(
+        "from .campaign import save_results as save\n",
+        package="repro.sim",
+    )
+    assert aliases == {"save": "repro.sim.campaign.save_results"}
+
+
+def test_two_level_relative_import():
+    aliases = _aliases(
+        "from ..cache.cache import Cache\n", package="repro.sim"
+    )
+    assert aliases == {"Cache": "repro.cache.cache.Cache"}
+
+
+def test_over_deep_relative_import_degrades_to_bare_name():
+    # More dots than enclosing packages: keep the bare module name so
+    # suffix matching still works instead of raising.
+    aliases = _aliases(
+        "from ...nowhere import thing\n", package="repro"
+    )
+    assert aliases == {"thing": "nowhere.thing"}
+
+
+def test_relative_import_without_package_keeps_bare_name():
+    aliases = _aliases("from .campaign import save\n")
+    assert aliases == {"save": "campaign.save"}
+
+
+# ----------------------------------------------------------------------
+# import_aliases: shadowing by later module-level bindings
+# ----------------------------------------------------------------------
+def test_alias_shadowed_by_later_assignment_is_dropped():
+    aliases = _aliases(
+        "import time\n"
+        "time = object()\n"
+    )
+    assert "time" not in aliases
+
+
+def test_alias_shadowed_by_function_def_is_dropped():
+    aliases = _aliases(
+        "from os import getcwd\n"
+        "def getcwd():\n"
+        "    return '/'\n"
+    )
+    assert "getcwd" not in aliases
+
+
+def test_binding_before_import_does_not_shadow():
+    # The import wins when it comes after the assignment.
+    aliases = _aliases(
+        "time = None\n"
+        "import time\n"
+    )
+    assert aliases == {"time": "time"}
+
+
+def test_tuple_assignment_shadows_each_name():
+    aliases = _aliases(
+        "import json, math\n"
+        "json, math = object(), object()\n"
+    )
+    assert aliases == {}
+
+
+def test_annotated_assignment_without_value_does_not_shadow():
+    aliases = _aliases(
+        "import time\n"
+        "time: object\n"
+    )
+    assert aliases == {"time": "time"}
+
+
+# ----------------------------------------------------------------------
+# canonical_call_name through the alias table
+# ----------------------------------------------------------------------
+def test_canonical_call_name_expands_renamed_module():
+    tree = ast.parse("import time as t\nt.time()\n")
+    aliases = import_aliases(tree)
+    call = tree.body[1].value
+    assert canonical_call_name(call.func, aliases) == "time.time"
+
+
+def test_canonical_call_name_respects_shadowing():
+    tree = ast.parse(
+        "import time as t\n"
+        "t = FakeClock()\n"
+        "t.time()\n"
+    )
+    aliases = import_aliases(tree)
+    call = tree.body[2].value
+    # `t` was rebound to a fake: the call keeps the local name instead
+    # of expanding to `time.time`, so rules won't false-positive.
+    assert canonical_call_name(call.func, aliases) == "t.time"

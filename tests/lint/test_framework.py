@@ -76,7 +76,9 @@ def test_config_table_is_read_from_pyproject():
         pytest.skip("tomllib unavailable; defaults apply")
     assert config.enabled == tuple(
         f"REPRO00{i}" for i in range(1, 10)
-    ) + ("REPRO010", "REPRO011")
+    ) + ("REPRO010", "REPRO011", "REPRO012", "REPRO013",
+         "REPRO014", "REPRO015")
+    assert "repro/sim/engine.py" in config.hot_path_modules
     assert "repro/sim" in config.deterministic_paths
     assert "repro/sim/campaign.py" in config.persistence_modules
     assert "repro/sim/workqueue.py" in config.workqueue_modules

@@ -1,0 +1,404 @@
+"""The interprocedural rules (REPRO012/013/014), the dead-suppression
+audit (REPRO015), the generation-keyed lint cache, and the new CLI
+surface (``--graph-stats``, ``--why``)."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.lint import (
+    LintCache,
+    LintConfig,
+    SourceFile,
+    all_rules,
+    lint_sources,
+)
+from repro.lint.framework import cache_signature
+from repro.lint.rules_interproc import explain_why
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _rule(rule_id):
+    return [r for r in all_rules() if r.rule_id == rule_id]
+
+
+_HELPER = SourceFile(
+    "src/repro/trace/stamputil.py",
+    "import time\n\n"
+    "def now_tag():\n"
+    "    return time.time()\n",
+)
+_ENGINE = SourceFile(
+    "src/repro/sim/engine.py",
+    "from repro.trace.stamputil import now_tag\n\n"
+    "def step(state, n):\n"
+    "    return now_tag()\n",
+)
+
+
+# ----------------------------------------------------------------------
+# REPRO012: the acceptance scenario
+# ----------------------------------------------------------------------
+def test_repro012_catches_cross_module_chain():
+    result = lint_sources([_ENGINE, _HELPER], rules=_rule("REPRO012"))
+    assert len(result.violations) == 1
+    v = result.violations[0]
+    assert v.path == "src/repro/sim/engine.py"
+    # The message carries the whole chain down to the clock call.
+    assert "step" in v.message
+    assert "now_tag" in v.message
+    assert "time.time()" in v.message
+
+
+def test_repro001_provably_misses_the_same_chain():
+    """The per-file rule sees nothing: engine.py contains no banned
+    call, and stamputil.py is outside every deterministic path."""
+    result = lint_sources([_ENGINE, _HELPER], rules=_rule("REPRO001"))
+    assert result.violations == []
+
+
+def test_repro012_ignores_direct_calls_in_hot_path():
+    # A time.time() *in* engine.py is REPRO001's finding; REPRO012
+    # only reports chains so one defect never fires two rules.
+    direct = SourceFile(
+        "src/repro/sim/engine.py",
+        "import time\n\n"
+        "def step(state, n):\n"
+        "    return time.time()\n",
+    )
+    result = lint_sources([direct], rules=_rule("REPRO012"))
+    assert result.violations == []
+
+
+def test_repro012_clean_when_helper_is_deterministic():
+    clean_helper = SourceFile(
+        "src/repro/trace/stamputil.py",
+        "def now_tag():\n"
+        "    return 0\n",
+    )
+    result = lint_sources(
+        [_ENGINE, clean_helper], rules=_rule("REPRO012")
+    )
+    assert result.violations == []
+
+
+def test_repro012_outside_hot_path_is_ignored():
+    caller = SourceFile(
+        "src/repro/sim/report.py",  # not a hot-path module
+        "from repro.trace.stamputil import now_tag\n\n"
+        "def annotate(doc):\n"
+        "    return now_tag()\n",
+    )
+    result = lint_sources([caller, _HELPER], rules=_rule("REPRO012"))
+    assert result.violations == []
+
+
+# ----------------------------------------------------------------------
+# REPRO013: atomic-write reachability
+# ----------------------------------------------------------------------
+_RAWIO = SourceFile(
+    "src/repro/util/rawio.py",
+    "def dump(path, text):\n"
+    "    with open(path, 'w') as fh:\n"
+    "        fh.write(text)\n",
+)
+_CAMPAIGN = SourceFile(
+    "src/repro/sim/campaign.py",
+    "from repro.util.rawio import dump\n\n"
+    "def save_results(path, rows):\n"
+    "    dump(path, repr(rows))\n",
+)
+
+
+def test_repro013_catches_escaped_write_helper():
+    result = lint_sources(
+        [_CAMPAIGN, _RAWIO], rules=_rule("REPRO013")
+    )
+    assert len(result.violations) == 1
+    v = result.violations[0]
+    assert v.path == "src/repro/sim/campaign.py"
+    assert "rawio" in v.message
+
+
+def test_repro013_skips_chains_through_atomic_writers():
+    blessed = SourceFile(
+        "src/repro/sim/campaign.py",
+        "from repro.util.rawio import atomic_write_text\n\n"
+        "def save_results(path, rows):\n"
+        "    atomic_write_text(path, repr(rows))\n",
+    )
+    writer = SourceFile(
+        "src/repro/util/rawio.py",
+        "def atomic_write_text(path, text):\n"
+        "    with open(path, 'w') as fh:\n"
+        "        fh.write(text)\n",
+    )
+    result = lint_sources([blessed, writer], rules=_rule("REPRO013"))
+    assert result.violations == []
+
+
+def test_repro013_skips_writes_inside_scoped_modules():
+    # A chain ending in another scoped module is that module's own
+    # per-file finding, not a REPRO013 escape.
+    queue = SourceFile(
+        "src/repro/sim/workqueue.py",
+        "def spool(path, text):\n"
+        "    with open(path, 'w') as fh:\n"
+        "        fh.write(text)\n",
+    )
+    caller = SourceFile(
+        "src/repro/sim/campaign.py",
+        "from repro.sim.workqueue import spool\n\n"
+        "def save_results(path, rows):\n"
+        "    spool(path, repr(rows))\n",
+    )
+    result = lint_sources([caller, queue], rules=_rule("REPRO013"))
+    assert result.violations == []
+
+
+# ----------------------------------------------------------------------
+# REPRO014: monotonic clock discipline
+# ----------------------------------------------------------------------
+def _lint14(text):
+    src = SourceFile("src/repro/sim/workqueue.py", text)
+    return lint_sources([src], rules=_rule("REPRO014"))
+
+
+def test_repro014_flags_serialized_monotonic_reading():
+    result = _lint14(
+        "import time\n\n"
+        "def lease_doc(worker):\n"
+        "    now = time.monotonic()\n"
+        "    return {'worker': worker, 'at': now}\n"
+    )
+    assert len(result.violations) == 1
+    assert result.violations[0].line == 5
+
+
+def test_repro014_allows_serialized_durations():
+    result = _lint14(
+        "import time\n\n"
+        "def timed(fn):\n"
+        "    t0 = time.monotonic()\n"
+        "    fn()\n"
+        "    return {'elapsed': time.monotonic() - t0}\n"
+    )
+    assert result.violations == []
+
+
+def test_repro014_taint_flows_through_local_helper():
+    queue = SourceFile(
+        "src/repro/sim/workqueue.py",
+        "from repro.sim.clockutil import stamp\n\n"
+        "def lease_doc(worker):\n"
+        "    return {'worker': worker, 'at': stamp()}\n",
+    )
+    clock = SourceFile(
+        "src/repro/sim/clockutil.py",
+        "import time\n\n"
+        "def stamp():\n"
+        "    return time.monotonic()\n",
+    )
+    result = lint_sources([queue, clock], rules=_rule("REPRO014"))
+    assert len(result.violations) == 1
+
+
+def test_repro014_ignores_unscoped_modules():
+    src = SourceFile(
+        "src/repro/sim/telemetry.py",  # persistence, not queue/bench
+        "import time\n\n"
+        "def doc():\n"
+        "    return {'at': time.monotonic()}\n",
+    )
+    result = lint_sources([src], rules=_rule("REPRO014"))
+    assert result.violations == []
+
+
+# ----------------------------------------------------------------------
+# REPRO015: dead suppressions
+# ----------------------------------------------------------------------
+def _lint15(text):
+    src = SourceFile("src/repro/sim/helper.py", text)
+    return lint_sources([src], rules=_rule("REPRO015"))
+
+
+def test_repro015_flags_dead_line_suppression():
+    result = _lint15(
+        "def pure(x):\n"
+        "    return x + 1  # reprolint: disable=REPRO001\n"
+    )
+    assert len(result.violations) == 1
+    assert "REPRO001" in result.violations[0].message
+
+
+def test_repro015_accepts_live_suppression():
+    result = _lint15(
+        "import time\n\n"
+        "def stamp():\n"
+        "    return time.time()  # reprolint: disable=REPRO001\n"
+    )
+    assert result.violations == []
+
+
+def test_repro015_flags_unknown_rule_id():
+    result = _lint15(
+        "import time\n\n"
+        "def stamp():\n"
+        "    return time.time()  # reprolint: disable=REPRO999\n"
+    )
+    messages = [v.message for v in result.violations]
+    assert any("REPRO999" in m and "unknown" in m for m in messages)
+
+
+def test_repro015_flags_disable_file_below_window():
+    padding = "# filler\n" * 20
+    result = _lint15(
+        padding + "# reprolint: disable-file=REPRO001\n"
+        "import time\n\n"
+        "def stamp():\n"
+        "    return time.time()\n"
+    )
+    assert len(result.violations) == 1
+    assert "window" in result.violations[0].message
+
+
+def test_repro015_ignores_suppression_text_in_strings():
+    result = _lint15(
+        "FIXTURE = '''\n"
+        "x = 1  # reprolint: disable=REPRO001\n"
+        "'''\n"
+    )
+    assert result.violations == []
+
+
+# ----------------------------------------------------------------------
+# LintCache: generation keying (satellite a)
+# ----------------------------------------------------------------------
+_VIOLATING = SourceFile(
+    "src/repro/sim/helper.py",
+    "import time\n\n"
+    "def stamp(stats):\n"
+    "    stats['at'] = time.time()\n"
+    "    return stats\n",
+)
+
+
+def test_alternating_rule_selections_both_stay_cached(tmp_path):
+    """The pre-v2 cache stored one signature for the whole file: two
+    interleaved ``--rule`` selections evicted each other every run."""
+    config = LintConfig()
+    cache_path = tmp_path / "cache.json"
+    sig1 = cache_signature(config, _rule("REPRO001"))
+    sig2 = cache_signature(config, _rule("REPRO002"))
+    assert sig1 != sig2
+
+    for sig, rules in ((sig1, _rule("REPRO001")),
+                       (sig2, _rule("REPRO002"))):
+        cache = LintCache(cache_path, sig)
+        lint_sources([_VIOLATING], config=config, rules=rules,
+                     cache=cache)
+        assert cache.misses == 1
+
+    # Second round: both selections hit.
+    for sig, rules in ((sig1, _rule("REPRO001")),
+                       (sig2, _rule("REPRO002"))):
+        cache = LintCache(cache_path, sig)
+        lint_sources([_VIOLATING], config=config, rules=rules,
+                     cache=cache)
+        assert (cache.hits, cache.misses) == (1, 0), sig
+
+
+def test_cache_generations_are_bounded(tmp_path):
+    config = LintConfig()
+    cache_path = tmp_path / "cache.json"
+    for i in range(6):
+        cache = LintCache(cache_path, f"signature-{i}")
+        lint_sources([_VIOLATING], config=config,
+                     rules=_rule("REPRO001"), cache=cache)
+    payload = json.loads(cache_path.read_text(encoding="utf-8"))
+    assert len(payload["generations"]) == 4
+    # Most recent generations survive; the oldest were evicted.
+    assert "signature-5" in payload["generations"]
+    assert "signature-0" not in payload["generations"]
+
+
+def test_legacy_single_signature_payload_is_discarded(tmp_path):
+    cache_path = tmp_path / "cache.json"
+    cache_path.write_text(json.dumps({
+        "version": 2, "signature": "old", "files": {"x.py": []},
+    }), encoding="utf-8")
+    cache = LintCache(cache_path, "old")
+    assert cache.get(_VIOLATING) is None
+
+
+# ----------------------------------------------------------------------
+# explain_why (the --why engine)
+# ----------------------------------------------------------------------
+def test_explain_why_renders_full_chain():
+    lines = explain_why(
+        [_ENGINE, _HELPER], LintConfig(), "REPRO012", None
+    )
+    assert len(lines) == 1
+    assert "step" in lines[0]
+    assert "time.time()" in lines[0]
+
+
+def test_explain_why_path_filter_reaches_mid_chain_helpers():
+    lines = explain_why(
+        [_ENGINE, _HELPER], LintConfig(), "REPRO012", "stamputil"
+    )
+    assert len(lines) == 1
+    assert lines[0].startswith("now_tag")
+
+
+def test_explain_why_rejects_file_scope_rules():
+    try:
+        explain_why([_ENGINE], LintConfig(), "REPRO001", None)
+    except ValueError as exc:
+        assert "REPRO001" in str(exc)
+    else:
+        raise AssertionError("expected ValueError")
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+def _run_cli(*argv):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *argv],
+        cwd=REPO_ROOT, capture_output=True, text=True,
+        env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+    )
+
+
+def test_cli_graph_stats_text():
+    proc = _run_cli("lint", "src", "--no-cache", "--graph-stats")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "project graph:" in proc.stdout
+    assert "call edge(s)" in proc.stdout
+
+
+def test_cli_graph_stats_json():
+    proc = _run_cli("lint", "src", "--no-cache", "--graph-stats",
+                    "--format", "json")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    payload = json.loads(proc.stdout)
+    graph = payload["graph"]
+    assert graph["modules"] > 50
+    assert graph["functions"] > graph["modules"]
+    assert "wallclock" in graph["prop_counts"]
+
+
+def test_cli_why_clean_tree_reports_no_chains():
+    proc = _run_cli("lint", "src", "--no-cache", "--why", "REPRO012")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "no REPRO012 chains" in proc.stdout
+
+
+def test_cli_why_unknown_rule_is_usage_error():
+    proc = _run_cli("lint", "src", "--no-cache", "--why", "REPRO001")
+    assert proc.returncode == 2

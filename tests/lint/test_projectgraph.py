@@ -1,0 +1,352 @@
+"""The cross-module analysis engine: call resolution (aliases,
+relative imports, re-exports through ``__init__``), bottom-up summary
+propagation with recursion, hop chains, and the closure-fingerprinted
+disk cache."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint import LintConfig, SourceFile, build_project_graph
+from repro.lint.projectgraph import (
+    PROP_MONOTONIC,
+    PROP_RAWWRITE,
+    PROP_THREAD,
+    PROP_WALLCLOCK,
+    fkey,
+)
+
+
+def _graph(files, **config_kwargs):
+    sources = [SourceFile(rel, text) for rel, text in files]
+    return build_project_graph(sources, LintConfig(**config_kwargs))
+
+
+_HELPER = (
+    "src/repro/trace/stamputil.py",
+    "import time\n\n"
+    "def now_tag():\n"
+    "    return time.time()\n",
+)
+
+
+# ----------------------------------------------------------------------
+# Summary propagation across modules
+# ----------------------------------------------------------------------
+def test_wallclock_propagates_through_module_chain():
+    graph = _graph([
+        _HELPER,
+        (
+            "src/repro/sim/engine.py",
+            "from repro.trace.stamputil import now_tag\n\n"
+            "def step(state):\n"
+            "    return now_tag()\n",
+        ),
+    ])
+    summary = graph.summary(fkey("src/repro/sim/engine.py", "step"))
+    assert PROP_WALLCLOCK in summary
+    hop = summary[PROP_WALLCLOCK]
+    assert hop.kind == "call"
+    assert hop.detail == fkey("src/repro/trace/stamputil.py", "now_tag")
+
+
+def test_chain_walks_down_to_the_direct_fact():
+    graph = _graph([
+        _HELPER,
+        (
+            "src/repro/sim/engine.py",
+            "from repro.trace.stamputil import now_tag\n\n"
+            "def step(state):\n"
+            "    return now_tag()\n",
+        ),
+    ])
+    key = fkey("src/repro/sim/engine.py", "step")
+    chain = graph.chain(key, PROP_WALLCLOCK)
+    assert [h.kind for h in chain] == ["call", "direct"]
+    assert chain[-1].rel == "src/repro/trace/stamputil.py"
+    text = graph.describe_chain(key, PROP_WALLCLOCK)
+    assert "step" in text and "now_tag" in text
+    assert "time.time()" in text
+
+
+def test_relative_import_resolves_to_sibling_module():
+    graph = _graph([
+        (
+            "src/repro/sim/helper.py",
+            "import random\n\n"
+            "def draw():\n"
+            "    return random.random()\n",
+        ),
+        (
+            "src/repro/sim/engine.py",
+            "from .helper import draw\n\n"
+            "def step(state):\n"
+            "    return draw()\n",
+        ),
+    ])
+    summary = graph.summary(fkey("src/repro/sim/engine.py", "step"))
+    assert PROP_WALLCLOCK in summary
+
+
+def test_reexport_through_init_is_chased():
+    graph = _graph([
+        _HELPER,
+        (
+            "src/repro/trace/__init__.py",
+            "from .stamputil import now_tag\n",
+        ),
+        (
+            "src/repro/sim/engine.py",
+            "from repro.trace import now_tag\n\n"
+            "def step(state):\n"
+            "    return now_tag()\n",
+        ),
+    ])
+    summary = graph.summary(fkey("src/repro/sim/engine.py", "step"))
+    assert PROP_WALLCLOCK in summary
+
+
+def test_method_and_self_call_resolution():
+    graph = _graph([
+        (
+            "src/repro/sim/engine.py",
+            "import time\n\n"
+            "class Engine:\n"
+            "    def _stamp(self):\n"
+            "        return time.time()\n"
+            "    def step(self, n):\n"
+            "        return self._stamp()\n",
+        ),
+    ])
+    rel = "src/repro/sim/engine.py"
+    assert PROP_WALLCLOCK in graph.summary(fkey(rel, "Engine._stamp"))
+    summary = graph.summary(fkey(rel, "Engine.step"))
+    assert summary[PROP_WALLCLOCK].kind == "call"
+
+
+def test_mutual_recursion_reaches_fixed_point():
+    graph = _graph([
+        (
+            "src/repro/sim/engine.py",
+            "import time\n\n"
+            "def ping(n):\n"
+            "    return pong(n - 1)\n\n"
+            "def pong(n):\n"
+            "    if n <= 0:\n"
+            "        return time.time()\n"
+            "    return ping(n)\n",
+        ),
+    ])
+    rel = "src/repro/sim/engine.py"
+    for name in ("ping", "pong"):
+        assert PROP_WALLCLOCK in graph.summary(fkey(rel, name)), name
+    # The chain terminates despite the cycle.
+    chain = graph.chain(fkey(rel, "ping"), PROP_WALLCLOCK)
+    assert chain[-1].kind == "direct"
+
+
+def test_clean_module_has_no_wallclock_summary():
+    graph = _graph([
+        (
+            "src/repro/sim/engine.py",
+            "def step(state, n):\n"
+            "    return state + n\n",
+        ),
+    ])
+    summary = graph.summary(fkey("src/repro/sim/engine.py", "step"))
+    assert PROP_WALLCLOCK not in summary
+
+
+# ----------------------------------------------------------------------
+# Other lattice properties
+# ----------------------------------------------------------------------
+def test_rawwrite_fact_and_atomic_writer_blessing():
+    graph = _graph(
+        [
+            (
+                "src/repro/sim/io.py",
+                "def atomic_write_text(path, text):\n"
+                "    open(path, 'w').write(text)\n\n"
+                "def raw_dump(path, text):\n"
+                "    open(path, 'w').write(text)\n",
+            ),
+            (
+                "src/repro/sim/campaign.py",
+                "from .io import atomic_write_text, raw_dump\n\n"
+                "def save(path, text):\n"
+                "    atomic_write_text(path, text)\n\n"
+                "def sloppy(path, text):\n"
+                "    raw_dump(path, text)\n",
+            ),
+        ],
+    )
+    rel = "src/repro/sim/campaign.py"
+    # Writes inside a blessed atomic writer don't taint its callers...
+    assert PROP_RAWWRITE not in graph.summary(fkey(rel, "save"))
+    # ...but an unblessed helper does.
+    assert PROP_RAWWRITE in graph.summary(fkey(rel, "sloppy"))
+
+
+def test_thread_spawn_is_summarized():
+    graph = _graph([
+        (
+            "src/repro/sim/pool.py",
+            "import threading\n\n"
+            "def start(fn):\n"
+            "    threading.Thread(target=fn).start()\n",
+        ),
+    ])
+    summary = graph.summary(fkey("src/repro/sim/pool.py", "start"))
+    assert PROP_THREAD in summary
+
+
+def test_monotonic_only_taints_return_position():
+    graph = _graph([
+        (
+            "src/repro/sim/clock.py",
+            "import time\n\n"
+            "def reading():\n"
+            "    return time.monotonic()\n\n"
+            "def duration():\n"
+            "    t0 = time.monotonic()\n"
+            "    return 1\n",
+        ),
+    ])
+    rel = "src/repro/sim/clock.py"
+    assert PROP_MONOTONIC in graph.summary(fkey(rel, "reading"))
+    assert PROP_MONOTONIC not in graph.summary(fkey(rel, "duration"))
+
+
+def test_suppressed_fact_does_not_taint_callers():
+    graph = _graph([
+        (
+            "src/repro/sim/timer.py",
+            "import time\n\n"
+            "def host_stamp():\n"
+            "    return time.time()"
+            "  # reprolint: disable=REPRO001\n",
+        ),
+        (
+            "src/repro/sim/engine.py",
+            "from .timer import host_stamp\n\n"
+            "def step(state):\n"
+            "    return host_stamp()\n",
+        ),
+    ])
+    summary = graph.summary(fkey("src/repro/sim/engine.py", "step"))
+    assert PROP_WALLCLOCK not in summary
+
+
+def test_module_level_code_is_a_pseudo_function():
+    graph = _graph([
+        (
+            "src/repro/sim/setup.py",
+            "import time\n"
+            "STARTED = time.time()\n",
+        ),
+    ])
+    summary = graph.summary(
+        fkey("src/repro/sim/setup.py", "<module>")
+    )
+    assert PROP_WALLCLOCK in summary
+    assert summary[PROP_WALLCLOCK].kind == "direct"
+
+
+# ----------------------------------------------------------------------
+# Disk cache: reuse and transitive invalidation
+# ----------------------------------------------------------------------
+def _fresh_graph(files, **config_kwargs):
+    """Build bypassing the in-process memo, so the disk cache (which
+    separate lint processes rely on) is what gets exercised."""
+    from repro.lint import projectgraph
+
+    projectgraph._MEMO.clear()
+    return _graph(files, **config_kwargs)
+
+
+_CACHED_FILES = [
+    _HELPER,
+    (
+        "src/repro/sim/engine.py",
+        "from repro.trace.stamputil import now_tag\n\n"
+        "def step(state):\n"
+        "    return now_tag()\n",
+    ),
+    (
+        "src/repro/sim/other.py",
+        "def unrelated(x):\n"
+        "    return x + 1\n",
+    ),
+]
+
+
+def test_disk_cache_reuses_unchanged_modules(tmp_path):
+    cache = tmp_path / "graph-cache.json"
+    g1 = _fresh_graph(_CACHED_FILES, graph_cache_path=str(cache))
+    assert (g1.stats.cache_hits, g1.stats.cache_misses) == (0, 3)
+    assert cache.is_file()
+
+    g2 = _fresh_graph(_CACHED_FILES, graph_cache_path=str(cache))
+    assert (g2.stats.cache_hits, g2.stats.cache_misses) == (3, 0)
+    # Cached summaries are bit-identical to scanned ones.
+    key = fkey("src/repro/sim/engine.py", "step")
+    assert g2.summary(key)[PROP_WALLCLOCK] == \
+        g1.summary(key)[PROP_WALLCLOCK]
+
+
+def test_disk_cache_invalidates_importers_transitively(tmp_path):
+    cache = tmp_path / "graph-cache.json"
+    _fresh_graph(_CACHED_FILES, graph_cache_path=str(cache))
+
+    edited = [
+        (
+            _HELPER[0],
+            "def now_tag():\n"
+            "    return 0\n",
+        ),
+    ] + _CACHED_FILES[1:]
+    g2 = _fresh_graph(edited, graph_cache_path=str(cache))
+    # stamputil changed, engine imports it (rescan both); other.py is
+    # untouched and stays frozen.
+    assert g2.stats.cache_hits == 1
+    assert g2.stats.cache_misses == 2
+    key = fkey("src/repro/sim/engine.py", "step")
+    assert PROP_WALLCLOCK not in g2.summary(key)
+
+
+def test_disk_cache_ignored_on_config_change(tmp_path):
+    cache = tmp_path / "graph-cache.json"
+    _fresh_graph(_CACHED_FILES, graph_cache_path=str(cache))
+    g2 = _fresh_graph(
+        _CACHED_FILES,
+        graph_cache_path=str(cache),
+        atomic_writers=("atomic_write_text",),
+    )
+    assert g2.stats.cache_hits == 0
+
+
+def test_corrupt_disk_cache_is_rebuilt(tmp_path):
+    cache = tmp_path / "graph-cache.json"
+    cache.write_text("{not json", encoding="utf-8")
+    g = _fresh_graph(_CACHED_FILES, graph_cache_path=str(cache))
+    assert g.stats.cache_misses == 3
+    # And the rebuild leaves a valid cache behind.
+    payload = json.loads(cache.read_text(encoding="utf-8"))
+    assert set(payload["modules"]) == {rel for rel, _ in _CACHED_FILES}
+
+
+# ----------------------------------------------------------------------
+# In-process memo
+# ----------------------------------------------------------------------
+def test_same_sources_and_config_share_one_build():
+    sources = [SourceFile(rel, text) for rel, text in _CACHED_FILES]
+    config = LintConfig()
+    g1 = build_project_graph(sources, config)
+    g2 = build_project_graph(
+        [SourceFile(rel, text) for rel, text in _CACHED_FILES],
+        LintConfig(),
+    )
+    assert g1 is g2
+    edited = [SourceFile(_HELPER[0], "def now_tag():\n    return 0\n")]
+    g3 = build_project_graph(edited, config)
+    assert g3 is not g1

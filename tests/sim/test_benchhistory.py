@@ -36,6 +36,7 @@ from repro.sim.benchhistory import (
     record_to_dict,
     render_diff,
     run_bench_suites,
+    sparkline,
 )
 
 
@@ -388,6 +389,37 @@ class TestRunBenchSuites:
 
 
 # ----------------------------------------------------------------------
+# Trend sparklines
+# ----------------------------------------------------------------------
+class TestSparkline:
+    def test_rising_series_spans_lowest_to_highest(self):
+        line = sparkline([1.0, 2.0, 3.0, 4.0])
+        assert len(line) == 4
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+        assert line == "".join(sorted(line))  # monotone series
+
+    def test_flat_series_renders_at_the_floor(self):
+        # Bit-identical reruns: everything at the lowest level, so any
+        # later movement stands out.
+        assert sparkline([2.5, 2.5, 2.5]) == "▁▁▁"
+
+    def test_spike_is_the_only_peak(self):
+        line = sparkline([1.0, 1.0, 10.0, 1.0])
+        assert line == "▁▁█▁"
+
+    def test_width_keeps_only_the_newest_values(self):
+        line = sparkline([100.0, 1.0, 2.0, 3.0], width=3)
+        # The old value 100 is dropped, so the tail rescales.
+        assert line == "▁▅█"
+
+    def test_empty_series_and_bad_width(self):
+        assert sparkline([]) == ""
+        with pytest.raises(ConfigurationError, match="width"):
+            sparkline([1.0], width=0)
+
+
+# ----------------------------------------------------------------------
 # CLI end-to-end
 # ----------------------------------------------------------------------
 class TestBenchCli:
@@ -469,6 +501,34 @@ class TestBenchCli:
         out = capsys.readouterr().out
         assert "functional_pass.wall_s" in out
         assert "abc" in out
+
+    def test_history_shows_trend_sparkline(self, tmp_path, capsys):
+        history = BenchHistory(tmp_path / "hist.jsonl")
+        history.append([
+            _rec(value, commit) for value, commit in
+            ((1.0, "a"), (2.0, "b"), (4.0, "c"), (3.0, "d"))
+        ])
+        assert main([
+            "bench", "history", "--history", str(history.path),
+        ]) == 0
+        out = capsys.readouterr().out
+        # Fixed fixture, fixed rendering: min..max scale over 8 levels.
+        assert "▁▃█▆" in out
+        assert "s.wall_s (s, lower)" in out
+
+    def test_history_sparkline_respects_last(self, tmp_path, capsys):
+        history = BenchHistory(tmp_path / "hist.jsonl")
+        history.append([
+            _rec(value, commit) for value, commit in
+            ((100.0, "a"), (1.0, "b"), (2.0, "c"), (3.0, "d"))
+        ])
+        assert main([
+            "bench", "history", "--history", str(history.path),
+            "--last", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "▁▅█" in out
+        assert "100" not in out  # the truncated record is not listed
 
     def test_run_unknown_suite_errors(self, tmp_path, capsys):
         assert main(["bench", "run", "--suites", "nope"]) == 2
