@@ -55,7 +55,10 @@ Main subcommands:
   down to ``--max-entries``/``--max-bytes`` budgets, ``verify``
   validates every entry's checksum (``--repair`` quarantines).  The
   ``simulate``, ``advise`` and ``campaign run`` subcommands accept
-  ``--pass-cache DIR`` to reuse functional passes across invocations.
+  ``--pass-cache DIR`` to reuse functional passes across invocations,
+  and ``--stack-pass`` to collapse cold functional passes into one
+  shared stack walk per trace (see ``docs/internals.md``); results are
+  bit-identical either way.
 """
 
 from __future__ import annotations
@@ -144,6 +147,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         else:
             print("note: --pass-cache applies to fastpath runs only; "
                   "this engine run bypasses it", file=sys.stderr)
+    stack_stats = None
+    if args.stack_pass:
+        if runner is fast_simulate:
+            from .sim.stackpass import StackPassStats
+
+            stack_stats = StackPassStats()
+        else:
+            print("note: --stack-pass applies to fastpath runs only; "
+                  "this engine run bypasses it", file=sys.stderr)
     want_metrics = args.metrics or args.metrics_out
     telemetry = None
     if want_metrics or args.trace_out:
@@ -152,7 +164,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             tracer=EventTracer() if args.trace_out else None,
         )
     with timer.stage("simulate"):
-        if pass_cache is not None:
+        if stack_stats is not None:
+            from .sim.stackpass import stack_fast_simulate
+
+            stats = stack_fast_simulate(
+                config, trace, cache=pass_cache, stats=stack_stats,
+                telemetry=telemetry,
+            )
+        elif pass_cache is not None:
             from .sim.passcache import cached_fast_simulate
 
             stats = cached_fast_simulate(
@@ -185,6 +204,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
               f"{counters.misses} miss(es), "
               f"{counters.bytes_read:,} B read, "
               f"{counters.bytes_written:,} B written")
+    if stack_stats is not None:
+        print(f"stack pass: {stack_stats.walks} shared walk(s), "
+              f"{stack_stats.derived_streams} stream(s) derived, "
+              f"{stack_stats.reused_streams} reused, "
+              f"{stack_stats.fallback_passes} fallback pass(es)")
     if telemetry is not None and telemetry.ledger is not None:
         report = build_run_report(
             stats, telemetry.ledger, timer,
@@ -194,6 +218,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             pass_cache=(
                 pass_cache.counters.as_dict()
                 if pass_cache is not None else None
+            ),
+            stack_pass=(
+                stack_stats.as_dict()
+                if stack_stats is not None else None
             ),
         )
         print("cycle attribution (measured):")
@@ -308,6 +336,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="directory of a persistent functional-pass "
                            "cache to reuse across invocations "
                            "(fastpath runs only)")
+    simp.add_argument("--stack-pass", action="store_true",
+                      help="derive the functional pass through the "
+                           "shared stack-walk machinery (fastpath runs "
+                           "only; bit-identical results, reported in "
+                           "the stack_pass metrics block)")
     simp.set_defaults(func=_cmd_simulate)
 
     tr = sub.add_parser("traces", help="describe the synthetic trace suite")
@@ -351,6 +384,10 @@ def build_parser() -> argparse.ArgumentParser:
     adv.add_argument("--scalar-replay", action="store_true",
                      help="price the grid with the scalar replay() "
                           "loop instead of the batch replay kernel")
+    adv.add_argument("--stack-pass", action="store_true",
+                     help="collapse the sweep's cold functional passes "
+                          "into one shared stack walk per trace "
+                          "(bit-identical results)")
     adv.set_defaults(func=_cmd_advise)
 
     rep = sub.add_parser(
@@ -442,6 +479,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="directory of a persistent functional-pass "
                            "cache shared by the sweep's workers "
                            "(incompatible with --engine)")
+    crun.add_argument("--stack-pass", action="store_true",
+                      help="precompute the sweep's functional passes "
+                           "with one shared stack walk per trace before "
+                           "dispatching workers (requires --pass-cache; "
+                           "incompatible with --engine)")
     crun.add_argument("--backend", choices=("pool", "spool"),
                       default="pool",
                       help="execution fabric: 'pool' (in-process worker "
@@ -850,6 +892,17 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
               "fastpath functional passes and cannot be combined with "
               "--engine", file=sys.stderr)
         return 2
+    if args.stack_pass:
+        if args.engine:
+            print("repro-sim campaign run: error: --stack-pass "
+                  "precomputes fastpath functional passes and cannot "
+                  "be combined with --engine", file=sys.stderr)
+            return 2
+        if not args.pass_cache:
+            print("repro-sim campaign run: error: --stack-pass needs "
+                  "--pass-cache to hand the precomputed streams to the "
+                  "sweep's workers", file=sys.stderr)
+            return 2
     if args.pass_cache:
         import functools
 
@@ -860,6 +913,28 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         )
     else:
         simulate_fn = simulate if args.engine else fast_simulate
+    if args.stack_pass:
+        # One shared walk per trace fills the pass cache up front; the
+        # workers below then find every stream already materialized.
+        from .core.sweep import run_functional_passes
+        from .sim.passcache import PassCache
+        from .sim.stackpass import StackPassStats
+
+        stack_stats = StackPassStats()
+        run_functional_passes(
+            [
+                (config, trace, args.seed)
+                for config in configs
+                for trace in suite.values()
+            ],
+            cache=PassCache(args.pass_cache),
+            strategy="stack",
+            stack_stats=stack_stats,
+        )
+        print(f"stack pass: {stack_stats.walks} shared walk(s), "
+              f"{stack_stats.derived_streams} stream(s) derived, "
+              f"{stack_stats.reused_streams} reused, "
+              f"{stack_stats.fallback_passes} fallback pass(es)")
     jobs = sweep_jobs(
         configs, list(suite.values()), simulate_fn=simulate_fn,
         seed=args.seed,
@@ -1136,17 +1211,29 @@ def _cmd_advise(args: argparse.Namespace) -> int:
 
         pass_cache = PassCache(args.pass_cache)
     kernel_stats = KernelStats()
+    stack_stats = None
+    if args.stack_pass:
+        from .sim.stackpass import StackPassStats
+
+        stack_stats = StackPassStats()
     grid = run_speed_size_sweep(
         suite, extended, cycles, seed=args.seed, pass_cache=pass_cache,
         use_replay_kernel=not args.scalar_replay,
         replay_jobs=args.replay_jobs,
         kernel_stats=kernel_stats,
+        functional_strategy="stack" if args.stack_pass else "scalar",
+        stack_stats=stack_stats,
     )
     print(advisor_table(recommend_design(grid, rungs)))
     print(f"replay: {kernel_stats.batch_outcomes} batch outcome(s), "
           f"{kernel_stats.scalar_replays} scalar replay(s), "
           f"{kernel_stats.vectorized_events:,} vectorized / "
           f"{kernel_stats.scalar_events:,} scalar event(s)")
+    if stack_stats is not None:
+        print(f"stack pass: {stack_stats.walks} shared walk(s), "
+              f"{stack_stats.derived_streams} stream(s) derived, "
+              f"{stack_stats.reused_streams} reused, "
+              f"{stack_stats.fallback_passes} fallback pass(es)")
     return 0
 
 

@@ -44,6 +44,11 @@ from ..sim.fastpath import (
     replay,
 )
 from ..sim.replaykernel import BatchReplayKernel, KernelStats, TimingPoint
+from ..sim.stackpass import (
+    StackPassStats,
+    stack_functional_passes,
+    stack_supported,
+)
 from ..trace.record import Trace
 
 if TYPE_CHECKING:  # pragma: no cover — import cycle guard only
@@ -117,6 +122,32 @@ def _publish_kernel(
         kernel_stats.merge(local_stats)
 
 
+def _local_stack_stats(
+    registry: Optional["MetricsRegistry"],
+    strategy: str,
+) -> Optional[StackPassStats]:
+    """Fresh :class:`StackPassStats` when metrics are on and the stack
+    strategy is in play — fresh for the same double-count reason as
+    :func:`_local_kernel_stats`."""
+    if registry is not None and strategy == "stack":
+        return StackPassStats()
+    return None
+
+
+def _publish_stack(
+    registry: Optional["MetricsRegistry"],
+    local_stats: Optional[StackPassStats],
+    stack_stats: Optional[StackPassStats],
+) -> None:
+    """Fold sweep-local stack-pass counters into the registry and the
+    caller's accumulator."""
+    if registry is None or local_stats is None:
+        return
+    local_stats.publish(registry)
+    if stack_stats is not None:
+        stack_stats.merge(local_stats)
+
+
 def _as_trace_list(traces) -> List[Trace]:
     if isinstance(traces, Mapping):
         return list(traces.values())
@@ -166,6 +197,8 @@ def run_functional_passes(
     n_jobs: int = 1,
     couplets: Optional[Mapping[str, CoupletStream]] = None,
     cache: Optional["PassCache"] = None,
+    strategy: str = "scalar",
+    stack_stats: Optional[StackPassStats] = None,
 ) -> List[EventStream]:
     """Run many functional passes, optionally across processes.
 
@@ -173,15 +206,31 @@ def run_functional_passes(
     MicroVAX II workstations: the expensive organization passes are
     independent and distribute perfectly.  ``couplets`` maps a trace's
     :meth:`~repro.trace.record.Trace.content_fingerprint` to a
-    prepaired stream, used only on the serial path (child processes
-    re-pair locally — cheaper than pickling streams).
+    prepaired stream, used only on the serial and stack paths (child
+    processes re-pair locally — cheaper than pickling streams).
 
     ``cache`` is a :class:`~repro.sim.passcache.PassCache`: hits are
     loaded from disk in the parent and only the misses are simulated
     (and then persisted), so a repeated sweep over the same
     organizations performs zero functional passes.  Results always come
     back in job order.
+
+    ``strategy="stack"`` routes the misses through
+    :func:`~repro.sim.stackpass.stack_functional_passes` instead: one
+    shared trace walk per distinct trace covers every stack-eligible
+    organization, and ineligible ones (multi-way FIFO/RANDOM) fall back
+    to per-organization scalar passes, counted in
+    ``stack_stats.fallback_passes``.  The stack path is serial —
+    ``n_jobs`` is ignored — because the shared walk already removes the
+    N-walk cost the pool existed to spread.  Streams are bit-identical
+    to the scalar path's either way, and cache entries written by one
+    strategy are indistinguishable from the other's.
     """
+    if strategy not in ("scalar", "stack"):
+        raise AnalysisError(
+            f"unknown functional-pass strategy {strategy!r}; "
+            "expected 'scalar' or 'stack'"
+        )
     jobs = list(jobs)
     results: List[Optional[EventStream]] = [None] * len(jobs)
     if cache is not None:
@@ -195,7 +244,35 @@ def run_functional_passes(
     else:
         pending = list(range(len(jobs)))
     if pending:
-        if n_jobs <= 1 or len(pending) <= 1:
+        if strategy == "stack":
+            pair_memo = dict(couplets) if couplets else {}
+            groups: Dict[str, List[int]] = {}
+            for k in pending:
+                fingerprint = jobs[k][1].content_fingerprint()
+                groups.setdefault(fingerprint, []).append(k)
+            for fingerprint, members in groups.items():
+                stream_in = pair_memo.get(fingerprint)
+                if stream_in is None:
+                    stream_in = pair_couplets(jobs[members[0]][1])
+                    pair_memo[fingerprint] = stream_in
+                shared = [k for k in members if stack_supported(jobs[k][0])]
+                if shared:
+                    streams = stack_functional_passes(
+                        [jobs[k] for k in shared],
+                        couplets=stream_in,
+                        stats=stack_stats,
+                    )
+                    for k, stream in zip(shared, streams):
+                        results[k] = stream
+                for k in members:
+                    if results[k] is None:
+                        config, trace, seed = jobs[k]
+                        results[k] = functional_pass(
+                            config, trace, couplets=stream_in, seed=seed
+                        )
+                        if stack_stats is not None:
+                            stack_stats.fallback_passes += 1
+        elif n_jobs <= 1 or len(pending) <= 1:
             pair_memo: Dict[str, CoupletStream] = (
                 dict(couplets) if couplets else {}
             )
@@ -376,6 +453,8 @@ def run_speed_size_sweep(
     replay_jobs: int = 1,
     kernel_stats: Optional[KernelStats] = None,
     registry: Optional["MetricsRegistry"] = None,
+    functional_strategy: str = "scalar",
+    stack_stats: Optional[StackPassStats] = None,
 ) -> SpeedSizeGrid:
     """Sweep (cache size x cycle time); aggregate over the trace suite.
 
@@ -398,6 +477,11 @@ def run_speed_size_sweep(
     times the two phases as ``sweep.functional_passes`` /
     ``sweep.price_grid`` spans and folds the kernel and pass-cache
     counters in as ``replay.*`` / ``passcache.*`` metrics.
+
+    ``functional_strategy="stack"`` collapses the cold passes into one
+    shared stack walk per trace (see :mod:`repro.sim.stackpass`);
+    ``stack_stats`` accumulates its walk/derivation/fallback counters,
+    which also land in the registry as ``stackpass.*``.
     """
     traces = _as_trace_list(traces)
     if not traces:
@@ -423,6 +507,8 @@ def run_speed_size_sweep(
         )
     local_stats = _local_kernel_stats(registry)
     price_stats = local_stats if local_stats is not None else kernel_stats
+    local_stack = _local_stack_stats(registry, functional_strategy)
+    pass_stack = local_stack if local_stack is not None else stack_stats
     with _cache_metrics(registry, pass_cache), \
             _span(registry, "sweep.functional_passes"):
         all_streams = run_functional_passes(
@@ -433,7 +519,10 @@ def run_speed_size_sweep(
             ],
             n_jobs=n_jobs,
             cache=pass_cache,
+            strategy=functional_strategy,
+            stack_stats=pass_stack,
         )
+    _publish_stack(registry, local_stack, stack_stats)
     n_i, n_j = len(sizes), len(cycles_ns)
     exec_gm = np.empty((n_i, n_j))
     cpr_gm = np.empty((n_i, n_j))
@@ -539,6 +628,8 @@ def run_blocksize_sweep(
     replay_jobs: int = 1,
     kernel_stats: Optional[KernelStats] = None,
     registry: Optional["MetricsRegistry"] = None,
+    functional_strategy: str = "scalar",
+    stack_stats: Optional[StackPassStats] = None,
 ) -> Dict[Tuple[int, float], BlockSizeCurve]:
     """Sweep block size against memory latency and transfer rate (§5).
 
@@ -553,7 +644,8 @@ def run_blocksize_sweep(
     occurrence wins; the outcomes are identical by construction).  The
     memory grid is priced per stream in one batch-kernel call; see
     :func:`run_speed_size_sweep` for ``use_replay_kernel``,
-    ``replay_jobs``, ``kernel_stats`` and ``registry``.
+    ``replay_jobs``, ``kernel_stats``, ``registry``,
+    ``functional_strategy`` and ``stack_stats``.
     """
     traces = _as_trace_list(traces)
     if not traces:
@@ -575,6 +667,8 @@ def run_blocksize_sweep(
         )
     local_stats = _local_kernel_stats(registry)
     price_stats = local_stats if local_stats is not None else kernel_stats
+    local_stack = _local_stack_stats(registry, functional_strategy)
+    pass_stack = local_stack if local_stack is not None else stack_stats
     with _cache_metrics(registry, pass_cache), \
             _span(registry, "sweep.functional_passes"):
         all_streams = run_functional_passes(
@@ -585,7 +679,10 @@ def run_blocksize_sweep(
             ],
             n_jobs=n_jobs,
             cache=pass_cache,
+            strategy=functional_strategy,
+            stack_stats=pass_stack,
         )
+    _publish_stack(registry, local_stack, stack_stats)
     # One functional pass per (block size, trace); the memory grid is
     # built once — not per block size — and deduplicated by quantized
     # key before any replay runs.

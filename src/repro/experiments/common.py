@@ -74,6 +74,14 @@ def _env_pass_cache() -> str:
     return os.environ.get("REPRO_PASS_CACHE", "")
 
 
+def _env_stack_pass() -> bool:
+    """Set ``REPRO_STACK_PASS=1`` to collapse each sweep's cold
+    functional passes into one shared stack walk per trace (see
+    :mod:`repro.sim.stackpass`).  Results are bit-identical either way.
+    """
+    return os.environ.get("REPRO_STACK_PASS", "") not in ("", "0", "false")
+
+
 @dataclass(frozen=True)
 class ExperimentSettings:
     """Knobs shared by every experiment."""
@@ -84,6 +92,12 @@ class ExperimentSettings:
     full: bool = field(default_factory=_env_full)
     n_jobs: int = field(default_factory=_env_jobs)
     pass_cache_dir: str = field(default_factory=_env_pass_cache)
+    stack_pass: bool = field(default_factory=_env_stack_pass)
+
+    @property
+    def functional_strategy(self) -> str:
+        """The :func:`repro.core.sweep.run_functional_passes` strategy."""
+        return "stack" if self.stack_pass else "scalar"
 
     # ------------------------------------------------------------------
     # Grid definitions (reduced vs full)
@@ -203,6 +217,7 @@ def speed_size_grid(
                 seed=settings.seed,
                 n_jobs=settings.n_jobs,
                 pass_cache=_pass_cache_for(settings),
+                functional_strategy=settings.functional_strategy,
             )
     return _GRID_CACHE[key]
 
@@ -228,6 +243,7 @@ def blocksize_curves(settings: ExperimentSettings) -> Dict:
                 seed=settings.seed,
                 n_jobs=settings.n_jobs,
                 pass_cache=_pass_cache_for(settings),
+                functional_strategy=settings.functional_strategy,
             )
     return _BLOCKSIZE_CACHE[settings]
 

@@ -202,6 +202,7 @@ class LintConfig:
         "repro/sim/fastpath.py",
         "repro/sim/replaykernel.py",
         "repro/sim/passcache.py",
+        "repro/sim/stackpass.py",
     )
     #: Direct fingerprint injection (tests/self-test); wins over file.
     fingerprints_data: Optional[Mapping] = None

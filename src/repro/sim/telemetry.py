@@ -560,7 +560,11 @@ def quantization_info(config) -> Dict[str, float]:
 #: dump (named counters, gauges and wall-clock spans) collected across
 #: every subsystem the run touched; empty when no registry was threaded
 #: through the run.
-REPORT_SCHEMA = 5
+#: Version 6 adds the ``stack_pass`` counter block (shared stack-walk
+#: activity: trace walks, streams derived/reused, per-organization
+#: fallback passes; see :class:`repro.sim.stackpass.StackPassStats`;
+#: empty when the run used the scalar functional-pass strategy).
+REPORT_SCHEMA = 6
 
 
 @dataclass
@@ -600,6 +604,10 @@ class RunReport:
     #: heartbeats; see :mod:`repro.sim.workqueue`); empty when the run
     #: executed outside the spool backend.
     fabric: Dict[str, int] = field(default_factory=dict)
+    #: Shared stack-walk activity (see
+    #: :meth:`repro.sim.stackpass.StackPassStats.as_dict`); empty when
+    #: the run used the scalar functional-pass strategy.
+    stack_pass: Dict[str, int] = field(default_factory=dict)
     #: Unified metrics block: a :class:`MetricsRegistry` dump
     #: (``{"counters": ..., "gauges": ..., "spans": ...}``); empty when
     #: no registry was threaded through the run.
@@ -639,6 +647,7 @@ class RunReport:
             "pass_cache": dict(self.pass_cache),
             "replay": dict(self.replay),
             "fabric": dict(self.fabric),
+            "stack_pass": dict(self.stack_pass),
             "metrics": dict(self.metrics),
         }
 
@@ -649,8 +658,8 @@ class RunReport:
         """Rebuild a report from a stored document, tolerating drift.
 
         Older schema versions upgrade cleanly: blocks they predate
-        (``pass_cache``, ``replay``, ``fabric``, ``metrics``) default to
-        empty.  Fields a *newer* schema may have added are dropped, but
+        (``pass_cache``, ``replay``, ``fabric``, ``metrics``,
+        ``stack_pass``) default to empty.  Fields a *newer* schema may have added are dropped, but
         never silently — pass a list as ``unknown`` to collect their
         names, the same reporting contract as
         :func:`repro.sim.campaign.stats_from_dict`.  A payload that is
@@ -675,7 +684,7 @@ class RunReport:
             "n_refs_measured", "cycles", "total_cycles", "warm_cycles",
             "buckets", "buckets_measured", "conserved", "wall_s",
             "refs_per_sec", "peak_rss_kb", "quantization", "pass_cache",
-            "replay", "fabric", "metrics",
+            "replay", "fabric", "stack_pass", "metrics",
         }
         if unknown is not None:
             unknown.extend(
@@ -697,6 +706,7 @@ def build_run_report(
     replay: Optional[Dict[str, int]] = None,
     fabric: Optional[Dict[str, int]] = None,
     registry: Optional[MetricsRegistry] = None,
+    stack_pass: Optional[Dict[str, int]] = None,
 ) -> RunReport:
     """Assemble the metrics document for one completed run.
 
@@ -707,7 +717,9 @@ def build_run_report(
     the run repriced timing grids; ``fabric`` the work-queue lease
     counters, if the run executed through the spool backend;
     ``registry`` the run's :class:`MetricsRegistry`, dumped into the
-    schema-5 ``metrics`` block when it collected anything.
+    schema-5 ``metrics`` block when it collected anything;
+    ``stack_pass`` the shared stack-walk counters, if the run used the
+    stack functional-pass strategy.
     Conservation is *checked* here (never trusted): ``conserved`` is
     the outcome of :meth:`CycleLedger.verify`.
     """
@@ -744,6 +756,7 @@ def build_run_report(
         pass_cache=dict(pass_cache) if pass_cache else {},
         replay=dict(replay) if replay else {},
         fabric=dict(fabric) if fabric else {},
+        stack_pass=dict(stack_pass) if stack_pass else {},
         metrics=(
             registry.as_dict()
             if registry is not None and not registry.empty() else {}
@@ -784,6 +797,7 @@ def aggregate_reports(
     cache_totals: Dict[str, int] = {}
     replay_totals: Dict[str, int] = {}
     fabric_totals: Dict[str, int] = {}
+    stack_totals: Dict[str, int] = {}
     metrics_totals = MetricsRegistry()
     for report in reports:
         for name, cycles in report.buckets_measured.items():
@@ -794,6 +808,8 @@ def aggregate_reports(
             replay_totals[name] = replay_totals.get(name, 0) + count
         for name, count in report.fabric.items():
             fabric_totals[name] = fabric_totals.get(name, 0) + count
+        for name, count in report.stack_pass.items():
+            stack_totals[name] = stack_totals.get(name, 0) + count
         metrics_totals.merge(report.metrics)
     fabric_totals.update(fabric or {})
     ranked = sorted(
@@ -814,6 +830,7 @@ def aggregate_reports(
         "pass_cache": cache_totals,
         "replay": replay_totals,
         "fabric": fabric_totals,
+        "stack_pass": stack_totals,
         "metrics": (
             {} if metrics_totals.empty() else metrics_totals.as_dict()
         ),
@@ -880,6 +897,14 @@ def render_summary(summary: Dict) -> str:
             f"replay(s), {replay.get('vectorized_events', 0):,} "
             f"vectorized / {replay.get('scalar_events', 0):,} scalar "
             f"event(s)"
+        )
+    stack = summary.get("stack_pass") or {}
+    if any(stack.values()):
+        lines.append(
+            f"stack pass: {stack.get('walks', 0)} shared walk(s), "
+            f"{stack.get('derived_streams', 0)} stream(s) derived, "
+            f"{stack.get('reused_streams', 0)} reused, "
+            f"{stack.get('fallback_passes', 0)} fallback pass(es)"
         )
     spans = (summary.get("metrics") or {}).get("spans") or {}
     if spans:

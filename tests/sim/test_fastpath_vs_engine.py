@@ -130,3 +130,60 @@ class TestSupportChecks:
 
     def test_base_config_supported(self):
         check_fastpath_supported(baseline_config())
+
+
+class TestDegenerateOrganizations:
+    """Corner organizations the stack pass's set-refinement collapses
+    onto: the engine and fastpath must agree exactly on each, and both
+    simulators must reject the no-measurement corners identically."""
+
+    def _policies(self):
+        from repro.core.policy import ReplacementKind
+
+        return list(ReplacementKind)
+
+    def test_fully_associative_single_set(self, tiny_trace):
+        from repro.core.policy import ReplacementKind
+
+        for replacement in self._policies():
+            assoc = 4
+            config = baseline_config(
+                cache_size_bytes=4 * 4 * assoc, block_words=4, assoc=assoc,
+                replacement=replacement,
+            )
+            assert config.l1.i_geometry.n_sets == 1
+            assert_stats_equal(
+                simulate(config, tiny_trace),
+                fast_simulate(config, tiny_trace),
+            )
+
+    def test_direct_mapped_every_policy(self, tiny_trace):
+        for replacement in self._policies():
+            config = baseline_config(
+                cache_size_bytes=2 * KB, replacement=replacement
+            )
+            assert_stats_equal(
+                simulate(config, tiny_trace),
+                fast_simulate(config, tiny_trace),
+            )
+
+    def test_empty_trace_rejected_by_both(self):
+        from repro.trace.record import Trace
+
+        empty = Trace([], [], name="empty", warm_boundary=0)
+        config = baseline_config(cache_size_bytes=4 * KB)
+        with pytest.raises(ConfigurationError, match="warm boundary"):
+            fast_simulate(config, empty)
+        with pytest.raises(ConfigurationError, match="warm boundary"):
+            simulate(config, empty)
+
+    def test_exhausted_warm_boundary_rejected_by_both(self):
+        from repro.trace.record import RefKind, Trace
+
+        kinds = [int(RefKind.IFETCH)] * 20
+        trace = Trace(kinds, list(range(20)), name="w", warm_boundary=20)
+        config = baseline_config(cache_size_bytes=4 * KB)
+        with pytest.raises(ConfigurationError, match="warm boundary"):
+            fast_simulate(config, trace)
+        with pytest.raises(ConfigurationError, match="warm boundary"):
+            simulate(config, trace)
