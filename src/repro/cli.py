@@ -138,6 +138,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             check_fastpath_supported(config)
         except ConfigurationError:
             runner = simulate  # spec needs engine features
+    if (args.sample or args.sample_validate) and runner is simulate:
+        print("error: --sample requires the fastpath; it is incompatible "
+              "with --engine and with spec files that need engine "
+              "features", file=sys.stderr)
+        return 2
     pass_cache = None
     if args.pass_cache:
         if runner is fast_simulate:
@@ -156,6 +161,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         else:
             print("note: --stack-pass applies to fastpath runs only; "
                   "this engine run bypasses it", file=sys.stderr)
+    if args.sample or args.sample_validate:
+        return _simulate_sampled(
+            args, config, trace, timer, pass_cache, stack_stats
+        )
     want_metrics = args.metrics or args.metrics_out
     telemetry = None
     if want_metrics or args.trace_out:
@@ -244,6 +253,104 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         print(f"event trace written to {args.trace_out} "
               f"({len(telemetry.tracer)} event(s), "
               f"{telemetry.tracer.dropped} dropped)")
+    return 0
+
+
+def _simulate_sampled(
+    args: argparse.Namespace, config, trace, timer, pass_cache, stack_stats
+) -> int:
+    """The ``simulate --sample`` path: a stratified estimate, not an
+    exact run.  Shares the printed statistics shape with the exact path
+    and adds the estimate's confidence interval and, under
+    ``--sample-validate``, the true error."""
+    import dataclasses as _dc
+
+    from .errors import SamplingError
+    from .sim.sampling import (
+        SamplingPlan, SamplingStats, sampled_fast_simulate,
+    )
+    from .sim.telemetry import build_run_report
+
+    try:
+        plan = SamplingPlan.parse(args.sample)
+        if args.sample_validate:
+            plan = _dc.replace(plan, validate=True)
+    except SamplingError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if stack_stats is not None:
+        print("note: --stack-pass applies to exact and sweep runs; this "
+              "sampled single run uses scalar representative passes",
+              file=sys.stderr)
+    if args.trace_out:
+        print("note: --trace-out needs an exact replay; the sampled run "
+              "skips it", file=sys.stderr)
+    sampling_stats = SamplingStats()
+    with timer.stage("simulate"):
+        try:
+            estimate = sampled_fast_simulate(
+                config, trace, plan, cache=pass_cache,
+                stats=sampling_stats,
+            )
+        except SamplingError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    stats = estimate.stats
+    print(f"trace: {trace.name} ({len(trace)} references, "
+          f"{stats.n_refs} measured)")
+    print(f"system: {config.describe()}")
+    print(f"sampling: {plan.describe()}; {estimate.n_clusters} cluster(s) "
+          f"over {estimate.n_intervals} interval(s)")
+    print(f"sampling: {estimate.refs_sampled:,} of "
+          f"{estimate.refs_full:,} refs simulated "
+          f"({estimate.refs_reduction:.1f}x fewer)")
+    print(f"cycles (estimated): {stats.cycles}  "
+          f"({stats.cycles_per_reference:.3f}/ref)")
+    print(f"execution time (estimated): "
+          f"{stats.execution_time_ns / 1e6:.3f} ms")
+    print(f"read miss ratio (estimated): {estimate.read_miss_ratio:.4f} "
+          f"± {estimate.ci_half_width:.4f} "
+          f"(z={plan.confidence_z:g}, bound {plan.ci_bound:g})")
+    print(f"traffic (estimated): read {stats.read_traffic_ratio:.3f} "
+          f"W/read, write {stats.write_traffic_ratio_full:.3f}/"
+          f"{stats.write_traffic_ratio_dirty:.3f} W/ref (full/dirty)")
+    if estimate.true_read_miss_ratio is not None:
+        print(f"validation: true read miss ratio "
+              f"{estimate.true_read_miss_ratio:.4f}, "
+              f"abs error {estimate.abs_error:.4f}; "
+              f"true cycles {estimate.true_cycles}")
+    if pass_cache is not None:
+        counters = pass_cache.counters
+        print(f"pass cache: {counters.hits} hit(s), "
+              f"{counters.misses} miss(es), "
+              f"{counters.bytes_read:,} B read, "
+              f"{counters.bytes_written:,} B written")
+    if args.metrics or args.metrics_out:
+        block = dict(sampling_stats.as_dict())
+        block["ci_half_width"] = round(estimate.ci_half_width, 6)
+        block["refs_reduction"] = round(estimate.refs_reduction, 3)
+        if estimate.abs_error is not None:
+            block["abs_error"] = round(estimate.abs_error, 6)
+        report = build_run_report(
+            stats, None, timer,
+            run_identifier=f"{trace.name}-cli-sampled",
+            simulator="fastpath",
+            n_refs_total=len(trace), config=config,
+            pass_cache=(
+                pass_cache.counters.as_dict()
+                if pass_cache is not None else None
+            ),
+            sampling=block,
+        )
+        print(f"host: {report.total_wall_s:.3f}s wall "
+              f"({report.refs_per_sec:,.0f} refs/s), "
+              f"peak RSS {report.peak_rss_kb or 0} KiB")
+        if args.metrics_out:
+            import json as _json
+
+            with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                _json.dump(report.to_dict(), handle, indent=1)
+            print(f"metrics written to {args.metrics_out}")
     return 0
 
 
@@ -341,6 +448,16 @@ def build_parser() -> argparse.ArgumentParser:
                            "shared stack-walk machinery (fastpath runs "
                            "only; bit-identical results, reported in "
                            "the stack_pass metrics block)")
+    simp.add_argument("--sample", default="",
+                      help="estimate from representative trace "
+                           "intervals instead of an exact run: a "
+                           "sampling-plan spec ('1' for defaults, or "
+                           "e.g. 'interval=20000,k=8,ci=0.02'); "
+                           "fastpath only")
+    simp.add_argument("--sample-validate", action="store_true",
+                      help="with --sample: also run the exact pass and "
+                           "report the estimate's true absolute "
+                           "miss-ratio error")
     simp.set_defaults(func=_cmd_simulate)
 
     tr = sub.add_parser("traces", help="describe the synthetic trace suite")
@@ -388,6 +505,15 @@ def build_parser() -> argparse.ArgumentParser:
                      help="collapse the sweep's cold functional passes "
                           "into one shared stack walk per trace "
                           "(bit-identical results)")
+    adv.add_argument("--sample", default="",
+                     help="price the advisor's sweep on representative "
+                          "trace intervals (stratified estimates with "
+                          "confidence bounds): a sampling-plan spec, "
+                          "'1' for defaults")
+    adv.add_argument("--sample-validate", action="store_true",
+                     help="with --sample: periodically re-run exact "
+                          "passes and report the worst true "
+                          "miss-ratio error")
     adv.set_defaults(func=_cmd_advise)
 
     rep = sub.add_parser(
@@ -484,6 +610,16 @@ def build_parser() -> argparse.ArgumentParser:
                            "with one shared stack walk per trace before "
                            "dispatching workers (requires --pass-cache; "
                            "incompatible with --engine)")
+    crun.add_argument("--sample", default="",
+                      help="run every sweep job as a stratified "
+                           "interval-sampling estimate: a sampling-plan "
+                           "spec, '1' for defaults (fastpath pool "
+                           "backend only; incompatible with --engine, "
+                           "--metrics and --backend spool)")
+    crun.add_argument("--sample-validate", action="store_true",
+                      help="with --sample: every job also runs the "
+                           "exact pass and refuses estimates whose "
+                           "error bound is exceeded")
     crun.add_argument("--backend", choices=("pool", "spool"),
                       default="pool",
                       help="execution fabric: 'pool' (in-process worker "
@@ -697,6 +833,12 @@ def build_parser() -> argparse.ArgumentParser:
     bdiff.add_argument("--min-baseline", type=int, default=1,
                        help="prior records needed before a metric "
                             "gates (fewer report 'new')")
+    bdiff.add_argument("--host", default="",
+                       help="compare against baselines from this host "
+                            "fingerprint (default: the current host's)")
+    bdiff.add_argument("--any-host", action="store_true",
+                       help="compare against the whole history "
+                            "regardless of which host recorded it")
     bdiff.set_defaults(func=_cmd_bench_diff)
 
     bhist = benchsub.add_parser(
@@ -903,7 +1045,46 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
                   "--pass-cache to hand the precomputed streams to the "
                   "sweep's workers", file=sys.stderr)
             return 2
-    if args.pass_cache:
+    sample_spec = args.sample or ("1" if args.sample_validate else "")
+    if sample_spec:
+        if args.engine:
+            print("repro-sim campaign run: error: --sample estimates "
+                  "through the fastpath and cannot be combined with "
+                  "--engine", file=sys.stderr)
+            return 2
+        if args.backend == "spool":
+            print("repro-sim campaign run: error: --sample is not "
+                  "supported on the spool backend yet; use the pool "
+                  "backend", file=sys.stderr)
+            return 2
+        if args.metrics:
+            print("repro-sim campaign run: error: --sample produces "
+                  "estimates with no cycle ledger; per-run --metrics "
+                  "RunReports cannot check conservation on them",
+                  file=sys.stderr)
+            return 2
+        from .errors import SamplingError
+        from .sim.sampling import SamplingPlan
+
+        try:
+            plan = SamplingPlan.parse(sample_spec)
+        except SamplingError as exc:
+            print(f"repro-sim campaign run: error: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"sampling: {plan.describe()}"
+              + (" (validating every run)" if args.sample_validate
+                 else ""))
+    if sample_spec:
+        import functools
+
+        from .sim.sampling import sampled_simulate
+
+        simulate_fn = functools.partial(
+            sampled_simulate, plan_spec=sample_spec,
+            cache_dir=args.pass_cache, validate=args.sample_validate,
+        )
+    elif args.pass_cache:
         import functools
 
         from .sim.passcache import cached_fast_simulate
@@ -1188,6 +1369,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_advise(args: argparse.Namespace) -> int:
     from .core.advisor import LadderRung, advisor_table, recommend_design
     from .core.sweep import run_speed_size_sweep
+    from .errors import SamplingError
     from .sim.replaykernel import KernelStats
 
     rungs = []
@@ -1216,14 +1398,36 @@ def _cmd_advise(args: argparse.Namespace) -> int:
         from .sim.stackpass import StackPassStats
 
         stack_stats = StackPassStats()
-    grid = run_speed_size_sweep(
-        suite, extended, cycles, seed=args.seed, pass_cache=pass_cache,
-        use_replay_kernel=not args.scalar_replay,
-        replay_jobs=args.replay_jobs,
-        kernel_stats=kernel_stats,
-        functional_strategy="stack" if args.stack_pass else "scalar",
-        stack_stats=stack_stats,
-    )
+    sampling = None
+    sampling_stats = None
+    if args.sample or args.sample_validate:
+        import dataclasses
+
+        from .sim.sampling import SamplingPlan, SamplingStats
+
+        try:
+            sampling = SamplingPlan.parse(args.sample or "1")
+        except SamplingError as exc:
+            print(f"repro-sim advise: error: {exc}", file=sys.stderr)
+            return 2
+        if args.sample_validate:
+            sampling = dataclasses.replace(sampling, validate=True)
+        sampling_stats = SamplingStats()
+    try:
+        grid = run_speed_size_sweep(
+            suite, extended, cycles, seed=args.seed,
+            pass_cache=pass_cache,
+            use_replay_kernel=not args.scalar_replay,
+            replay_jobs=args.replay_jobs,
+            kernel_stats=kernel_stats,
+            functional_strategy="stack" if args.stack_pass else "scalar",
+            stack_stats=stack_stats,
+            sampling=sampling,
+            sampling_stats=sampling_stats,
+        )
+    except SamplingError as exc:
+        print(f"repro-sim advise: error: {exc}", file=sys.stderr)
+        return 1
     print(advisor_table(recommend_design(grid, rungs)))
     print(f"replay: {kernel_stats.batch_outcomes} batch outcome(s), "
           f"{kernel_stats.scalar_replays} scalar replay(s), "
@@ -1234,6 +1438,17 @@ def _cmd_advise(args: argparse.Namespace) -> int:
               f"{stack_stats.derived_streams} stream(s) derived, "
               f"{stack_stats.reused_streams} reused, "
               f"{stack_stats.fallback_passes} fallback pass(es)")
+    if sampling_stats is not None:
+        line = (f"sampling: {sampling.describe()}; "
+                f"{sampling_stats.selections} selection(s), "
+                f"{sampling_stats.representatives} representative(s), "
+                f"{sampling_stats.refs_sampled:,} / "
+                f"{sampling_stats.refs_full:,} refs simulated")
+        if sampling_stats.validations:
+            line += (f", max true error "
+                     f"{sampling_stats.true_error_max:.4f} over "
+                     f"{sampling_stats.validations} validation(s)")
+        print(line)
     return 0
 
 
@@ -1378,6 +1593,7 @@ def _cmd_bench_diff(args: argparse.Namespace) -> int:
         BenchHistory,
         DiffPolicy,
         diff_history,
+        host_fingerprint,
         render_diff,
     )
 
@@ -1394,6 +1610,15 @@ def _cmd_bench_diff(args: argparse.Namespace) -> int:
     if not records:
         print(f"{args.history}: no bench history")
         return 0
+    if not args.any_host:
+        # Timings from other machines are noise, not baseline: gate
+        # against records from one host unless explicitly widened.
+        host = args.host or host_fingerprint()
+        records = [r for r in records if r.host == host]
+        if not records:
+            print(f"{args.history}: no bench history from host {host} "
+                  f"(use --any-host to compare across hosts)")
+            return 0
     commit = args.commit or records[-1].commit
     deltas = diff_history(records, commit=commit, policy=policy)
     print(render_diff(deltas, commit))

@@ -44,6 +44,15 @@ from ..sim.fastpath import (
     replay,
 )
 from ..sim.replaykernel import BatchReplayKernel, KernelStats, TimingPoint
+from ..sim.sampling import (
+    SampledPassGroup,
+    SamplingPlan,
+    SamplingStats,
+    estimate_cycles,
+    estimate_stats,
+    select_intervals,
+    validate_group,
+)
 from ..sim.stackpass import (
     StackPassStats,
     stack_functional_passes,
@@ -148,6 +157,32 @@ def _publish_stack(
         stack_stats.merge(local_stats)
 
 
+def _local_sampling_stats(
+    registry: Optional["MetricsRegistry"],
+    sampling: Optional[SamplingPlan],
+) -> Optional[SamplingStats]:
+    """Fresh :class:`SamplingStats` when metrics are on and a sampling
+    plan is in play — fresh for the same double-count reason as
+    :func:`_local_kernel_stats`."""
+    if registry is not None and sampling is not None:
+        return SamplingStats()
+    return None
+
+
+def _publish_sampling(
+    registry: Optional["MetricsRegistry"],
+    local_stats: Optional[SamplingStats],
+    sampling_stats: Optional[SamplingStats],
+) -> None:
+    """Fold sweep-local sampling counters into the registry and the
+    caller's accumulator."""
+    if registry is None or local_stats is None:
+        return
+    local_stats.publish(registry)
+    if sampling_stats is not None:
+        sampling_stats.merge(local_stats)
+
+
 def _as_trace_list(traces) -> List[Trace]:
     if isinstance(traces, Mapping):
         return list(traces.values())
@@ -199,7 +234,9 @@ def run_functional_passes(
     cache: Optional["PassCache"] = None,
     strategy: str = "scalar",
     stack_stats: Optional[StackPassStats] = None,
-) -> List[EventStream]:
+    sampling: Optional[SamplingPlan] = None,
+    sampling_stats: Optional[SamplingStats] = None,
+) -> List:
     """Run many functional passes, optionally across processes.
 
     This is the library's stand-in for the paper's farm of 10–20
@@ -225,6 +262,19 @@ def run_functional_passes(
     N-walk cost the pool existed to spread.  Streams are bit-identical
     to the scalar path's either way, and cache entries written by one
     strategy are indistinguishable from the other's.
+
+    ``sampling`` (a :class:`~repro.sim.sampling.SamplingPlan`) changes
+    the return type: each job expands into one functional pass per
+    representative interval of its trace and the result list holds
+    :class:`~repro.sim.sampling.SampledPassGroup` objects instead of
+    single streams.  The representative-interval jobs flow through this
+    same function, so the cache, the pool and the stack strategy all
+    compose — a stack walk of one interval trace covers every
+    stack-eligible organization, and interval streams persist in the
+    pass cache under their own content fingerprints.  With
+    ``sampling.validate``, every ``validate_period``-th job also runs
+    its exact pass and the true miss-ratio error lands in
+    ``sampling_stats``.
     """
     if strategy not in ("scalar", "stack"):
         raise AnalysisError(
@@ -232,6 +282,11 @@ def run_functional_passes(
             "expected 'scalar' or 'stack'"
         )
     jobs = list(jobs)
+    if sampling is not None:
+        return _sampled_functional_passes(
+            jobs, sampling, n_jobs=n_jobs, cache=cache, strategy=strategy,
+            stack_stats=stack_stats, sampling_stats=sampling_stats,
+        )
     results: List[Optional[EventStream]] = [None] * len(jobs)
     if cache is not None:
         pending = []
@@ -306,6 +361,52 @@ def run_functional_passes(
                 config, trace, seed = jobs[k]
                 cache.put(config, trace, seed, results[k])
     return results
+
+
+def _sampled_functional_passes(
+    jobs: Sequence[Tuple[SystemConfig, Trace, int]],
+    plan: SamplingPlan,
+    n_jobs: int,
+    cache: Optional["PassCache"],
+    strategy: str,
+    stack_stats: Optional[StackPassStats],
+    sampling_stats: Optional[SamplingStats],
+) -> List[SampledPassGroup]:
+    """Expand jobs into representative-interval passes and regroup.
+
+    Selections are memoized per (trace contents, plan), so an
+    N-organization grid over one trace segments and clusters it once.
+    The expanded jobs recurse through :func:`run_functional_passes`
+    with ``sampling=None`` — inheriting the cache, pool and strategy.
+    """
+    selections = [
+        select_intervals(trace, plan, stats=sampling_stats)
+        for _config, trace, _seed in jobs
+    ]
+    rep_jobs: List[Tuple[SystemConfig, Trace, int]] = []
+    spans: List[Tuple[int, int]] = []
+    for (config, _trace, seed), selection in zip(jobs, selections):
+        lo = len(rep_jobs)
+        rep_jobs.extend((config, rep, seed) for rep in selection.rep_traces)
+        spans.append((lo, len(rep_jobs)))
+    rep_streams = run_functional_passes(
+        rep_jobs, n_jobs=n_jobs, cache=cache, strategy=strategy,
+        stack_stats=stack_stats,
+    )
+    if sampling_stats is not None:
+        sampling_stats.representatives += len(rep_jobs)
+    groups = [
+        SampledPassGroup(selection, rep_streams[lo:hi])
+        for selection, (lo, hi) in zip(selections, spans)
+    ]
+    if plan.validate:
+        for k in range(0, len(jobs), plan.validate_period):
+            config, trace, seed = jobs[k]
+            validate_group(
+                config, trace, groups[k], seed=seed, cache=cache,
+                stats=sampling_stats,
+            )
+    return groups
 
 
 def _pack_pass_jobs(
@@ -436,6 +537,28 @@ def _price_streams(
     return rows
 
 
+def _flatten_pass_results(
+    results: Sequence, sampling: Optional[SamplingPlan]
+) -> Tuple[List[EventStream], Optional[List[Tuple[int, int]]]]:
+    """Flatten pass results for pricing.
+
+    Without sampling the results already are streams and pass through
+    unchanged.  With sampling each result is a
+    :class:`SampledPassGroup`; its representative streams are
+    concatenated and ``spans[k]`` records the flat ``[lo, hi)`` window
+    belonging to job ``k``.
+    """
+    if sampling is None:
+        return list(results), None
+    flat: List[EventStream] = []
+    spans: List[Tuple[int, int]] = []
+    for group in results:
+        lo = len(flat)
+        flat.extend(group.streams)
+        spans.append((lo, len(flat)))
+    return flat, spans
+
+
 def run_speed_size_sweep(
     traces,
     sizes_each_bytes: Sequence[int],
@@ -455,6 +578,8 @@ def run_speed_size_sweep(
     registry: Optional["MetricsRegistry"] = None,
     functional_strategy: str = "scalar",
     stack_stats: Optional[StackPassStats] = None,
+    sampling: Optional[SamplingPlan] = None,
+    sampling_stats: Optional[SamplingStats] = None,
 ) -> SpeedSizeGrid:
     """Sweep (cache size x cycle time); aggregate over the trace suite.
 
@@ -482,6 +607,16 @@ def run_speed_size_sweep(
     shared stack walk per trace (see :mod:`repro.sim.stackpass`);
     ``stack_stats`` accumulates its walk/derivation/fallback counters,
     which also land in the registry as ``stackpass.*``.
+
+    ``sampling`` (a :class:`~repro.sim.sampling.SamplingPlan`) runs the
+    whole sweep on representative trace intervals: the functional
+    passes cover only each trace's cluster representatives and every
+    grid cell is a stratified *estimate* — refused with
+    :exc:`~repro.errors.SamplingError` when its confidence interval
+    exceeds the plan's bound.  ``sampling_stats`` accumulates the
+    selection/estimate counters, which also land in the registry as
+    ``sampling.*``.  Sampling composes with the cache, the pool and
+    either functional strategy.
     """
     traces = _as_trace_list(traces)
     if not traces:
@@ -509,6 +644,10 @@ def run_speed_size_sweep(
     price_stats = local_stats if local_stats is not None else kernel_stats
     local_stack = _local_stack_stats(registry, functional_strategy)
     pass_stack = local_stack if local_stack is not None else stack_stats
+    local_sampling = _local_sampling_stats(registry, sampling)
+    pass_sampling = (
+        local_sampling if local_sampling is not None else sampling_stats
+    )
     with _cache_metrics(registry, pass_cache), \
             _span(registry, "sweep.functional_passes"):
         all_streams = run_functional_passes(
@@ -521,8 +660,11 @@ def run_speed_size_sweep(
             cache=pass_cache,
             strategy=functional_strategy,
             stack_stats=pass_stack,
+            sampling=sampling,
+            sampling_stats=pass_sampling,
         )
     _publish_stack(registry, local_stack, stack_stats)
+    flat_streams, group_spans = _flatten_pass_results(all_streams, sampling)
     n_i, n_j = len(sizes), len(cycles_ns)
     exec_gm = np.empty((n_i, n_j))
     cpr_gm = np.empty((n_i, n_j))
@@ -535,35 +677,67 @@ def run_speed_size_sweep(
     ]
     with _span(registry, "sweep.price_grid"):
         outcome_rows = _price_streams(
-            all_streams, points, use_replay_kernel, replay_jobs,
+            flat_streams, points, use_replay_kernel, replay_jobs,
             price_stats,
         )
     _publish_kernel(registry, local_stats, kernel_stats)
     per_size_metrics: List[AggregateMetrics] = []
     for i, size in enumerate(sizes):
         lo = i * len(traces)
-        streams = all_streams[lo: lo + len(traces)]
-        rows = outcome_rows[lo: lo + len(traces)]
-        # The miss and traffic ratios depend on the organization only,
-        # so one summary per (size, trace) — built from the first
-        # cycle-time column — covers them; the per-column reduction
-        # needs nothing beyond each outcome's cycle count.
-        size_summaries = [
-            TraceRunSummary.from_stats(
-                assemble_stats(stream, row[0], cycles_ns[0])
+        if sampling is None:
+            streams = all_streams[lo: lo + len(traces)]
+            rows = outcome_rows[lo: lo + len(traces)]
+            # The miss and traffic ratios depend on the organization
+            # only, so one summary per (size, trace) — built from the
+            # first cycle-time column — covers them; the per-column
+            # reduction needs nothing beyond each outcome's cycle count.
+            size_summaries = [
+                TraceRunSummary.from_stats(
+                    assemble_stats(stream, row[0], cycles_ns[0])
+                )
+                for stream, row in zip(streams, rows)
+            ]
+            per_size_metrics.append(aggregate(size_summaries))
+            n_refs = [stream.n_refs_measured for stream in streams]
+            for j, cycle_ns in enumerate(cycles_ns):
+                exec_gm[i, j] = geometric_mean(
+                    max(row[j].cycles * cycle_ns, GM_FLOOR) for row in rows
+                )
+                cpr_gm[i, j] = geometric_mean(
+                    max(row[j].cycles / refs if refs else 0.0, GM_FLOOR)
+                    for row, refs in zip(rows, n_refs)
+                )
+            continue
+        # Sampled path: each (size, trace) cell is a stratified estimate
+        # recombining one outcome row per cluster representative.
+        size_summaries = []
+        cycle_rows: List[List[float]] = []
+        n_refs = []
+        for t in range(len(traces)):
+            group = all_streams[lo + t]
+            a, b = group_spans[lo + t]
+            rows = outcome_rows[a:b]
+            est = estimate_stats(
+                group.selection, group.streams,
+                [row[0] for row in rows], cycles_ns[0],
+                stats=pass_sampling,
             )
-            for stream, row in zip(streams, rows)
-        ]
+            size_summaries.append(TraceRunSummary.from_stats(est.stats))
+            cycle_rows.append([
+                estimate_cycles(group.selection, [row[j] for row in rows])
+                for j in range(n_j)
+            ])
+            n_refs.append(group.selection.measured_refs)
         per_size_metrics.append(aggregate(size_summaries))
-        n_refs = [stream.n_refs_measured for stream in streams]
         for j, cycle_ns in enumerate(cycles_ns):
             exec_gm[i, j] = geometric_mean(
-                max(row[j].cycles * cycle_ns, GM_FLOOR) for row in rows
+                max(cycles[j] * cycle_ns, GM_FLOOR) for cycles in cycle_rows
             )
             cpr_gm[i, j] = geometric_mean(
-                max(row[j].cycles / refs if refs else 0.0, GM_FLOOR)
-                for row, refs in zip(rows, n_refs)
+                max(cycles[j] / refs if refs else 0.0, GM_FLOOR)
+                for cycles, refs in zip(cycle_rows, n_refs)
             )
+    _publish_sampling(registry, local_sampling, sampling_stats)
     return SpeedSizeGrid(
         total_sizes=[2 * s for s in sizes],
         cycle_times_ns=list(cycles_ns),
@@ -630,6 +804,8 @@ def run_blocksize_sweep(
     registry: Optional["MetricsRegistry"] = None,
     functional_strategy: str = "scalar",
     stack_stats: Optional[StackPassStats] = None,
+    sampling: Optional[SamplingPlan] = None,
+    sampling_stats: Optional[SamplingStats] = None,
 ) -> Dict[Tuple[int, float], BlockSizeCurve]:
     """Sweep block size against memory latency and transfer rate (§5).
 
@@ -645,7 +821,8 @@ def run_blocksize_sweep(
     memory grid is priced per stream in one batch-kernel call; see
     :func:`run_speed_size_sweep` for ``use_replay_kernel``,
     ``replay_jobs``, ``kernel_stats``, ``registry``,
-    ``functional_strategy`` and ``stack_stats``.
+    ``functional_strategy``, ``stack_stats``, ``sampling`` and
+    ``sampling_stats``.
     """
     traces = _as_trace_list(traces)
     if not traces:
@@ -669,6 +846,10 @@ def run_blocksize_sweep(
     price_stats = local_stats if local_stats is not None else kernel_stats
     local_stack = _local_stack_stats(registry, functional_strategy)
     pass_stack = local_stack if local_stack is not None else stack_stats
+    local_sampling = _local_sampling_stats(registry, sampling)
+    pass_sampling = (
+        local_sampling if local_sampling is not None else sampling_stats
+    )
     with _cache_metrics(registry, pass_cache), \
             _span(registry, "sweep.functional_passes"):
         all_streams = run_functional_passes(
@@ -681,8 +862,11 @@ def run_blocksize_sweep(
             cache=pass_cache,
             strategy=functional_strategy,
             stack_stats=pass_stack,
+            sampling=sampling,
+            sampling_stats=pass_sampling,
         )
     _publish_stack(registry, local_stack, stack_stats)
+    flat_streams, group_spans = _flatten_pass_results(all_streams, sampling)
     # One functional pass per (block size, trace); the memory grid is
     # built once — not per block size — and deduplicated by quantized
     # key before any replay runs.
@@ -709,23 +893,38 @@ def run_blocksize_sweep(
     ]
     with _span(registry, "sweep.price_grid"):
         outcome_rows = _price_streams(
-            all_streams, points, use_replay_kernel, replay_jobs,
+            flat_streams, points, use_replay_kernel, replay_jobs,
             price_stats,
         )
     _publish_kernel(registry, local_stats, kernel_stats)
     curves: Dict[Tuple[int, float], Dict[int, AggregateMetrics]] = {}
     for b_index, block_words in enumerate(block_sizes):
         lo = b_index * len(traces)
-        streams = all_streams[lo: lo + len(traces)]
-        rows = outcome_rows[lo: lo + len(traces)]
         for p_index, (key, _mem) in enumerate(unique_memories):
-            summaries = [
-                TraceRunSummary.from_stats(
-                    assemble_stats(stream, row[p_index], cycle_ns)
-                )
-                for stream, row in zip(streams, rows)
-            ]
+            if sampling is None:
+                summaries = [
+                    TraceRunSummary.from_stats(
+                        assemble_stats(stream, row[p_index], cycle_ns)
+                    )
+                    for stream, row in zip(
+                        all_streams[lo: lo + len(traces)],
+                        outcome_rows[lo: lo + len(traces)],
+                    )
+                ]
+            else:
+                summaries = []
+                for t in range(len(traces)):
+                    group = all_streams[lo + t]
+                    a, b = group_spans[lo + t]
+                    rows = outcome_rows[a:b]
+                    est = estimate_stats(
+                        group.selection, group.streams,
+                        [row[p_index] for row in rows], cycle_ns,
+                        stats=pass_sampling,
+                    )
+                    summaries.append(TraceRunSummary.from_stats(est.stats))
             curves.setdefault(key, {})[block_words] = aggregate(summaries)
+    _publish_sampling(registry, local_sampling, sampling_stats)
     result: Dict[Tuple[int, float], BlockSizeCurve] = {}
     for (latency_cycles, transfer_rate), by_block in curves.items():
         result[(latency_cycles, transfer_rate)] = BlockSizeCurve(

@@ -82,6 +82,17 @@ def _env_stack_pass() -> bool:
     return os.environ.get("REPRO_STACK_PASS", "") not in ("", "0", "false")
 
 
+def _env_sample() -> str:
+    """Set ``REPRO_SAMPLE`` to run every sweep on representative trace
+    intervals (see :mod:`repro.sim.sampling`).  The value is a
+    :meth:`~repro.sim.sampling.SamplingPlan.parse` spec — ``"1"`` for
+    the defaults, or e.g. ``"interval=20000,k=8"``.  Unlike the stack
+    pass, sampling changes the numbers: every figure becomes a
+    stratified *estimate* with the plan's confidence bound.
+    """
+    return os.environ.get("REPRO_SAMPLE", "")
+
+
 @dataclass(frozen=True)
 class ExperimentSettings:
     """Knobs shared by every experiment."""
@@ -93,11 +104,22 @@ class ExperimentSettings:
     n_jobs: int = field(default_factory=_env_jobs)
     pass_cache_dir: str = field(default_factory=_env_pass_cache)
     stack_pass: bool = field(default_factory=_env_stack_pass)
+    sample: str = field(default_factory=_env_sample)
 
     @property
     def functional_strategy(self) -> str:
         """The :func:`repro.core.sweep.run_functional_passes` strategy."""
         return "stack" if self.stack_pass else "scalar"
+
+    @property
+    def sampling_plan(self):
+        """The :class:`~repro.sim.sampling.SamplingPlan` behind the
+        ``sample`` spec, or ``None`` when sampling is off."""
+        if not self.sample:
+            return None
+        from ..sim.sampling import SamplingPlan
+
+        return SamplingPlan.parse(self.sample)
 
     # ------------------------------------------------------------------
     # Grid definitions (reduced vs full)
@@ -218,6 +240,7 @@ def speed_size_grid(
                 n_jobs=settings.n_jobs,
                 pass_cache=_pass_cache_for(settings),
                 functional_strategy=settings.functional_strategy,
+                sampling=settings.sampling_plan,
             )
     return _GRID_CACHE[key]
 
@@ -244,6 +267,7 @@ def blocksize_curves(settings: ExperimentSettings) -> Dict:
                 n_jobs=settings.n_jobs,
                 pass_cache=_pass_cache_for(settings),
                 functional_strategy=settings.functional_strategy,
+                sampling=settings.sampling_plan,
             )
     return _BLOCKSIZE_CACHE[settings]
 

@@ -147,6 +147,12 @@ DEFAULT_SCHEMAS = (
         constant="DONE_SCHEMA",
         locator=("assign", "done_to_dict", "doc"),
     ),
+    SchemaSpec(
+        name="sampling_report",
+        module="repro/sim/sampling.py",
+        constant="SAMPLING_SCHEMA",
+        locator=("assign", "estimate_to_dict", "doc"),
+    ),
 )
 
 
@@ -203,6 +209,7 @@ class LintConfig:
         "repro/sim/replaykernel.py",
         "repro/sim/passcache.py",
         "repro/sim/stackpass.py",
+        "repro/sim/sampling.py",
     )
     #: Direct fingerprint injection (tests/self-test); wins over file.
     fingerprints_data: Optional[Mapping] = None

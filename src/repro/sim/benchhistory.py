@@ -296,7 +296,7 @@ class BenchHistory:
 # Ingestion of the raw CI bench documents
 # ----------------------------------------------------------------------
 #: Curated (unit, direction) per metric of the known raw bench shapes —
-#: the four ``BENCH_*.json`` documents CI has emitted since PR 2.
+#: the ``BENCH_*.json`` documents CI has emitted since PR 2.
 _BENCH_SHAPES: Dict[str, Dict[str, Tuple[str, str]]] = {
     "telemetry_smoke": {
         "runs": ("count", "info"),
@@ -336,6 +336,17 @@ _BENCH_SHAPES: Dict[str, Dict[str, Tuple[str, str]]] = {
         "graph_modules": ("count", "info"),
         "graph_functions": ("count", "info"),
         "graph_call_edges": ("count", "info"),
+    },
+    "sampling": {
+        "refs_exact": ("count", "info"),
+        "refs_sampled": ("count", "info"),
+        "refs_reduction": ("ratio", "higher"),
+        "cold_exact_s": ("s", "lower"),
+        "cold_sampled_s": ("s", "lower"),
+        "speedup": ("ratio", "higher"),
+        "abs_miss_error": ("", "lower"),
+        "ci_half_width": ("", "lower"),
+        "deterministic": ("count", "info"),
     },
 }
 

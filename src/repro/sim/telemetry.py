@@ -564,7 +564,14 @@ def quantization_info(config) -> Dict[str, float]:
 #: activity: trace walks, streams derived/reused, per-organization
 #: fallback passes; see :class:`repro.sim.stackpass.StackPassStats`;
 #: empty when the run used the scalar functional-pass strategy).
-REPORT_SCHEMA = 6
+#: Version 7 adds the ``sampling`` block (trace-interval sampling:
+#: selections, intervals/clusters/representatives, exact-vs-sampled
+#: reference counts, estimate and refusal counts, and — when
+#: validation ran — the worst observed true absolute miss-ratio error
+#: as ``true_error_max``; see
+#: :class:`repro.sim.sampling.SamplingStats`; empty when the run
+#: simulated exactly).
+REPORT_SCHEMA = 7
 
 
 @dataclass
@@ -608,6 +615,11 @@ class RunReport:
     #: :meth:`repro.sim.stackpass.StackPassStats.as_dict`); empty when
     #: the run used the scalar functional-pass strategy.
     stack_pass: Dict[str, int] = field(default_factory=dict)
+    #: Trace-interval sampling activity (see
+    #: :meth:`repro.sim.sampling.SamplingStats.as_dict`, plus
+    #: estimate-level keys such as ``ci_half_width`` for single-run
+    #: reports); empty when the run simulated exactly.
+    sampling: Dict = field(default_factory=dict)
     #: Unified metrics block: a :class:`MetricsRegistry` dump
     #: (``{"counters": ..., "gauges": ..., "spans": ...}``); empty when
     #: no registry was threaded through the run.
@@ -648,6 +660,7 @@ class RunReport:
             "replay": dict(self.replay),
             "fabric": dict(self.fabric),
             "stack_pass": dict(self.stack_pass),
+            "sampling": dict(self.sampling),
             "metrics": dict(self.metrics),
         }
 
@@ -659,7 +672,7 @@ class RunReport:
 
         Older schema versions upgrade cleanly: blocks they predate
         (``pass_cache``, ``replay``, ``fabric``, ``metrics``,
-        ``stack_pass``) default to empty.  Fields a *newer* schema may have added are dropped, but
+        ``stack_pass``, ``sampling``) default to empty.  Fields a *newer* schema may have added are dropped, but
         never silently — pass a list as ``unknown`` to collect their
         names, the same reporting contract as
         :func:`repro.sim.campaign.stats_from_dict`.  A payload that is
@@ -684,7 +697,7 @@ class RunReport:
             "n_refs_measured", "cycles", "total_cycles", "warm_cycles",
             "buckets", "buckets_measured", "conserved", "wall_s",
             "refs_per_sec", "peak_rss_kb", "quantization", "pass_cache",
-            "replay", "fabric", "stack_pass", "metrics",
+            "replay", "fabric", "stack_pass", "sampling", "metrics",
         }
         if unknown is not None:
             unknown.extend(
@@ -707,6 +720,7 @@ def build_run_report(
     fabric: Optional[Dict[str, int]] = None,
     registry: Optional[MetricsRegistry] = None,
     stack_pass: Optional[Dict[str, int]] = None,
+    sampling: Optional[Dict] = None,
 ) -> RunReport:
     """Assemble the metrics document for one completed run.
 
@@ -719,7 +733,9 @@ def build_run_report(
     ``registry`` the run's :class:`MetricsRegistry`, dumped into the
     schema-5 ``metrics`` block when it collected anything;
     ``stack_pass`` the shared stack-walk counters, if the run used the
-    stack functional-pass strategy.
+    stack functional-pass strategy; ``sampling`` the trace-interval
+    sampling counters (with estimate-level keys where applicable), if
+    the run produced a sampled estimate.
     Conservation is *checked* here (never trusted): ``conserved`` is
     the outcome of :meth:`CycleLedger.verify`.
     """
@@ -757,6 +773,7 @@ def build_run_report(
         replay=dict(replay) if replay else {},
         fabric=dict(fabric) if fabric else {},
         stack_pass=dict(stack_pass) if stack_pass else {},
+        sampling=dict(sampling) if sampling else {},
         metrics=(
             registry.as_dict()
             if registry is not None and not registry.empty() else {}
@@ -798,6 +815,7 @@ def aggregate_reports(
     replay_totals: Dict[str, int] = {}
     fabric_totals: Dict[str, int] = {}
     stack_totals: Dict[str, int] = {}
+    sampling_totals: Dict[str, float] = {}
     metrics_totals = MetricsRegistry()
     for report in reports:
         for name, cycles in report.buckets_measured.items():
@@ -810,6 +828,19 @@ def aggregate_reports(
             fabric_totals[name] = fabric_totals.get(name, 0) + count
         for name, count in report.stack_pass.items():
             stack_totals[name] = stack_totals.get(name, 0) + count
+        for name, value in report.sampling.items():
+            if isinstance(value, bool) or not isinstance(
+                value, (int, float)
+            ):
+                continue
+            if name.endswith("_max"):
+                sampling_totals[name] = max(
+                    sampling_totals.get(name, 0), value
+                )
+            else:
+                sampling_totals[name] = (
+                    sampling_totals.get(name, 0) + value
+                )
         metrics_totals.merge(report.metrics)
     fabric_totals.update(fabric or {})
     ranked = sorted(
@@ -831,6 +862,7 @@ def aggregate_reports(
         "replay": replay_totals,
         "fabric": fabric_totals,
         "stack_pass": stack_totals,
+        "sampling": sampling_totals,
         "metrics": (
             {} if metrics_totals.empty() else metrics_totals.as_dict()
         ),
@@ -906,6 +938,23 @@ def render_summary(summary: Dict) -> str:
             f"{stack.get('reused_streams', 0)} reused, "
             f"{stack.get('fallback_passes', 0)} fallback pass(es)"
         )
+    sampling = summary.get("sampling") or {}
+    if any(sampling.values()):
+        line = (
+            f"sampling: {int(sampling.get('selections', 0))} "
+            f"selection(s), "
+            f"{int(sampling.get('representatives', 0))} "
+            f"representative(s), "
+            f"{int(sampling.get('refs_sampled', 0)):,} / "
+            f"{int(sampling.get('refs_full', 0)):,} refs simulated, "
+            f"{int(sampling.get('refusals', 0))} refusal(s)"
+        )
+        if sampling.get("validations"):
+            line += (
+                f", max true error "
+                f"{float(sampling.get('true_error_max', 0.0)):.4f}"
+            )
+        lines.append(line)
     spans = (summary.get("metrics") or {}).get("spans") or {}
     if spans:
         lines.append("stage spans across the sweep:")

@@ -176,14 +176,23 @@ class Trace:
     # Views and derived traces
     # ------------------------------------------------------------------
     def slice(self, start: int, stop: int, name: Optional[str] = None) -> "Trace":
-        """Return a sub-trace covering ``[start, stop)`` with no warm-up."""
+        """Return a sub-trace covering ``[start, stop)``.
+
+        The warm boundary is re-derived relative to the slice: the part
+        of the warm region that falls inside ``[start, stop)`` stays
+        warm-up, and a boundary at or past ``stop`` clamps to the slice
+        length (the whole slice is warm-up) rather than carrying a
+        stale absolute index out of range.
+        """
         if not (0 <= start <= stop <= len(self)):
             raise TraceError(f"bad slice [{start}, {stop}) of length {len(self)}")
+        warm = min(max(self.warm_boundary - start, 0), stop - start)
         return Trace(
             self.kinds[start:stop],
             self.addrs[start:stop],
             self.pids[start:stop],
             name=name or self.name,
+            warm_boundary=warm,
         )
 
     def with_warm_boundary(self, warm_boundary: int) -> "Trace":

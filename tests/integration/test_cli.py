@@ -234,3 +234,96 @@ class TestPassCacheCLI:
         assert "corrupt" in capsys.readouterr().out
         assert main(["cache", "verify", str(directory), "--repair"]) == 0
         assert main(["cache", "verify", str(directory)]) == 0
+
+
+class TestSamplingCLI:
+    _SAMPLE_ARGS = [
+        "simulate", "--trace", "mu3", "--length", "20000",
+        "--size-kb", "4", "--sample", "interval=4000,k=3",
+    ]
+
+    def test_simulate_sample_prints_estimate_with_ci(self, capsys):
+        assert main(self._SAMPLE_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "read miss ratio (estimated):" in out
+        assert "±" in out
+        assert "refs simulated" in out
+        # Estimates are labeled as such everywhere, never passed off
+        # as exact results.
+        assert "cycles (estimated):" in out
+
+    def test_simulate_sample_is_deterministic(self, capsys):
+        assert main(self._SAMPLE_ARGS) == 0
+        first = capsys.readouterr().out
+        assert main(self._SAMPLE_ARGS) == 0
+        assert capsys.readouterr().out == first
+
+    def test_simulate_sample_validate_reports_true_error(self, capsys):
+        assert main(self._SAMPLE_ARGS + ["--sample-validate"]) == 0
+        out = capsys.readouterr().out
+        assert "validation: true read miss ratio" in out
+        assert "abs error" in out
+
+    def test_simulate_sample_rejects_engine(self, capsys):
+        assert main(self._SAMPLE_ARGS + ["--engine"]) == 2
+        assert "fastpath" in capsys.readouterr().err
+
+    def test_simulate_sample_rejects_bad_spec(self, capsys):
+        assert main([
+            "simulate", "--trace", "mu3", "--length", "8000",
+            "--size-kb", "4", "--sample", "nope=1",
+        ]) == 2
+        assert "unknown sampling spec key" in capsys.readouterr().err
+
+    def test_simulate_sample_metrics_carry_sampling_block(
+        self, capsys, tmp_path
+    ):
+        out_path = tmp_path / "report.json"
+        assert main(self._SAMPLE_ARGS + [
+            "--sample-validate", "--metrics-out", str(out_path),
+        ]) == 0
+        capsys.readouterr()
+        payload = json.loads(out_path.read_text())
+        assert payload["schema"] == REPORT_SCHEMA
+        block = payload["sampling"]
+        assert block["estimates"] == 1
+        assert block["validations"] == 1
+        assert block["refs_sampled"] < block["refs_full"]
+        assert block["ci_half_width"] >= 0.0
+
+    def test_advise_sample_prints_summary_line(self, capsys):
+        assert main([
+            "advise", "16:40", "--length", "20000", "--traces", "mu3",
+            "--sample", "interval=4000,k=3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "RAM-ladder recommendation" in out
+        assert "sampling:" in out
+        assert "refs simulated" in out
+
+    def test_campaign_run_sample(self, capsys, tmp_path):
+        assert main([
+            "campaign", "run", str(tmp_path / "camp"),
+            "--sizes-kb", "4,16", "--cycles-ns", "40",
+            "--traces", "mu3", "--length", "20000",
+            "--sample", "interval=4000,k=3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "sampling: interval=4000" in out
+        assert "2 ok" in out
+
+    @pytest.mark.parametrize("extra, needle", [
+        (["--engine"], "fastpath"),
+        (["--backend", "spool"], "spool"),
+        (["--metrics"], "cycle ledger"),
+    ])
+    def test_campaign_run_sample_incompatibilities(
+        self, capsys, tmp_path, extra, needle
+    ):
+        assert main([
+            "campaign", "run", str(tmp_path / "camp"),
+            "--sizes-kb", "4", "--cycles-ns", "40",
+            "--traces", "mu3", "--length", "8000",
+            "--sample", "1", *extra,
+        ]) == 2
+        assert needle in capsys.readouterr().err

@@ -547,3 +547,65 @@ class TestBenchCli:
             "bench", "diff", "--history", str(history),
         ]) == 2
         assert "error" in capsys.readouterr().err
+
+    def test_diff_ignores_other_hosts_by_default(self, tmp_path, capsys):
+        # A slow record from a different machine is noise, not baseline:
+        # without --any-host the diff sees no comparable records at all.
+        history = BenchHistory(tmp_path / "hist.jsonl")
+        history.append([
+            _rec(1.0, "a"), _rec(1.0, "b"), _rec(1.0, "c"),
+            _rec(1.4, "cand"),
+        ])
+        assert main([
+            "bench", "diff", "--history", str(history.path),
+            "--commit", "cand",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "no bench history from host" in out
+        assert "--any-host" in out
+
+    def test_diff_any_host_widens_to_full_history(self, tmp_path, capsys):
+        history = BenchHistory(tmp_path / "hist.jsonl")
+        history.append([
+            _rec(1.0, "a"), _rec(1.0, "b"), _rec(1.0, "c"),
+            _rec(1.4, "cand"),
+        ])
+        assert main([
+            "bench", "diff", "--history", str(history.path),
+            "--commit", "cand", "--any-host",
+        ]) == 1
+        assert "regression" in capsys.readouterr().out
+
+    def test_diff_host_override_selects_baseline(self, tmp_path, capsys):
+        # --host compares against the named machine's records; the
+        # candidate commit defaults to that filtered history's last.
+        history = BenchHistory(tmp_path / "hist.jsonl")
+        history.append([
+            _rec(1.0, "a"), _rec(1.0, "b"), _rec(1.0, "c"),
+            _rec(1.4, "cand"),
+        ])
+        assert main([
+            "bench", "diff", "--history", str(history.path),
+            "--host", "h",
+        ]) == 1
+        assert "regression" in capsys.readouterr().out
+
+    def test_diff_current_host_records_still_gate(self, tmp_path, capsys):
+        # Records written by this machine (bench record's default host)
+        # pass through the default filter unchanged.
+        history = tmp_path / "hist.jsonl"
+        raw = tmp_path / "raw.json"
+        for commit, wall in (("a", 1.0), ("b", 1.0), ("c", 1.0)):
+            raw.write_text(json.dumps(
+                {"bench": "telemetry_smoke", "total_wall_s": wall}
+            ))
+            assert self._record(raw, history, commit) == 0
+        raw.write_text(json.dumps(
+            {"bench": "telemetry_smoke", "total_wall_s": 1.10}
+        ))
+        assert self._record(raw, history, "cand") == 0
+        assert main([
+            "bench", "diff", "--history", str(history),
+            "--commit", "cand",
+        ]) == 1
+        assert "regression" in capsys.readouterr().out

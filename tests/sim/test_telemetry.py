@@ -453,6 +453,41 @@ class TestRunReport:
         summary = aggregate_reports([report, report])
         assert summary["replay"] == {"scalar_replays": 2}
 
+    def test_sampling_block_round_trips_and_aggregates(
+        self, mu3_small, small_config
+    ):
+        telemetry = Telemetry(ledger=CycleLedger())
+        stats = fast_simulate(small_config, mu3_small, telemetry=telemetry)
+        block = {
+            "selections": 1, "representatives": 4,
+            "refs_full": 1000, "refs_sampled": 200,
+            "validations": 1, "true_error_max": 0.004,
+        }
+        report = build_run_report(
+            stats, telemetry.ledger, StageTimer(), config=small_config,
+            sampling=block,
+        )
+        payload = report.to_dict()
+        assert payload["sampling"] == block
+        assert RunReport.from_dict(payload) == report
+        # Version-6 documents predate the sampling block.
+        del payload["sampling"]
+        assert RunReport.from_dict(payload).sampling == {}
+        summary = aggregate_reports([report, report])
+        # Counters sum across runs; *_max keys keep the worst value.
+        assert summary["sampling"]["refs_sampled"] == 400
+        assert summary["sampling"]["true_error_max"] == 0.004
+        text = render_summary(summary)
+        assert "sampling:" in text
+        assert "max true error 0.0040" in text
+
+    def test_sampling_line_omitted_without_sampling(
+        self, mu3_small, small_config
+    ):
+        report = self._report(mu3_small, small_config)
+        text = render_summary(aggregate_reports([report]))
+        assert "sampling:" not in text
+
 
 class TestMetricsRegistry:
     def test_counters_and_gauges(self):

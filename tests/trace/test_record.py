@@ -74,7 +74,31 @@ class TestTraceViews:
         trace = Trace([0, 1, 2], [1, 2, 3], warm_boundary=2)
         part = trace.slice(1, 3)
         assert len(part) == 2
+        # The warm boundary falls inside the window: one warm ref left.
+        assert part.warm_boundary == 1
+
+    def test_slice_warm_boundary_before_window(self):
+        trace = Trace([0, 1, 2, 0], [1, 2, 3, 4], warm_boundary=1)
+        assert trace.slice(2, 4).warm_boundary == 0
+
+    def test_slice_warm_boundary_past_window_clamps(self):
+        # The whole window sits inside the warm prefix — every ref of
+        # the slice is warm, and the boundary must clamp to its length
+        # (an unclamped carry-over used to violate the Trace invariant).
+        trace = Trace([0, 1, 2, 0], [1, 2, 3, 4], warm_boundary=3)
+        part = trace.slice(0, 2)
+        assert part.warm_boundary == 2
+        assert part.warm_boundary <= len(part)
+
+    def test_slice_then_with_warm_boundary_round_trip(self):
+        trace = Trace([0, 1, 2, 0], [1, 2, 3, 4], warm_boundary=2)
+        part = trace.slice(1, 4).with_warm_boundary(0)
         assert part.warm_boundary == 0
+        assert len(part) == 3
+
+    def test_slice_keeps_name_override(self):
+        trace = Trace([0, 1, 2], [1, 2, 3], name="t")
+        assert trace.slice(0, 2, name="t@0").name == "t@0"
 
     def test_slice_bounds_checked(self):
         with pytest.raises(TraceError):
